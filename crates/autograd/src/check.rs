@@ -1,0 +1,32 @@
+//! Central-finite-difference gradient checking, used by the workspace's test
+//! suites to validate every backward rule.
+
+use cdcl_tensor::Tensor;
+
+use crate::Param;
+
+/// Numerically estimates `d loss / d param` by central differences.
+///
+/// `loss` must recompute the full forward pass from the parameter's current
+/// value (it is invoked `2 * param.num_elements()` times). Keep the tensors
+/// involved tiny.
+pub fn finite_diff_grad(param: &Param, mut loss: impl FnMut() -> f32, eps: f32) -> Tensor {
+    let base = param.value();
+    let n = base.len();
+    let mut grad = vec![0.0; n];
+    for i in 0..n {
+        let mut plus = base.clone();
+        plus.data_mut()[i] += eps;
+        param.set_value(plus);
+        let lp = loss();
+
+        let mut minus = base.clone();
+        minus.data_mut()[i] -= eps;
+        param.set_value(minus);
+        let lm = loss();
+
+        grad[i] = (lp - lm) / (2.0 * eps);
+    }
+    param.set_value(base.clone());
+    Tensor::from_vec(grad, base.shape())
+}

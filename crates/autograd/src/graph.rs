@@ -1,0 +1,675 @@
+//! The tape: forward operator construction and the reverse pass.
+//!
+//! Nodes are appended in topological order by construction, so the backward
+//! pass is a single reverse sweep. Gradients are accumulated per node and
+//! finally pushed into [`Param`] cells.
+
+use cdcl_tensor::{col2im, Conv2dSpec, Im2col, Pool2dSpec, Tensor};
+
+use crate::Param;
+
+/// Handle to a node on the tape. Cheap to copy; only valid for the graph
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// GELU tanh-approximation constants.
+const GELU_C: f32 = 0.797_884_56; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+enum Op {
+    /// Constant input (no gradient flows out of the graph).
+    Input,
+    /// Leaf bound to an external parameter cell.
+    Leaf(Param),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Matmul(Var, Var),
+    TransposeLast2(Var),
+    Reshape(Var),
+    Concat0(Vec<Var>),
+    Relu(Var),
+    Gelu(Var),
+    SoftmaxLast(Var),
+    LogSoftmaxLast(Var),
+    SumLast(Var),
+    MeanAll(Var),
+    SumAll(Var),
+    LayerNorm {
+        x: Var,
+        gamma: Var,
+        beta: Var,
+        /// Cached per-row normalized activations (x - mean) * inv_std.
+        xhat: Tensor,
+        /// Cached per-row inverse standard deviations, shape = rows.
+        inv_std: Tensor,
+    },
+    Conv2d {
+        w: Var,
+        bias: Option<Var>,
+        info: ConvSaved,
+    },
+    MaxPool2d {
+        x: Var,
+        argmax: Vec<usize>,
+    },
+    /// Negative log-likelihood of integer targets given log-probabilities.
+    Nll {
+        logp: Var,
+        targets: Vec<usize>,
+    },
+    /// `-mean_rows Σ_j probs_ij · logp_ij` with constant soft targets.
+    CeSoft {
+        logp: Var,
+        probs: Tensor,
+    },
+    /// `mean_rows Σ_j p_ij (ln p_ij − logq_ij)` with constant teacher `p`.
+    KlDiv {
+        logq: Var,
+        p: Tensor,
+    },
+    Mse(Var, Var),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single forward pass's computation tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite forward value");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Records a constant: no gradient is propagated past it.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Input)
+    }
+
+    /// Registers a parameter; its gradient is accumulated into the cell by
+    /// [`Graph::backward`].
+    pub fn param(&mut self, p: &Param) -> Var {
+        self.push(p.value(), Op::Leaf(p.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Broadcasting element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Broadcasting element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Broadcasting element-wise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplies by a constant.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).scale(c);
+        self.push(v, Op::Scale(a, c))
+    }
+
+    /// Adds a constant.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).add_scalar(c);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra / shape
+    // ------------------------------------------------------------------
+
+    /// Matrix product; supports the rank combinations of
+    /// [`Tensor::matmul`].
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Swaps the last two axes.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose_last2();
+        self.push(v, Op::TransposeLast2(a))
+    }
+
+    /// Reshapes without changing element count.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.value(a).reshape(shape);
+        self.push(v, Op::Reshape(a))
+    }
+
+    /// Concatenates along dimension 0.
+    pub fn concat0(&mut self, parts: &[Var]) -> Var {
+        let tensors: Vec<&Tensor> = parts.iter().map(|p| self.value(*p)).collect();
+        let v = Tensor::concat0(&tensors);
+        self.push(v, Op::Concat0(parts.to_vec()))
+    }
+
+    // ------------------------------------------------------------------
+    // Non-linearities
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| {
+            let u = GELU_C * (x + GELU_A * x * x * x);
+            0.5 * x * (1.0 + u.tanh())
+        });
+        self.push(v, Op::Gelu(a))
+    }
+
+    /// Softmax along the last axis.
+    pub fn softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_last();
+        self.push(v, Op::SoftmaxLast(a))
+    }
+
+    /// Log-softmax along the last axis.
+    pub fn log_softmax_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).log_softmax_last();
+        self.push(v, Op::LogSoftmaxLast(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum over the last axis (axis dropped).
+    pub fn sum_last(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_last();
+        self.push(v, Op::SumLast(a))
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    // ------------------------------------------------------------------
+    // Normalization
+    // ------------------------------------------------------------------
+
+    /// Layer normalization over the last axis with affine parameters
+    /// `gamma`, `beta` of shape `[d]`.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = *xv.shape().last().expect("layer_norm needs rank >= 1");
+        let rows = xv.len() / d;
+        let mut xhat = vec![0.0; xv.len()];
+        let mut inv_std = vec![0.0; rows];
+        for r in 0..rows {
+            let row = &xv.data()[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            inv_std[r] = inv;
+            for (o, v) in xhat[r * d..(r + 1) * d].iter_mut().zip(row.iter()) {
+                *o = (v - mean) * inv;
+            }
+        }
+        let xhat = Tensor::from_vec(xhat, xv.shape());
+        let out = xhat.mul(self.value(gamma)).add(self.value(beta));
+        let inv_std = Tensor::from_vec(inv_std, &[rows]);
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                inv_std,
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Convolution / pooling
+    // ------------------------------------------------------------------
+
+    /// 2-D convolution (`x: [b,ci,h,w]`, `w: [co,ci,k,k]`, optional
+    /// `bias: [co]`).
+    pub fn conv2d(&mut self, x: Var, w: Var, bias: Option<Var>, spec: Conv2dSpec) -> Var {
+        let (out, info) = self
+            .value(x)
+            .conv2d(self.value(w), bias.map(|b| self.value(b)), spec);
+        // The saved im2col buffer lets the backward pass skip re-unrolling
+        // the input patches.
+        self.push(
+            out,
+            Op::Conv2d {
+                w,
+                bias,
+                info: ConvSaved { x, inner: info },
+            },
+        )
+    }
+
+    /// Max pooling over `x: [b,c,h,w]`.
+    pub fn maxpool2d(&mut self, x: Var, spec: Pool2dSpec) -> Var {
+        let r = self.value(x).maxpool2d(spec);
+        self.push(r.out, Op::MaxPool2d { x, argmax: r.argmax })
+    }
+
+    // ------------------------------------------------------------------
+    // Losses (scalar outputs)
+    // ------------------------------------------------------------------
+
+    /// Mean negative log-likelihood of integer `targets` under
+    /// log-probabilities `logp: [b, u]`.
+    pub fn nll_loss(&mut self, logp: Var, targets: &[usize]) -> Var {
+        let lp = self.value(logp);
+        assert_eq!(lp.ndim(), 2, "nll_loss expects [batch, classes]");
+        let (b, u) = (lp.shape()[0], lp.shape()[1]);
+        assert_eq!(targets.len(), b, "nll_loss target count mismatch");
+        let mut acc = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < u, "target {t} out of range ({u} classes)");
+            acc -= lp.data()[i * u + t];
+        }
+        let v = Tensor::scalar(acc / b as f32);
+        self.push(
+            v,
+            Op::Nll {
+                logp,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// Soft-target cross-entropy `-mean_rows Σ probs · logp` where `probs`
+    /// is a constant distribution per row (`[b, u]`).
+    pub fn ce_soft(&mut self, logp: Var, probs: Tensor) -> Var {
+        let lp = self.value(logp);
+        assert_eq!(lp.shape(), probs.shape(), "ce_soft shape mismatch");
+        let b = lp.shape()[0] as f32;
+        let total: f32 = lp
+            .data()
+            .iter()
+            .zip(probs.data().iter())
+            .map(|(l, p)| l * p)
+            .sum();
+        let v = Tensor::scalar(-total / b);
+        self.push(v, Op::CeSoft { logp, probs })
+    }
+
+    /// KL divergence `mean_rows Σ p (ln p − logq)` between a constant teacher
+    /// distribution `p` and student log-probabilities `logq` (`[b, u]`).
+    pub fn kl_div(&mut self, logq: Var, p: Tensor) -> Var {
+        let lq = self.value(logq);
+        assert_eq!(lq.shape(), p.shape(), "kl_div shape mismatch");
+        let b = lq.shape()[0] as f32;
+        let total: f32 = lq
+            .data()
+            .iter()
+            .zip(p.data().iter())
+            .map(|(l, p)| if *p > 0.0 { p * (p.ln() - l) } else { 0.0 })
+            .sum();
+        let v = Tensor::scalar(total / b);
+        self.push(v, Op::KlDiv { logq, p })
+    }
+
+    /// Mean squared error between two equally-shaped nodes.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "mse shape mismatch");
+        let n = av.len() as f32;
+        let total: f32 = av
+            .data()
+            .iter()
+            .zip(bv.data().iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum();
+        let v = Tensor::scalar(total / n);
+        self.push(v, Op::Mse(a, b))
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Reverse pass from scalar `loss`: accumulates gradients into every
+    /// [`Param`] leaf reachable from it. May be called once per graph.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.value(loss).len(),
+            1,
+            "backward expects a scalar loss, got {:?}",
+            self.value(loss).shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Leaf(p) => p.accumulate_grad(&g),
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.reduce_to_shape(self.nodes[a.0].value.shape());
+                    let gb = g.reduce_to_shape(self.nodes[b.0].value.shape());
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.reduce_to_shape(self.nodes[a.0].value.shape());
+                    let gb = g.scale(-1.0).reduce_to_shape(self.nodes[b.0].value.shape());
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g
+                        .mul(&self.nodes[b.0].value)
+                        .reduce_to_shape(self.nodes[a.0].value.shape());
+                    let gb = g
+                        .mul(&self.nodes[a.0].value)
+                        .reduce_to_shape(self.nodes[b.0].value.shape());
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    accum(&mut grads, a, g.scale(c));
+                }
+                Op::AddScalar(a) => {
+                    let a = *a;
+                    accum(&mut grads, a, g);
+                }
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let (ga, gb) = matmul_backward(av, bv, &g);
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
+                Op::TransposeLast2(a) => {
+                    let a = *a;
+                    accum(&mut grads, a, g.transpose_last2());
+                }
+                Op::Reshape(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a.0].value.shape().to_vec();
+                    accum(&mut grads, a, g.reshape(&shape));
+                }
+                Op::Concat0(parts) => {
+                    let parts = parts.clone();
+                    let mut offset = 0;
+                    for p in parts {
+                        let rows = self.nodes[p.0].value.shape()[0];
+                        let idx: Vec<usize> = (offset..offset + rows).collect();
+                        accum(&mut grads, p, g.select_rows(&idx));
+                        offset += rows;
+                    }
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    accum(&mut grads, a, g.mul(&mask));
+                }
+                Op::Gelu(a) => {
+                    let a = *a;
+                    let deriv = self.nodes[a.0].value.map(|x| {
+                        let u = GELU_C * (x + GELU_A * x * x * x);
+                        let t = u.tanh();
+                        0.5 * (1.0 + t)
+                            + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+                    });
+                    accum(&mut grads, a, g.mul(&deriv));
+                }
+                Op::SoftmaxLast(a) => {
+                    let a = *a;
+                    let y = &self.nodes[i].value;
+                    // dx = (g - sum(g*y, last)) * y
+                    let gy = g.mul(y);
+                    let mut s_shape = y.shape().to_vec();
+                    *s_shape.last_mut().expect("rank >= 1") = 1;
+                    let s = gy.sum_last().reshape(&s_shape);
+                    accum(&mut grads, a, g.sub(&s).mul(y));
+                }
+                Op::LogSoftmaxLast(a) => {
+                    let a = *a;
+                    let y = &self.nodes[i].value;
+                    let soft = y.map(f32::exp);
+                    let mut s_shape = y.shape().to_vec();
+                    *s_shape.last_mut().expect("rank >= 1") = 1;
+                    let s = g.sum_last().reshape(&s_shape);
+                    accum(&mut grads, a, g.sub(&soft.mul(&s)));
+                }
+                Op::SumLast(a) => {
+                    let a = *a;
+                    let x_shape = self.nodes[a.0].value.shape().to_vec();
+                    let mut g_shape = x_shape.clone();
+                    *g_shape.last_mut().expect("rank >= 1") = 1;
+                    let expanded = g.reshape(&g_shape).add(&Tensor::zeros(&x_shape));
+                    accum(&mut grads, a, expanded);
+                }
+                Op::MeanAll(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a.0].value.shape().to_vec();
+                    let n = self.nodes[a.0].value.len() as f32;
+                    accum(&mut grads, a, Tensor::full(&shape, g.item() / n));
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a.0].value.shape().to_vec();
+                    accum(&mut grads, a, Tensor::full(&shape, g.item()));
+                }
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    xhat,
+                    inv_std,
+                } => {
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
+                    let gamma_v = &self.nodes[gamma.0].value;
+                    let d = *xhat.shape().last().expect("rank >= 1");
+                    let rows = xhat.len() / d;
+                    // dbeta / dgamma reduce over rows.
+                    let dgamma = g.mul(xhat).reduce_to_shape(gamma_v.shape());
+                    let dbeta = g.reduce_to_shape(gamma_v.shape());
+                    // dxhat = g * gamma (broadcast), then the classic LN rule.
+                    let dxhat = g.mul(gamma_v);
+                    let mut dx = vec![0.0; xhat.len()];
+                    for r in 0..rows {
+                        let dxh = &dxhat.data()[r * d..(r + 1) * d];
+                        let xh = &xhat.data()[r * d..(r + 1) * d];
+                        let sum_dxh: f32 = dxh.iter().sum();
+                        let sum_dxh_xh: f32 =
+                            dxh.iter().zip(xh.iter()).map(|(a, b)| a * b).sum();
+                        let inv = inv_std.data()[r];
+                        for j in 0..d {
+                            dx[r * d + j] = inv / d as f32
+                                * (d as f32 * dxh[j] - sum_dxh - xh[j] * sum_dxh_xh);
+                        }
+                    }
+                    let dx = Tensor::from_vec(dx, xhat.shape());
+                    accum(&mut grads, x, dx);
+                    accum(&mut grads, gamma, dgamma);
+                    accum(&mut grads, beta, dbeta);
+                }
+                Op::Conv2d { w, bias, info } => {
+                    let (w, bias) = (*w, *bias);
+                    let wv = &self.nodes[w.0].value;
+                    let (c_out, c_in, k) = (wv.shape()[0], wv.shape()[1], wv.shape()[2]);
+                    let inner = &info.inner;
+                    let (oh, ow) = inner.out_hw;
+                    let b = inner.batch;
+                    let w2 = wv.reshape(&[c_out, c_in * k * k]);
+                    let w2t = w2.transpose_last2();
+                    let mut dw = Tensor::zeros(&[c_out, c_in * k * k]);
+                    let mut dcols = Tensor::zeros(inner.cols.shape());
+                    let col_rows = c_in * k * k;
+                    let col_cols = oh * ow;
+                    for bi in 0..b {
+                        let gy = g.row(bi).reshape(&[c_out, oh * ow]);
+                        // dW += gy × cols_iᵀ
+                        let cols_i = inner.cols.row(bi);
+                        dw.add_assign_scaled(&gy.matmul(&cols_i.transpose_last2()), 1.0);
+                        // dcols_i = W2ᵀ × gy
+                        let dc = w2t.matmul(&gy);
+                        dcols.data_mut()
+                            [bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols]
+                            .copy_from_slice(dc.data());
+                    }
+                    let dx = col2im(&dcols, inner);
+                    accum(&mut grads, info.x, dx);
+                    accum(&mut grads, w, dw.reshape(&[c_out, c_in, k, k]));
+                    if let Some(bias) = bias {
+                        // db[c] = Σ_{b,oh,ow} g
+                        let mut db = vec![0.0; c_out];
+                        let gd = g.data();
+                        for bi in 0..b {
+                            for c in 0..c_out {
+                                let base = (bi * c_out + c) * oh * ow;
+                                db[c] += gd[base..base + oh * ow].iter().sum::<f32>();
+                            }
+                        }
+                        accum(&mut grads, bias, Tensor::from_vec(db, &[c_out]));
+                    }
+                }
+                Op::MaxPool2d { x, argmax } => {
+                    let x = *x;
+                    let x_shape = self.nodes[x.0].value.shape().to_vec();
+                    let mut dx = Tensor::zeros(&x_shape);
+                    for (o, &src) in argmax.iter().enumerate() {
+                        dx.data_mut()[src] += g.data()[o];
+                    }
+                    accum(&mut grads, x, dx);
+                }
+                Op::Nll { logp, targets } => {
+                    let logp = *logp;
+                    let shape = self.nodes[logp.0].value.shape().to_vec();
+                    let (b, u) = (shape[0], shape[1]);
+                    let mut dl = Tensor::zeros(&shape);
+                    let scale = g.item() / b as f32;
+                    for (i, &t) in targets.iter().enumerate() {
+                        dl.data_mut()[i * u + t] = -scale;
+                    }
+                    accum(&mut grads, logp, dl);
+                }
+                Op::CeSoft { logp, probs } => {
+                    let logp = *logp;
+                    let b = probs.shape()[0] as f32;
+                    let dl = probs.scale(-g.item() / b);
+                    accum(&mut grads, logp, dl);
+                }
+                Op::KlDiv { logq, p } => {
+                    let logq = *logq;
+                    let b = p.shape()[0] as f32;
+                    let dl = p.scale(-g.item() / b);
+                    accum(&mut grads, logq, dl);
+                }
+                Op::Mse(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let n = av.len() as f32;
+                    let diff = av.sub(bv).scale(2.0 * g.item() / n);
+                    accum(&mut grads, a, diff.clone());
+                    accum(&mut grads, b, diff.scale(-1.0));
+                }
+            }
+        }
+    }
+}
+
+fn accum(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.0] {
+        Some(existing) => existing.add_assign_scaled(&g, 1.0),
+        slot => *slot = Some(g),
+    }
+}
+
+/// Gradients of `c = a @ b` for the three supported rank combinations.
+fn matmul_backward(a: &Tensor, b: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
+    match (a.ndim(), b.ndim()) {
+        (2, 2) => (
+            g.matmul(&b.transpose_last2()),
+            a.transpose_last2().matmul(g),
+        ),
+        (3, 3) => (
+            g.matmul(&b.transpose_last2()),
+            a.transpose_last2().matmul(g),
+        ),
+        (3, 2) => {
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let n = b.shape()[1];
+            let ga = g.matmul(&b.transpose_last2());
+            let a2 = a.reshape(&[bs * m, k]);
+            let g2 = g.reshape(&[bs * m, n]);
+            let gb = a2.transpose_last2().matmul(&g2);
+            (ga, gb)
+        }
+        _ => unreachable!("ranks validated at forward time"),
+    }
+}
+
+/// Saved forward state of a conv2d node: the image's tape index plus the
+/// im2col buffer produced during the forward pass.
+struct ConvSaved {
+    x: Var,
+    inner: Im2col,
+}

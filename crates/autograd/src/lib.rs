@@ -1,0 +1,39 @@
+//! Tape-based reverse-mode automatic differentiation over [`cdcl_tensor`].
+//!
+//! Every forward pass builds a fresh [`Graph`] (the tape). Model parameters
+//! live *outside* the tape in [`Param`] cells; registering a parameter with
+//! [`Graph::param`] returns a [`Var`] whose gradient, after
+//! [`Graph::backward`], is accumulated back into the cell where the optimizer
+//! finds it. This is the classic define-by-run design (PyTorch-style),
+//! chosen because the CDCL training loop (Algorithm 1 of the paper) switches
+//! between self-attention, cross-attention, and rehearsal sub-graphs from
+//! epoch to epoch — a static graph would be awkward.
+//!
+//! The operator set is exactly what the paper's model needs: broadcasting
+//! arithmetic, (batched) matmul, conv2d / maxpool2d, ReLU / GELU, softmax /
+//! log-softmax, layer-norm, sequence reductions, and the loss heads
+//! (negative log-likelihood, soft-target cross-entropy, KL divergence, MSE).
+//! Every operator's backward rule is validated against central finite
+//! differences in this crate's tests.
+//!
+//! ```
+//! use cdcl_autograd::{Graph, Param};
+//! use cdcl_tensor::Tensor;
+//!
+//! let w = Param::new("w", Tensor::from_vec(vec![2.0], &[1, 1]));
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![3.0], &[1, 1]));
+//! let wv = g.param(&w);
+//! let y = g.matmul(x, wv);
+//! let loss = g.sum_all(y); // loss = w * x
+//! g.backward(loss);
+//! assert_eq!(w.grad().data(), &[3.0]); // d(wx)/dw = x
+//! ```
+
+mod check;
+mod graph;
+mod param;
+
+pub use check::finite_diff_grad;
+pub use graph::{Graph, Var};
+pub use param::Param;

@@ -1,0 +1,464 @@
+//! Finite-difference validation of every backward rule in the tape.
+//!
+//! Each test builds a tiny graph whose loss depends on a [`Param`], runs
+//! `backward`, and compares the analytic gradient with central differences.
+
+use cdcl_autograd::{finite_diff_grad, Graph, Param};
+use cdcl_tensor::{Conv2dSpec, Pool2dSpec, Tensor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn check(param: &Param, mut loss: impl FnMut() -> f32, analytic: &Tensor) {
+    let numeric = finite_diff_grad(param, &mut loss, EPS);
+    assert_eq!(analytic.shape(), numeric.shape());
+    for (i, (a, n)) in analytic
+        .data()
+        .iter()
+        .zip(numeric.data().iter())
+        .enumerate()
+    {
+        let scale = 1.0 + a.abs().max(n.abs());
+        assert!(
+            (a - n).abs() / scale < TOL,
+            "grad mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+/// Runs `f` once to get the analytic gradient (also zeroing first), then
+/// checks it against finite differences of the same loss.
+fn check_op(param: &Param, f: impl Fn() -> f32) {
+    param.zero_grad();
+    let _ = f();
+    let analytic = param.grad();
+    // The loss closure for finite differences must not touch gradients.
+    check(param, || f_no_grad(&f, param), &analytic);
+}
+
+fn f_no_grad(f: &impl Fn() -> f32, param: &Param) -> f32 {
+    // `f` accumulates into param's grad; save/restore around the probe.
+    let saved = param.grad();
+    let v = f();
+    // restore accumulated grad state
+    param.zero_grad();
+    param.accumulate_grad(&saved);
+    v
+}
+
+#[test]
+fn grad_add_broadcast_bias() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let x = Tensor::randn(&mut rng, &[3, 4], 1.0);
+    let p = Param::new("bias", Tensor::randn(&mut rng, &[4], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let bv = g.param(&p);
+        let y = g.add(xv, bv);
+        let y = g.mul(y, y); // square so the grad isn't constant
+        let l = g.mean_all(y);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_sub_and_scale() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let x = Tensor::randn(&mut rng, &[2, 3], 1.0);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[2, 3], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv = g.param(&p);
+        let d = g.sub(pv, xv);
+        let d = g.scale(d, 3.0);
+        let d = g.mul(d, d);
+        let l = g.sum_all(d);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_matmul_2d_left_and_right() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = Param::new("a", Tensor::randn(&mut rng, &[2, 3], 1.0));
+    let b = Param::new("b", Tensor::randn(&mut rng, &[3, 4], 1.0));
+    let run = |ga: &Param, gb: &Param| {
+        let mut g = Graph::new();
+        let av = g.param(ga);
+        let bv = g.param(gb);
+        let c = g.matmul(av, bv);
+        let c = g.mul(c, c);
+        let l = g.mean_all(c);
+        g.backward(l);
+        g.value(l).item()
+    };
+    check_op(&a, || run(&a, &b));
+    b.zero_grad();
+    check_op(&b, || run(&a, &b));
+}
+
+#[test]
+fn grad_matmul_batched() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let x = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+    let p = Param::new("w", Tensor::randn(&mut rng, &[2, 4, 2], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv = g.param(&p);
+        let c = g.matmul(xv, pv);
+        let c = g.mul(c, c);
+        let l = g.mean_all(c);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_matmul_3d_by_2d() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let x = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+    let p = Param::new("w", Tensor::randn(&mut rng, &[4, 5], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let pv = g.param(&p);
+        let c = g.matmul(xv, pv);
+        let c = g.mul(c, c);
+        let l = g.mean_all(c);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_transpose_and_reshape() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[3, 4], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let t = g.transpose_last2(pv);
+        let r = g.reshape(t, &[2, 6]);
+        let r = g.mul(r, r);
+        let l = g.sum_all(r);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_concat0() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let other = Tensor::randn(&mut rng, &[2, 3], 1.0);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[2, 3], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let ov = g.input(other.clone());
+        let c = g.concat0(&[pv, ov]);
+        let c = g.mul(c, c);
+        let l = g.mean_all(c);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_relu() {
+    // Offset values away from 0 so finite differences don't straddle the kink.
+    let p = Param::new(
+        "p",
+        Tensor::from_vec(vec![-1.0, -0.5, 0.5, 1.0, 2.0, -2.0], &[2, 3]),
+    );
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let r = g.relu(pv);
+        let r = g.mul(r, r);
+        let l = g.sum_all(r);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_gelu() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[2, 5], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let r = g.gelu(pv);
+        let l = g.sum_all(r);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_softmax_last() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let w = Tensor::randn(&mut rng, &[3, 4], 1.0);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[3, 4], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let s = g.softmax_last(pv);
+        let wv = g.input(w.clone());
+        let s = g.mul(s, wv); // weight so grad is informative
+        let l = g.sum_all(s);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_log_softmax_last() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let w = Tensor::randn(&mut rng, &[2, 5], 1.0);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[2, 5], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let s = g.log_softmax_last(pv);
+        let wv = g.input(w.clone());
+        let s = g.mul(s, wv);
+        let l = g.mean_all(s);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_sum_last() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let p = Param::new("p", Tensor::randn(&mut rng, &[2, 3, 4], 1.0));
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let s = g.sum_last(pv);
+        let s = g.mul(s, s);
+        let l = g.sum_all(s);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_layer_norm_all_three_inputs() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let x = Param::new("x", Tensor::randn(&mut rng, &[3, 6], 1.0));
+    let gamma = Param::new("gamma", Tensor::randn(&mut rng, &[6], 0.5).add_scalar(1.0));
+    let beta = Param::new("beta", Tensor::randn(&mut rng, &[6], 0.5));
+    let w = Tensor::randn(&mut rng, &[3, 6], 1.0);
+    let run = || {
+        let mut g = Graph::new();
+        let xv = g.param(&x);
+        let gv = g.param(&gamma);
+        let bv = g.param(&beta);
+        let y = g.layer_norm(xv, gv, bv, 1e-5);
+        let wv = g.input(w.clone());
+        let y = g.mul(y, wv);
+        let l = g.sum_all(y);
+        g.backward(l);
+        g.value(l).item()
+    };
+    check_op(&x, run);
+    gamma.zero_grad();
+    check_op(&gamma, run);
+    beta.zero_grad();
+    check_op(&beta, run);
+}
+
+#[test]
+fn grad_conv2d_weight_bias_and_input() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    let x = Param::new("x", Tensor::randn(&mut rng, &[1, 2, 5, 5], 1.0));
+    let w = Param::new("w", Tensor::randn(&mut rng, &[3, 2, 3, 3], 0.5));
+    let b = Param::new("b", Tensor::randn(&mut rng, &[3], 0.5));
+    let run = || {
+        let mut g = Graph::new();
+        let xv = g.param(&x);
+        let wv = g.param(&w);
+        let bv = g.param(&b);
+        let y = g.conv2d(xv, wv, Some(bv), spec);
+        let y = g.mul(y, y);
+        let l = g.mean_all(y);
+        g.backward(l);
+        g.value(l).item()
+    };
+    check_op(&w, run);
+    x.zero_grad();
+    check_op(&x, run);
+    b.zero_grad();
+    check_op(&b, run);
+}
+
+#[test]
+fn grad_conv2d_strided() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+    let x = Tensor::randn(&mut rng, &[2, 1, 6, 6], 1.0);
+    let w = Param::new("w", Tensor::randn(&mut rng, &[2, 1, 3, 3], 0.5));
+    check_op(&w, || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.param(&w);
+        let y = g.conv2d(xv, wv, None, spec);
+        let y = g.mul(y, y);
+        let l = g.sum_all(y);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_maxpool2d_routes_to_argmax() {
+    // Distinct values so the argmax is stable under the probe perturbation.
+    let p = Param::new(
+        "x",
+        Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]),
+    );
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let xv = g.param(&p);
+        let y = g.maxpool2d(xv, Pool2dSpec { kernel: 2, stride: 2 });
+        let y = g.mul(y, y);
+        let l = g.sum_all(y);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_nll_loss() {
+    let mut rng = SmallRng::seed_from_u64(15);
+    let p = Param::new("logits", Tensor::randn(&mut rng, &[4, 3], 1.0));
+    let targets = vec![0usize, 2, 1, 2];
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let lp = g.log_softmax_last(pv);
+        let l = g.nll_loss(lp, &targets);
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_ce_soft() {
+    let mut rng = SmallRng::seed_from_u64(16);
+    let p = Param::new("logits", Tensor::randn(&mut rng, &[3, 4], 1.0));
+    let teacher = Tensor::randn(&mut rng, &[3, 4], 1.0).softmax_last();
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let lp = g.log_softmax_last(pv);
+        let l = g.ce_soft(lp, teacher.clone());
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_kl_div() {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let p = Param::new("logits", Tensor::randn(&mut rng, &[3, 4], 1.0));
+    let teacher = Tensor::randn(&mut rng, &[3, 4], 1.0).softmax_last();
+    check_op(&p, || {
+        let mut g = Graph::new();
+        let pv = g.param(&p);
+        let lq = g.log_softmax_last(pv);
+        let l = g.kl_div(lq, teacher.clone());
+        g.backward(l);
+        g.value(l).item()
+    });
+}
+
+#[test]
+fn grad_mse_both_sides() {
+    let mut rng = SmallRng::seed_from_u64(18);
+    let a = Param::new("a", Tensor::randn(&mut rng, &[2, 3], 1.0));
+    let b = Param::new("b", Tensor::randn(&mut rng, &[2, 3], 1.0));
+    let run = || {
+        let mut g = Graph::new();
+        let av = g.param(&a);
+        let bv = g.param(&b);
+        let l = g.mse(av, bv);
+        g.backward(l);
+        g.value(l).item()
+    };
+    check_op(&a, run);
+    b.zero_grad();
+    check_op(&b, run);
+}
+
+#[test]
+fn grad_reused_node_accumulates() {
+    // y = p * p uses `p` twice; grad must be 2p.
+    let p = Param::new("p", Tensor::from_vec(vec![3.0, -2.0], &[2]));
+    p.zero_grad();
+    let mut g = Graph::new();
+    let pv = g.param(&p);
+    let y = g.mul(pv, pv);
+    let l = g.sum_all(y);
+    g.backward(l);
+    cdcl_tensor::assert_close(p.grad().data(), &[6.0, -4.0], 1e-5);
+}
+
+#[test]
+fn grad_frozen_param_stays_zero() {
+    let p = Param::new("p", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+    p.set_trainable(false);
+    let mut g = Graph::new();
+    let pv = g.param(&p);
+    let y = g.mul(pv, pv);
+    let l = g.sum_all(y);
+    g.backward(l);
+    assert_eq!(p.grad().data(), &[0.0, 0.0]);
+}
+
+#[test]
+fn deep_composite_graph_gradcheck() {
+    // A miniature of the real model: conv → relu → pool → flatten → linear →
+    // layernorm → log-softmax → nll.
+    let mut rng = SmallRng::seed_from_u64(19);
+    let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    let x = Tensor::randn(&mut rng, &[2, 1, 4, 4], 1.0);
+    let wc = Param::new("wc", Tensor::randn(&mut rng, &[2, 1, 3, 3], 0.5));
+    let wl = Param::new("wl", Tensor::randn(&mut rng, &[8, 3], 0.5));
+    let gamma = Param::new("gamma", Tensor::ones(&[3]));
+    let beta = Param::new("beta", Tensor::zeros(&[3]));
+    let targets = vec![0usize, 2];
+    let run = || {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wcv = g.param(&wc);
+        let c = g.conv2d(xv, wcv, None, spec);
+        let c = g.relu(c);
+        let c = g.maxpool2d(c, Pool2dSpec { kernel: 2, stride: 2 });
+        let c = g.reshape(c, &[2, 8]);
+        let wlv = g.param(&wl);
+        let h = g.matmul(c, wlv);
+        let gv = g.param(&gamma);
+        let bv = g.param(&beta);
+        let h = g.layer_norm(h, gv, bv, 1e-5);
+        let lp = g.log_softmax_last(h);
+        let l = g.nll_loss(lp, &targets);
+        g.backward(l);
+        g.value(l).item()
+    };
+    check_op(&wc, run);
+    wl.zero_grad();
+    check_op(&wl, run);
+    gamma.zero_grad();
+    check_op(&gamma, run);
+}

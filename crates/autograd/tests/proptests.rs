@@ -1,0 +1,129 @@
+//! Property-based tests of the autodiff engine: algebraic identities that
+//! must hold for *any* input, complementing the pointwise finite-difference
+//! checks in `gradcheck.rs`.
+
+use cdcl_autograd::{Graph, Param};
+use cdcl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+/// Runs `build` on a fresh graph and returns the gradient it produces on
+/// `p` (zeroing first).
+fn grad_of(p: &Param, build: impl Fn(&mut Graph, cdcl_autograd::Var) -> cdcl_autograd::Var) -> Tensor {
+    p.zero_grad();
+    let mut g = Graph::new();
+    let pv = g.param(p);
+    let loss = build(&mut g, pv);
+    g.backward(loss);
+    p.grad()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// d(sum(x))/dx == 1 everywhere.
+    #[test]
+    fn grad_of_sum_is_ones(t in small_matrix()) {
+        let p = Param::new("p", t.clone());
+        let grad = grad_of(&p, |g, pv| g.sum_all(pv));
+        let ones = Tensor::ones(t.shape());
+        prop_assert_eq!(grad.data(), ones.data());
+    }
+
+    /// Gradients are linear in the loss: backward of (a·L) gives a·∇L.
+    #[test]
+    fn grad_scales_with_loss(t in small_matrix(), a in 0.5f32..4.0) {
+        let p = Param::new("p", t);
+        let g1 = grad_of(&p, |g, pv| {
+            let y = g.mul(pv, pv);
+            g.sum_all(y)
+        });
+        let g2 = grad_of(&p, move |g, pv| {
+            let y = g.mul(pv, pv);
+            let s = g.sum_all(y);
+            g.scale(s, a)
+        });
+        for (x, y) in g1.data().iter().zip(g2.data().iter()) {
+            prop_assert!((a * x - y).abs() < 1e-3 * (1.0 + y.abs()), "{} vs {}", a * x, y);
+        }
+    }
+
+    /// Backward of a sum of losses equals the sum of separate backwards.
+    #[test]
+    fn grad_of_sum_of_losses_accumulates(t in small_matrix()) {
+        let p = Param::new("p", t);
+        let combined = grad_of(&p, |g, pv| {
+            let sq = g.mul(pv, pv);
+            let l1 = g.sum_all(sq);
+            let l2 = g.sum_all(pv);
+            g.add(l1, l2)
+        });
+        let part1 = grad_of(&p, |g, pv| {
+            let sq = g.mul(pv, pv);
+            g.sum_all(sq)
+        });
+        let part2 = grad_of(&p, |g, pv| g.sum_all(pv));
+        for ((c, a), b) in combined.data().iter().zip(part1.data()).zip(part2.data()) {
+            prop_assert!((c - (a + b)).abs() < 1e-4);
+        }
+    }
+
+    /// Constants (inputs) block gradient flow: a loss that only touches an
+    /// input leaves the parameter untouched.
+    #[test]
+    fn inputs_block_gradients(t in small_matrix()) {
+        let p = Param::new("p", t.clone());
+        p.zero_grad();
+        let mut g = Graph::new();
+        let _pv = g.param(&p);
+        let x = g.input(t);
+        let y = g.mul(x, x);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        prop_assert_eq!(p.grad().sq_norm(), 0.0);
+    }
+
+    /// Softmax gradient rows are orthogonal to the all-ones vector (softmax
+    /// outputs sum to a constant, so uniform upstream gradients vanish).
+    #[test]
+    fn softmax_grad_vanishes_for_uniform_upstream(t in small_matrix()) {
+        let p = Param::new("p", t);
+        let grad = grad_of(&p, |g, pv| {
+            let s = g.softmax_last(pv);
+            g.sum_all(s) // uniform upstream gradient of 1 on every element
+        });
+        prop_assert!(grad.sq_norm() < 1e-8, "norm {}", grad.sq_norm());
+    }
+
+    /// log-softmax + NLL equals the classic cross-entropy gradient
+    /// (softmax(p) - onehot) / batch.
+    #[test]
+    fn nll_gradient_is_softmax_minus_onehot(
+        rows in 1usize..4,
+        cols in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = Tensor::randn(&mut rng, &[rows, cols], 1.0);
+        let targets: Vec<usize> = (0..rows).map(|i| i % cols).collect();
+        let p = Param::new("logits", t.clone());
+        let grad = grad_of(&p, |g, pv| {
+            let lp = g.log_softmax_last(pv);
+            g.nll_loss(lp, &targets)
+        });
+        let soft = t.softmax_last();
+        let onehot = Tensor::one_hot(&targets, cols);
+        let expected = soft.sub(&onehot).scale(1.0 / rows as f32);
+        for (a, b) in grad.data().iter().zip(expected.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! CDTrans-S/B (Xu et al., 2021): the state-of-the-art *static* UDA
+//! cross-attention transformer, dropped unchanged into the continual
+//! protocol. It has the full UDA machinery — source warm-up, center-aware
+//! pseudo-labels, and source↔target cross-attention — but **no**
+//! task-specific parameters and **no** rehearsal: every new task fine-tunes
+//! the same weights, so the feature alignment of earlier tasks is destroyed
+//! (the feature-alignment catastrophic forgetting the paper demonstrates in
+//! Tables I–III, where CDTrans collapses despite being the strongest static
+//! method).
+
+use cdcl_autograd::{Graph, Var};
+use cdcl_core::protocol::ContinualLearner;
+use cdcl_core::pseudo::{build_pairs, nearest_centroid_labels, weighted_centroids, Pair};
+use cdcl_core::CdclModel;
+use cdcl_data::{stack, Batcher, Sample, TaskData};
+use cdcl_nn::Module;
+use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::shared::{eval_cil_model, eval_til_model, stack_batch, EVAL_CHUNK};
+use crate::BaselineConfig;
+
+/// Model size: the paper compares a Small and a Base CDTrans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdTransSize {
+    /// Shallower encoder.
+    Small,
+    /// Deeper encoder.
+    Base,
+}
+
+/// The CDTrans learner.
+pub struct CdTransTrainer {
+    size: CdTransSize,
+    config: BaselineConfig,
+    model: CdclModel,
+    optimizer: AdamW,
+    rng: SmallRng,
+}
+
+impl CdTransTrainer {
+    /// Builds a CDTrans learner of the given size.
+    pub fn new(size: CdTransSize, config: BaselineConfig) -> Self {
+        let mut config = config.normalized();
+        if size == CdTransSize::Base {
+            config.backbone.depth += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let model = CdclModel::new(&mut rng, config.backbone);
+        let optimizer = AdamW::new(model.params());
+        Self {
+            size,
+            config,
+            model,
+            optimizer,
+            rng,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CdclModel {
+        &self.model
+    }
+
+    fn extract_features(&self, samples: &[Sample], task: usize) -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = stack_batch(samples, chunk);
+            parts.push(self.model.extract_features(&imgs, task));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    }
+
+    fn til_probabilities(&self, samples: &[Sample], task: usize) -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = stack_batch(samples, chunk);
+            parts.push(self.model.predict_til(&imgs, task));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    }
+
+    fn refresh_pairs(&self, task: &TaskData) -> Vec<Pair> {
+        let t = task.task_id;
+        let src_feats = self.extract_features(&task.source_train, t);
+        let src_labels: Vec<usize> = task.source_train.iter().map(|s| s.label).collect();
+        let tgt_feats = self.extract_features(&task.target_train, t);
+        let tgt_probs = self.til_probabilities(&task.target_train, t);
+        let centroids = weighted_centroids(&tgt_probs, &tgt_feats);
+        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+        let hard = Tensor::one_hot(&pseudo, centroids.shape()[0]);
+        let centroids = weighted_centroids(&hard, &tgt_feats);
+        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+        let pairs = build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo);
+        if !pairs.is_empty() {
+            return pairs;
+        }
+        (0..task.target_train.len().min(task.source_train.len()))
+            .map(|i| Pair {
+                source: i,
+                target: i,
+                label: task.source_train[i].label,
+            })
+            .collect()
+    }
+
+    fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32) {
+        let t = task.task_id;
+        let (imgs, labels) = stack_batch(&task.source_train, idx);
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+        let mut g = Graph::new();
+        let x = g.input(imgs);
+        let z = self.model.features_self(&mut g, x, t);
+        let til = self.model.til_logits(&mut g, z, t);
+        let cil = self.model.cil_logits(&mut g, z);
+        let lp_til = g.log_softmax_last(til);
+        let lp_cil = g.log_softmax_last(cil);
+        let l1 = g.nll_loss(lp_til, &labels);
+        let l2 = g.nll_loss(lp_cil, &globals);
+        let loss = g.add(l1, l2);
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+
+    fn adaptation_step(&mut self, task: &TaskData, pairs: &[Pair], lr: f32) {
+        let t = task.task_id;
+        let src_refs: Vec<&Sample> = pairs.iter().map(|p| &task.source_train[p.source]).collect();
+        let tgt_refs: Vec<&Sample> = pairs.iter().map(|p| &task.target_train[p.target]).collect();
+        let (src_imgs, _) = stack(&src_refs);
+        let (tgt_imgs, _) = stack(&tgt_refs);
+        let labels: Vec<usize> = pairs.iter().map(|p| p.label).collect();
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+        let mut g = Graph::new();
+        let xs = g.input(src_imgs);
+        let xt = g.input(tgt_imgs);
+        let zs = self.model.features_self(&mut g, xs, t);
+        let zt = self.model.features_self(&mut g, xt, t);
+        let zm = self.model.features_cross(&mut g, xs, xt, t);
+
+        // CDTrans's three-branch objective: source CE, target pseudo-CE,
+        // and mixed-branch distillation toward the target branch.
+        let triple = |g: &mut Graph, til: bool, labels: &[usize]| -> Var {
+            let (ls, lt, lm) = if til {
+                (
+                    self.model.til_logits(g, zs, t),
+                    self.model.til_logits(g, zt, t),
+                    self.model.til_logits(g, zm, t),
+                )
+            } else {
+                (
+                    self.model.cil_logits(g, zs),
+                    self.model.cil_logits(g, zt),
+                    self.model.cil_logits(g, zm),
+                )
+            };
+            let lp_s = g.log_softmax_last(ls);
+            let lp_t = g.log_softmax_last(lt);
+            let lp_m = g.log_softmax_last(lm);
+            let l1 = g.nll_loss(lp_s, labels);
+            let l2 = g.nll_loss(lp_t, labels);
+            let teacher = g.value(lm).softmax_last();
+            let l3 = g.ce_soft(lp_t, teacher);
+            let teacher_t = g.value(lt).softmax_last();
+            let l4 = g.ce_soft(lp_m, teacher_t);
+            let l3 = g.scale(l3, 0.5);
+            let l4 = g.scale(l4, 0.5);
+            let a = g.add(l1, l2);
+            let b = g.add(l3, l4);
+            g.add(a, b)
+        };
+        let l_til = triple(&mut g, true, &labels);
+        let l_cil = triple(&mut g, false, &globals);
+        let loss = g.add(l_til, l_cil);
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+}
+
+impl ContinualLearner for CdTransTrainer {
+    fn name(&self) -> String {
+        match self.size {
+            CdTransSize::Small => "CDTrans-S".into(),
+            CdTransSize::Base => "CDTrans-B".into(),
+        }
+    }
+
+    fn learn_task(&mut self, task: &TaskData) {
+        self.model.add_task(&mut self.rng, task.num_classes());
+        self.optimizer.rebind(self.model.params());
+        let schedule = WarmupCosine {
+            warmup_lr: self.config.peak_lr * 0.5,
+            peak_lr: self.config.peak_lr,
+            min_lr: self.config.min_lr,
+            warmup_epochs: self.config.warmup_epochs,
+            total_epochs: self.config.epochs,
+        };
+        let mut src_batcher = Batcher::new(
+            task.source_train.len(),
+            self.config.batch_size,
+            self.config.seed ^ ((task.task_id as u64) << 12),
+        );
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr(epoch);
+            if epoch < self.config.warmup_epochs {
+                for batch in src_batcher.epoch() {
+                    self.warmup_step(task, &batch, lr);
+                }
+            } else {
+                let pairs = self.refresh_pairs(task);
+                let mut pair_batcher = Batcher::new(
+                    pairs.len(),
+                    self.config.batch_size,
+                    self.config.seed ^ ((task.task_id as u64) << 12 | epoch as u64),
+                );
+                for batch in pair_batcher.epoch() {
+                    let subset: Vec<Pair> = batch.iter().map(|&i| pairs[i]).collect();
+                    self.adaptation_step(task, &subset, lr);
+                }
+            }
+        }
+    }
+
+    fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_til_model(&self.model, task_id, test)
+    }
+
+    fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_cil_model(&self.model, task_id, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_differ_in_depth_and_name() {
+        let s = CdTransTrainer::new(CdTransSize::Small, BaselineConfig::smoke());
+        let b = CdTransTrainer::new(CdTransSize::Base, BaselineConfig::smoke());
+        assert_eq!(s.name(), "CDTrans-S");
+        assert_eq!(b.name(), "CDTrans-B");
+        assert!(b.model().backbone().num_parameters() > s.model().backbone().num_parameters());
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared baseline hyper-parameters.
+
+use cdcl_nn::{AttentionMode, BackboneConfig};
+
+/// Training configuration shared by all baselines. Baselines use *simple*
+/// attention (one shared key projection — they have no task-specific
+/// parameters) and the same epoch / memory budgets as CDCL so comparisons
+/// are fair, mirroring the paper's setup (125 epochs and 1000 memory slots
+/// for every method; scaled down here identically for everyone).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Backbone architecture (attention forced to `Simple`).
+    pub backbone: BackboneConfig,
+    /// Epochs per task.
+    pub epochs: usize,
+    /// Warm-up epochs (UDA baselines only).
+    pub warmup_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Memory capacity in records.
+    pub memory_size: usize,
+    /// Replay mini-batch size.
+    pub replay_batch: usize,
+    /// Peak learning rate.
+    pub peak_lr: f32,
+    /// Minimum learning rate.
+    pub min_lr: f32,
+    /// Logit-replay weight (DER's alpha).
+    pub alpha: f32,
+    /// Replayed-label CE weight (DER++'s beta; HAL/MLS reuse it).
+    pub beta: f32,
+    /// Anchor/alignment regularizer weight (HAL's lambda, MLS's alignment).
+    pub lambda: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        let backbone = BackboneConfig {
+            attention: AttentionMode::Simple,
+            ..BackboneConfig::default()
+        };
+        Self {
+            backbone,
+            epochs: 10,
+            warmup_epochs: 3,
+            batch_size: 16,
+            memory_size: 32,
+            replay_batch: 16,
+            peak_lr: 3e-3,
+            min_lr: 1e-4,
+            alpha: 0.5,
+            beta: 0.5,
+            lambda: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Fast configuration for tests.
+    pub fn smoke() -> Self {
+        Self {
+            epochs: 10,
+            warmup_epochs: 3,
+            memory_size: 60,
+            ..Self::default()
+        }
+    }
+
+    /// Forces the attention mode to `Simple` (baselines own no task keys).
+    pub fn normalized(mut self) -> Self {
+        self.backbone.attention = AttentionMode::Simple;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_simple_attention() {
+        assert_eq!(
+            BaselineConfig::default().backbone.attention,
+            AttentionMode::Simple
+        );
+    }
+
+    #[test]
+    fn normalized_overrides_task_keyed() {
+        let mut c = BaselineConfig::default();
+        c.backbone.attention = AttentionMode::TaskKeyed;
+        assert_eq!(c.normalized().backbone.attention, AttentionMode::Simple);
+    }
+}

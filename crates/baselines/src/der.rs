@@ -1,0 +1,250 @@
+//! DER and DER++ (Buzzega et al., NeurIPS 2020): dark-experience replay.
+//!
+//! A reservoir memory stores `(x, y, logits)` triples; while learning new
+//! tasks the current network is pulled toward its *past* logits on replayed
+//! samples (MSE), and DER++ additionally replays the ground-truth labels.
+//! As single-domain methods they train on the labelled source only — any
+//! target-domain accuracy is incidental transfer, which is exactly how they
+//! behave in the paper's tables (strong on MNIST↔USPS, collapsed on
+//! Office-31).
+
+use cdcl_core::protocol::ContinualLearner;
+use cdcl_core::CdclModel;
+use cdcl_data::{Batcher, Sample, TaskData};
+use cdcl_nn::Module;
+use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shared::{
+    eval_cil_model, eval_til_model, narrow_logits, stack_batch, stack_images, EVAL_CHUNK,
+};
+use crate::BaselineConfig;
+
+/// DER (logit replay only) vs DER++ (logit + label replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerVariant {
+    /// Logit replay only.
+    Der,
+    /// Logit + label replay.
+    DerPlusPlus,
+}
+
+/// One reservoir record.
+struct DerRecord {
+    image: Tensor,
+    global_label: usize,
+    /// Raw CIL logits at storage time.
+    logits: Vec<f32>,
+}
+
+/// The DER/DER++ learner.
+pub struct DerTrainer {
+    variant: DerVariant,
+    config: BaselineConfig,
+    model: CdclModel,
+    optimizer: AdamW,
+    memory: Vec<DerRecord>,
+    /// Total samples offered to the reservoir so far.
+    seen: usize,
+    rng: SmallRng,
+}
+
+impl DerTrainer {
+    /// Builds a DER or DER++ learner.
+    pub fn new(variant: DerVariant, config: BaselineConfig) -> Self {
+        let config = config.normalized();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let model = CdclModel::new(&mut rng, config.backbone);
+        let optimizer = AdamW::new(model.params());
+        Self {
+            variant,
+            config,
+            model,
+            optimizer,
+            memory: Vec::new(),
+            seen: 0,
+            rng,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CdclModel {
+        &self.model
+    }
+
+    /// Records currently in the reservoir.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    fn train_step(&mut self, task: &TaskData, idx: &[usize], lr: f32) {
+        let t = task.task_id;
+        let (imgs, labels) = stack_batch(&task.source_train, idx);
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+        let mut g = cdcl_autograd::Graph::new();
+        let x = g.input(imgs);
+        let z = self.model.features_self(&mut g, x, t);
+        let til = self.model.til_logits(&mut g, z, t);
+        let cil = self.model.cil_logits(&mut g, z);
+        let lp_til = g.log_softmax_last(til);
+        let lp_cil = g.log_softmax_last(cil);
+        let l_til = g.nll_loss(lp_til, &labels);
+        let l_cil = g.nll_loss(lp_cil, &globals);
+        let mut loss = g.add(l_til, l_cil);
+
+        // Replay: a random memory batch, grouped by stored logit width
+        // (records from earlier tasks were stored before the head grew).
+        if !self.memory.is_empty() && self.config.replay_batch > 0 {
+            let total = self.model.total_classes();
+            let picks: Vec<usize> = (0..self.config.replay_batch.min(self.memory.len()))
+                .map(|_| self.rng.random_range(0..self.memory.len()))
+                .collect();
+            let mut widths: Vec<usize> = picks.iter().map(|&i| self.memory[i].logits.len()).collect();
+            widths.sort_unstable();
+            widths.dedup();
+            for width in widths {
+                let group: Vec<usize> = picks
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.memory[i].logits.len() == width)
+                    .collect();
+                let imgs: Vec<&Tensor> = group.iter().map(|&i| &self.memory[i].image).collect();
+                let batch = stack_images(&imgs);
+                let stored: Vec<f32> = group
+                    .iter()
+                    .flat_map(|&i| self.memory[i].logits.iter().copied())
+                    .collect();
+                let stored = Tensor::from_vec(stored, &[group.len(), width]);
+                let xr = g.input(batch);
+                let zr = self.model.features_self(&mut g, xr, t);
+                let cil_r = self.model.cil_logits(&mut g, zr);
+                let narrowed = narrow_logits(&mut g, cil_r, total, width);
+                let stored_v = g.input(stored);
+                let l_logit = g.mse(narrowed, stored_v);
+                let l_logit = g.scale(l_logit, self.config.alpha);
+                loss = g.add(loss, l_logit);
+                if self.variant == DerVariant::DerPlusPlus {
+                    let labels_r: Vec<usize> =
+                        group.iter().map(|&i| self.memory[i].global_label).collect();
+                    let lp = g.log_softmax_last(cil_r);
+                    let l_ce = g.nll_loss(lp, &labels_r);
+                    let l_ce = g.scale(l_ce, self.config.beta);
+                    loss = g.add(loss, l_ce);
+                }
+            }
+        }
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+
+    /// Reservoir-samples the task's source data into memory, storing the
+    /// model's current logits (dark knowledge).
+    fn update_memory(&mut self, task: &TaskData) {
+        let t = task.task_id;
+        for chunk in (0..task.source_train.len())
+            .collect::<Vec<_>>()
+            .chunks(EVAL_CHUNK)
+        {
+            let (imgs, labels) = stack_batch(&task.source_train, chunk);
+            let probs = self.model.predict_cil(&imgs);
+            // predict_cil returns probabilities; DER stores raw responses —
+            // log-probabilities serve the same role up to the softmax
+            // temperature and stay finite.
+            let total = probs.shape()[1];
+            for (i, &local) in labels.iter().enumerate() {
+                let logits: Vec<f32> = probs.data()[i * total..(i + 1) * total]
+                    .iter()
+                    .map(|p| p.max(1e-7).ln())
+                    .collect();
+                let record = DerRecord {
+                    image: task.source_train[chunk[i]].image.clone(),
+                    global_label: self.model.class_offset(t) + local,
+                    logits,
+                };
+                if self.memory.len() < self.config.memory_size {
+                    self.memory.push(record);
+                } else if self.config.memory_size > 0 {
+                    let j = self.rng.random_range(0..=self.seen);
+                    if j < self.config.memory_size {
+                        self.memory[j] = record;
+                    }
+                }
+                self.seen += 1;
+            }
+        }
+    }
+}
+
+impl ContinualLearner for DerTrainer {
+    fn name(&self) -> String {
+        match self.variant {
+            DerVariant::Der => "DER".into(),
+            DerVariant::DerPlusPlus => "DER++".into(),
+        }
+    }
+
+    fn learn_task(&mut self, task: &TaskData) {
+        self.model.add_task(&mut self.rng, task.num_classes());
+        self.optimizer.rebind(self.model.params());
+        let schedule = WarmupCosine {
+            warmup_lr: self.config.peak_lr,
+            peak_lr: self.config.peak_lr,
+            min_lr: self.config.min_lr,
+            warmup_epochs: 0,
+            total_epochs: self.config.epochs,
+        };
+        let mut batcher = Batcher::new(
+            task.source_train.len(),
+            self.config.batch_size,
+            self.config.seed ^ ((task.task_id as u64) << 20),
+        );
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr(epoch);
+            for batch in batcher.epoch() {
+                self.train_step(task, &batch, lr);
+            }
+        }
+        self.update_memory(task);
+    }
+
+    fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_til_model(&self.model, task_id, test)
+    }
+
+    fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_cil_model(&self.model, task_id, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_variants() {
+        let c = BaselineConfig::smoke();
+        assert_eq!(DerTrainer::new(DerVariant::Der, c).name(), "DER");
+        assert_eq!(DerTrainer::new(DerVariant::DerPlusPlus, c).name(), "DER++");
+    }
+
+    #[test]
+    fn memory_respects_capacity() {
+        let mut c = BaselineConfig::smoke();
+        c.memory_size = 10;
+        c.epochs = 1;
+        let mut t = DerTrainer::new(DerVariant::Der, c);
+        let stream = cdcl_data::mnist_usps(
+            cdcl_data::MnistUspsDirection::MnistToUsps,
+            cdcl_data::Scale::Smoke,
+        );
+        t.learn_task(&stream.tasks[0]);
+        assert!(t.memory_len() <= 10);
+        assert!(t.memory_len() > 0);
+    }
+}

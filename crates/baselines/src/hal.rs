@@ -1,0 +1,213 @@
+//! HAL — Hindsight Anchor Learning (Chaudhry et al., 2020), simplified to
+//! its two active ingredients: experience replay with label CE, plus
+//! per-class *anchor points* whose embeddings are pinned to their values at
+//! the end of the task that created them, reducing forgetting of key data
+//! points.
+
+use cdcl_core::protocol::ContinualLearner;
+use cdcl_core::CdclModel;
+use cdcl_data::{Batcher, Sample, TaskData};
+use cdcl_nn::Module;
+use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shared::{eval_cil_model, eval_til_model, stack_batch, stack_images};
+use crate::BaselineConfig;
+
+/// A replay record (image + global label).
+struct ReplayRecord {
+    image: Tensor,
+    global_label: usize,
+}
+
+/// An anchor: an image plus its embedding snapshot.
+struct Anchor {
+    image: Tensor,
+    embedding: Tensor,
+}
+
+/// The HAL learner.
+pub struct HalTrainer {
+    config: BaselineConfig,
+    model: CdclModel,
+    optimizer: AdamW,
+    memory: Vec<ReplayRecord>,
+    anchors: Vec<Anchor>,
+    seen: usize,
+    rng: SmallRng,
+}
+
+impl HalTrainer {
+    /// Builds a HAL learner.
+    pub fn new(config: BaselineConfig) -> Self {
+        let config = config.normalized();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let model = CdclModel::new(&mut rng, config.backbone);
+        let optimizer = AdamW::new(model.params());
+        Self {
+            config,
+            model,
+            optimizer,
+            memory: Vec::new(),
+            anchors: Vec::new(),
+            seen: 0,
+            rng,
+        }
+    }
+
+    /// Number of stored anchors.
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    fn train_step(&mut self, task: &TaskData, idx: &[usize], lr: f32) {
+        let t = task.task_id;
+        let (imgs, labels) = stack_batch(&task.source_train, idx);
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+        let mut g = cdcl_autograd::Graph::new();
+        let x = g.input(imgs);
+        let z = self.model.features_self(&mut g, x, t);
+        let til = self.model.til_logits(&mut g, z, t);
+        let cil = self.model.cil_logits(&mut g, z);
+        let lp_til = g.log_softmax_last(til);
+        let lp_cil = g.log_softmax_last(cil);
+        let l_til = g.nll_loss(lp_til, &labels);
+        let l_cil = g.nll_loss(lp_cil, &globals);
+        let mut loss = g.add(l_til, l_cil);
+
+        // Replay CE on stored labels.
+        if !self.memory.is_empty() && self.config.replay_batch > 0 {
+            let picks: Vec<usize> = (0..self.config.replay_batch.min(self.memory.len()))
+                .map(|_| self.rng.random_range(0..self.memory.len()))
+                .collect();
+            let imgs: Vec<&Tensor> = picks.iter().map(|&i| &self.memory[i].image).collect();
+            let labels_r: Vec<usize> = picks.iter().map(|&i| self.memory[i].global_label).collect();
+            let xr = g.input(stack_images(&imgs));
+            let zr = self.model.features_self(&mut g, xr, t);
+            let cil_r = self.model.cil_logits(&mut g, zr);
+            let lp = g.log_softmax_last(cil_r);
+            let l_ce = g.nll_loss(lp, &labels_r);
+            let l_ce = g.scale(l_ce, self.config.beta);
+            loss = g.add(loss, l_ce);
+        }
+
+        // Anchor penalty: keep anchor embeddings where they were.
+        if !self.anchors.is_empty() {
+            let imgs: Vec<&Tensor> = self.anchors.iter().map(|a| &a.image).collect();
+            let snapshots: Vec<&Tensor> = self.anchors.iter().map(|a| &a.embedding).collect();
+            let xa = g.input(stack_images(&imgs));
+            let za = self.model.features_self(&mut g, xa, t);
+            let snap = {
+                let mut data = Vec::new();
+                for s in &snapshots {
+                    data.extend_from_slice(s.data());
+                }
+                Tensor::from_vec(data, &[snapshots.len(), snapshots[0].len()])
+            };
+            let snap_v = g.input(snap);
+            let l_anchor = g.mse(za, snap_v);
+            let l_anchor = g.scale(l_anchor, self.config.lambda);
+            loss = g.add(loss, l_anchor);
+        }
+
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+
+    fn finish_task(&mut self, task: &TaskData) {
+        let t = task.task_id;
+        // Reservoir replay memory.
+        for s in &task.source_train {
+            let record = ReplayRecord {
+                image: s.image.clone(),
+                global_label: self.model.class_offset(t) + s.label,
+            };
+            if self.memory.len() < self.config.memory_size {
+                self.memory.push(record);
+            } else if self.config.memory_size > 0 {
+                let j = self.rng.random_range(0..=self.seen);
+                if j < self.config.memory_size {
+                    self.memory[j] = record;
+                }
+            }
+            self.seen += 1;
+        }
+        // One anchor per class: the first sample of each class, with its
+        // end-of-task embedding snapshot.
+        for class in 0..task.num_classes() {
+            if let Some(s) = task.source_train.iter().find(|s| s.label == class) {
+                let imgs = stack_images(&[&s.image]);
+                let emb = self.model.extract_features(&imgs, t).row(0);
+                self.anchors.push(Anchor {
+                    image: s.image.clone(),
+                    embedding: emb,
+                });
+            }
+        }
+    }
+}
+
+impl ContinualLearner for HalTrainer {
+    fn name(&self) -> String {
+        "HAL".into()
+    }
+
+    fn learn_task(&mut self, task: &TaskData) {
+        self.model.add_task(&mut self.rng, task.num_classes());
+        self.optimizer.rebind(self.model.params());
+        let schedule = WarmupCosine {
+            warmup_lr: self.config.peak_lr,
+            peak_lr: self.config.peak_lr,
+            min_lr: self.config.min_lr,
+            warmup_epochs: 0,
+            total_epochs: self.config.epochs,
+        };
+        let mut batcher = Batcher::new(
+            task.source_train.len(),
+            self.config.batch_size,
+            self.config.seed ^ ((task.task_id as u64) << 24),
+        );
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr(epoch);
+            for batch in batcher.epoch() {
+                self.train_step(task, &batch, lr);
+            }
+        }
+        self.finish_task(task);
+    }
+
+    fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_til_model(&self.model, task_id, test)
+    }
+
+    fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
+        eval_cil_model(&self.model, task_id, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_accumulate_per_task() {
+        let mut c = BaselineConfig::smoke();
+        c.epochs = 1;
+        let mut t = HalTrainer::new(c);
+        let stream = cdcl_data::mnist_usps(
+            cdcl_data::MnistUspsDirection::MnistToUsps,
+            cdcl_data::Scale::Smoke,
+        );
+        t.learn_task(&stream.tasks[0]);
+        assert_eq!(t.anchor_count(), 2);
+        t.learn_task(&stream.tasks[1]);
+        assert_eq!(t.anchor_count(), 4);
+        assert_eq!(t.name(), "HAL");
+    }
+}

@@ -1,0 +1,35 @@
+//! Baselines for the CDCL comparison tables (paper §V-B), all built on the
+//! *same* backbone substrate as CDCL so the tables isolate algorithmic
+//! differences:
+//!
+//! * [`DerTrainer`] — DER / DER++ (Buzzega et al.): reservoir memory with
+//!   dark-knowledge logit replay (MSE), plus replayed-label CE for DER++.
+//!   Like all single-domain CL baselines it can only train on the labelled
+//!   source stream; its target accuracy is whatever transfers incidentally.
+//! * [`HalTrainer`] — HAL (Chaudhry et al.): DER++-style replay plus anchor
+//!   points whose embeddings are anchored across updates.
+//! * [`MlsTrainer`] — MLS (Simon et al.): supervised cross-domain continual
+//!   learning — replayed-feature alignment, no unsupervised adaptation.
+//! * [`CdTransTrainer`] — CDTrans-S/B (Xu et al.): a strong *static* UDA
+//!   cross-attention method (pseudo-labels + cross-attention) with no
+//!   task-specific parameters and no rehearsal; sequential fine-tuning makes
+//!   its feature alignment collapse in the continual protocol, as Tables
+//!   I–III of the paper show.
+//! * [`StaticUda`](run_static_uda) — the TVT-style upper bound: the same UDA
+//!   machinery trained *jointly* on all tasks at once (no continual
+//!   constraint), quantifying the catastrophic-forgetting gap.
+
+mod cdtrans;
+mod config;
+mod der;
+mod hal;
+mod mls;
+pub(crate) mod shared;
+mod static_uda;
+
+pub use cdtrans::{CdTransSize, CdTransTrainer};
+pub use config::BaselineConfig;
+pub use der::{DerTrainer, DerVariant};
+pub use hal::HalTrainer;
+pub use mls::MlsTrainer;
+pub use static_uda::{run_static_uda, StaticUdaResult};

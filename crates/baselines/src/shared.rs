@@ -1,0 +1,109 @@
+//! Plumbing shared by the baseline trainers.
+
+use cdcl_autograd::{Graph, Var};
+use cdcl_core::protocol::accuracy_from_predictions;
+use cdcl_core::CdclModel;
+use cdcl_data::{stack, Sample};
+use cdcl_tensor::Tensor;
+
+/// Inference chunk size.
+pub(crate) const EVAL_CHUNK: usize = 32;
+
+/// Stacks the indexed subset of `samples`.
+pub(crate) fn stack_batch(samples: &[Sample], idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let refs: Vec<&Sample> = idx.iter().map(|&i| &samples[i]).collect();
+    stack(&refs)
+}
+
+/// Stacks raw image tensors `[c,h,w]` into a `[b,c,h,w]` batch.
+pub(crate) fn stack_images(images: &[&Tensor]) -> Tensor {
+    assert!(!images.is_empty());
+    let shape = images[0].shape().to_vec();
+    let mut data = Vec::with_capacity(images.len() * images[0].len());
+    for img in images {
+        assert_eq!(img.shape(), &shape[..]);
+        data.extend_from_slice(img.data());
+    }
+    let mut s = vec![images.len()];
+    s.extend_from_slice(&shape);
+    Tensor::from_vec(data, &s)
+}
+
+/// TIL accuracy of a [`CdclModel`]-based learner.
+pub(crate) fn eval_til_model(model: &CdclModel, task_id: usize, test: &[Sample]) -> f64 {
+    let mut predictions = Vec::with_capacity(test.len());
+    for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+        let (imgs, _) = stack_batch(test, chunk);
+        predictions.extend(model.predict_til(&imgs, task_id).argmax_last());
+    }
+    accuracy_from_predictions(&predictions, test)
+}
+
+/// CIL accuracy of a [`CdclModel`]-based learner.
+pub(crate) fn eval_cil_model(model: &CdclModel, task_id: usize, test: &[Sample]) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let offset = model.class_offset(task_id);
+    let mut hits = 0usize;
+    for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+        let (imgs, labels) = stack_batch(test, chunk);
+        let pred = model.predict_cil(&imgs).argmax_last();
+        for (p, l) in pred.iter().zip(labels.iter()) {
+            if *p == offset + l {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / test.len() as f64
+}
+
+/// A `[total, k]` 0/1 selection matrix whose columns pick the first `k`
+/// classes — used to narrow a grown CIL logit vector down to the width a
+/// memory record was stored with (`logits × selector`).
+pub(crate) fn selector_matrix(total: usize, k: usize) -> Tensor {
+    assert!(k <= total, "cannot select {k} of {total} columns");
+    let mut m = Tensor::zeros(&[total, k]);
+    for i in 0..k {
+        m.data_mut()[i * k + i] = 1.0;
+    }
+    m
+}
+
+/// Narrows `logits: [b, total]` to its first `k` columns on the tape.
+pub(crate) fn narrow_logits(g: &mut Graph, logits: Var, total: usize, k: usize) -> Var {
+    if total == k {
+        return logits;
+    }
+    let sel = g.input(selector_matrix(total, k));
+    g.matmul(logits, sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_picks_leading_columns() {
+        let s = selector_matrix(4, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = x.matmul(&s);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn narrow_is_identity_when_widths_match() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let y = narrow_logits(&mut g, x, 2, 2);
+        assert_eq!(g.value(y).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn stack_images_builds_batch() {
+        let a = Tensor::full(&[1, 2, 2], 1.0);
+        let b = Tensor::full(&[1, 2, 2], 2.0);
+        let s = stack_images(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 1, 2, 2]);
+    }
+}

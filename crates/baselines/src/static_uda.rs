@@ -1,0 +1,271 @@
+//! The TVT-style static UDA upper bound (paper Tables I–III, bottom row).
+//!
+//! The same UDA machinery as CDTrans/CDCL — source warm-up, center-aware
+//! pseudo-labels, cross-attention alignment — but trained **jointly on every
+//! task's data at once**, with no continual constraint. The gap between this
+//! row and the continual methods is the catastrophic-forgetting cost the
+//! paper highlights.
+
+use cdcl_autograd::Graph;
+use cdcl_core::pseudo::{build_pairs, nearest_centroid_labels, weighted_centroids, Pair};
+use cdcl_core::CdclModel;
+use cdcl_data::{stack, Batcher, CrossDomainStream, Sample};
+use cdcl_nn::Module;
+use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::shared::EVAL_CHUNK;
+use crate::BaselineConfig;
+
+/// Per-task and average accuracies of the static upper bound.
+#[derive(Debug, Clone)]
+pub struct StaticUdaResult {
+    /// Stream name.
+    pub stream: String,
+    /// Accuracy on each task's target test set, task-restricted logits
+    /// (the TIL-style number reported in the paper's TVT row).
+    pub per_task_til: Vec<f64>,
+    /// Accuracy with unrestricted logits (CIL-style).
+    pub per_task_cil: Vec<f64>,
+}
+
+impl StaticUdaResult {
+    /// Average TIL-style accuracy in percent.
+    pub fn til_acc_pct(&self) -> f64 {
+        100.0 * self.per_task_til.iter().sum::<f64>() / self.per_task_til.len().max(1) as f64
+    }
+
+    /// Average CIL-style accuracy in percent.
+    pub fn cil_acc_pct(&self) -> f64 {
+        100.0 * self.per_task_cil.iter().sum::<f64>() / self.per_task_cil.len().max(1) as f64
+    }
+}
+
+/// Globally-labelled flattened pool of every task's data.
+struct JointPool {
+    source: Vec<Sample>,
+    target: Vec<Sample>,
+    /// Class offset of each original task.
+    offsets: Vec<usize>,
+}
+
+fn flatten(stream: &CrossDomainStream) -> JointPool {
+    let mut source = Vec::new();
+    let mut target = Vec::new();
+    let mut offsets = Vec::with_capacity(stream.tasks.len());
+    let mut offset = 0;
+    for task in &stream.tasks {
+        offsets.push(offset);
+        for s in &task.source_train {
+            source.push(Sample {
+                image: s.image.clone(),
+                label: offset + s.label,
+            });
+        }
+        for s in &task.target_train {
+            target.push(Sample {
+                image: s.image.clone(),
+                label: offset + s.label, // hidden; evaluation only
+            });
+        }
+        offset += task.num_classes();
+    }
+    JointPool {
+        source,
+        target,
+        offsets,
+    }
+}
+
+fn batch_images(samples: &[Sample], idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let refs: Vec<&Sample> = idx.iter().map(|&i| &samples[i]).collect();
+    stack(&refs)
+}
+
+/// Trains the joint UDA model and evaluates it per task.
+pub fn run_static_uda(stream: &CrossDomainStream, config: BaselineConfig) -> StaticUdaResult {
+    let config = config.normalized();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let pool = flatten(stream);
+    let total_classes: usize = stream.tasks.iter().map(|t| t.num_classes()).sum();
+
+    // One "task" holding every class: the static setting.
+    let mut model = CdclModel::new(&mut rng, config.backbone);
+    model.add_task(&mut rng, total_classes);
+    let mut optimizer = AdamW::new(model.params());
+    let schedule = WarmupCosine {
+        warmup_lr: config.peak_lr * 0.5,
+        peak_lr: config.peak_lr,
+        min_lr: config.min_lr,
+        warmup_epochs: config.warmup_epochs,
+        total_epochs: config.epochs,
+    };
+
+    let extract = |model: &CdclModel, samples: &[Sample]| -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = batch_images(samples, chunk);
+            parts.push(model.extract_features(&imgs, 0));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    };
+    let til_probs = |model: &CdclModel, samples: &[Sample]| -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = batch_images(samples, chunk);
+            parts.push(model.predict_til(&imgs, 0));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    };
+
+    let mut src_batcher = Batcher::new(pool.source.len(), config.batch_size, config.seed ^ 0xBEEF);
+    for epoch in 0..config.epochs {
+        let lr = schedule.lr(epoch);
+        if epoch < config.warmup_epochs {
+            for batch in src_batcher.epoch() {
+                let (imgs, labels) = batch_images(&pool.source, &batch);
+                let mut g = Graph::new();
+                let x = g.input(imgs);
+                let z = model.features_self(&mut g, x, 0);
+                let logits = model.til_logits(&mut g, z, 0);
+                let lp = g.log_softmax_last(logits);
+                let loss = g.nll_loss(lp, &labels);
+                optimizer.zero_grad();
+                g.backward(loss);
+                optimizer.step(lr);
+            }
+        } else {
+            let src_feats = extract(&model, &pool.source);
+            let src_labels: Vec<usize> = pool.source.iter().map(|s| s.label).collect();
+            let tgt_feats = extract(&model, &pool.target);
+            let probs = til_probs(&model, &pool.target);
+            let centroids = weighted_centroids(&probs, &tgt_feats);
+            let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+            let hard = Tensor::one_hot(&pseudo, centroids.shape()[0]);
+            let centroids = weighted_centroids(&hard, &tgt_feats);
+            let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+            let pairs = build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo);
+            let pairs = if pairs.is_empty() {
+                (0..pool.target.len().min(pool.source.len()))
+                    .map(|i| Pair {
+                        source: i,
+                        target: i,
+                        label: pool.source[i].label,
+                    })
+                    .collect()
+            } else {
+                pairs
+            };
+            let mut pb = Batcher::new(pairs.len(), config.batch_size, config.seed ^ epoch as u64);
+            for batch in pb.epoch() {
+                let src_refs: Vec<&Sample> =
+                    batch.iter().map(|&i| &pool.source[pairs[i].source]).collect();
+                let tgt_refs: Vec<&Sample> =
+                    batch.iter().map(|&i| &pool.target[pairs[i].target]).collect();
+                let labels: Vec<usize> = batch.iter().map(|&i| pairs[i].label).collect();
+                let (src_imgs, _) = stack(&src_refs);
+                let (tgt_imgs, _) = stack(&tgt_refs);
+                let mut g = Graph::new();
+                let xs = g.input(src_imgs);
+                let xt = g.input(tgt_imgs);
+                let zs = model.features_self(&mut g, xs, 0);
+                let zt = model.features_self(&mut g, xt, 0);
+                let zm = model.features_cross(&mut g, xs, xt, 0);
+                let ls = model.til_logits(&mut g, zs, 0);
+                let lt = model.til_logits(&mut g, zt, 0);
+                let lm = model.til_logits(&mut g, zm, 0);
+                let lp_s = g.log_softmax_last(ls);
+                let lp_t = g.log_softmax_last(lt);
+                let lp_m = g.log_softmax_last(lm);
+                let l1 = g.nll_loss(lp_s, &labels);
+                let l2 = g.nll_loss(lp_t, &labels);
+                let teacher_m = g.value(lm).softmax_last();
+                let teacher_t = g.value(lt).softmax_last();
+                let l3 = g.ce_soft(lp_t, teacher_m);
+                let l4 = g.ce_soft(lp_m, teacher_t);
+                let l3 = g.scale(l3, 0.5);
+                let l4 = g.scale(l4, 0.5);
+                let a = g.add(l1, l2);
+                let b = g.add(l3, l4);
+                let loss = g.add(a, b);
+                optimizer.zero_grad();
+                g.backward(loss);
+                optimizer.step(lr);
+            }
+        }
+    }
+
+    // Per-task evaluation.
+    let mut per_task_til = Vec::with_capacity(stream.tasks.len());
+    let mut per_task_cil = Vec::with_capacity(stream.tasks.len());
+    for (j, task) in stream.tasks.iter().enumerate() {
+        let offset = pool.offsets[j];
+        let u = task.num_classes();
+        let mut til_hits = 0usize;
+        let mut cil_hits = 0usize;
+        for chunk in (0..task.target_test.len())
+            .collect::<Vec<_>>()
+            .chunks(EVAL_CHUNK)
+        {
+            let refs: Vec<&Sample> = chunk.iter().map(|&i| &task.target_test[i]).collect();
+            let (imgs, labels) = stack(&refs);
+            let probs = model.predict_til(&imgs, 0); // [b, total]
+            let total = probs.shape()[1];
+            for (i, &local) in labels.iter().enumerate() {
+                let row = &probs.data()[i * total..(i + 1) * total];
+                // TIL-style: restrict to the task's class block.
+                let block = &row[offset..offset + u];
+                let mut best = 0;
+                for (c, v) in block.iter().enumerate() {
+                    if *v > block[best] {
+                        best = c;
+                    }
+                }
+                if best == local {
+                    til_hits += 1;
+                }
+                // CIL-style: global argmax.
+                let mut gbest = 0;
+                for (c, v) in row.iter().enumerate() {
+                    if *v > row[gbest] {
+                        gbest = c;
+                    }
+                }
+                if gbest == offset + local {
+                    cil_hits += 1;
+                }
+            }
+        }
+        let n = task.target_test.len().max(1) as f64;
+        per_task_til.push(til_hits as f64 / n);
+        per_task_cil.push(cil_hits as f64 / n);
+    }
+    StaticUdaResult {
+        stream: stream.name.clone(),
+        per_task_til,
+        per_task_cil,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+
+    #[test]
+    fn flatten_globalizes_labels() {
+        let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+        let pool = flatten(&stream);
+        assert_eq!(pool.offsets, vec![0, 2, 4, 6, 8]);
+        let max_label = pool.source.iter().map(|s| s.label).max().unwrap();
+        assert_eq!(max_label, 9);
+        assert_eq!(
+            pool.source.len(),
+            stream.tasks.iter().map(|t| t.source_train.len()).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks validating the paper's §IV-D complexity
+//! claim: a CDCL forward pass costs
+//! `O(n·L_c + (d·n² + n·d²)·L_a)` — the tokenizer is linear in the pixel
+//! count and the attention stack is quadratic in the token count `n` and in
+//! the embedding dimension `d`.
+//!
+//! Sweeps hold everything fixed except one of `n` (via input resolution) or
+//! `d`, so the scaling trend is visible directly in the Criterion report.
+
+use std::hint::black_box;
+
+use cdcl_autograd::Graph;
+use cdcl_nn::{AttentionMode, Backbone, BackboneConfig};
+use cdcl_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn backbone(hw: usize, d: usize, depth: usize) -> (Backbone, Tensor) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let config = BackboneConfig {
+        in_channels: 1,
+        in_hw: (hw, hw),
+        embed_dim: d,
+        depth,
+        tokenizer_stages: 2,
+        tokenizer_kernel: 3,
+        mlp_ratio: 2,
+        attention: AttentionMode::TaskKeyed,
+        attn_softmax: true,
+    };
+    let mut b = Backbone::new(&mut rng, config);
+    b.add_task(&mut rng);
+    let img = Tensor::randn(&mut rng, &[1, 1, hw, hw], 1.0);
+    (b, img)
+}
+
+/// Forward cost vs token count `n` (n = (hw/4)²): the attention term is
+/// quadratic in n.
+fn bench_tokens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_vs_tokens");
+    for hw in [8usize, 16, 24, 32] {
+        let (b, img) = backbone(hw, 32, 2);
+        let n = b.token_count();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let x = g.input(img.clone());
+                let z = b.features_self(&mut g, x, 0);
+                black_box(g.value(z).sum())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Forward cost vs embedding dimension `d`: the projection term is
+/// quadratic in d.
+fn bench_embed_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_vs_embed_dim");
+    for d in [16usize, 32, 64, 96] {
+        let (b, img) = backbone(16, d, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let x = g.input(img.clone());
+                let z = b.features_self(&mut g, x, 0);
+                black_box(g.value(z).sum())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Forward cost vs encoder depth `L_a`: linear.
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_vs_depth");
+    for depth in [1usize, 2, 4] {
+        let (b, img) = backbone(16, 32, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |bench, _| {
+            bench.iter(|| {
+                let mut g = Graph::new();
+                let x = g.input(img.clone());
+                let z = b.features_self(&mut g, x, 0);
+                black_box(g.value(z).sum())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cross-attention vs self-attention overhead: the cross path runs two
+/// streams, so it should cost roughly 2–3× the self path, not more.
+fn bench_cross_vs_self(c: &mut Criterion) {
+    let (b, img) = backbone(16, 32, 2);
+    let mut group = c.benchmark_group("cross_vs_self");
+    group.bench_function("self", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(img.clone());
+            let z = b.features_self(&mut g, x, 0);
+            black_box(g.value(z).sum())
+        });
+    });
+    group.bench_function("cross", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let xs = g.input(img.clone());
+            let xt = g.input(img.clone());
+            let z = b.features_cross(&mut g, xs, xt, 0);
+            black_box(g.value(z).sum())
+        });
+    });
+    group.finish();
+}
+
+/// Kernel-level benches: GEMM and conv2d, the two hot loops.
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let a = Tensor::randn(&mut rng, &[64, 64], 1.0);
+    let b = Tensor::randn(&mut rng, &[64, 64], 1.0);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).sum()))
+    });
+    let img = Tensor::randn(&mut rng, &[4, 8, 16, 16], 1.0);
+    let w = Tensor::randn(&mut rng, &[16, 8, 3, 3], 0.5);
+    let spec = cdcl_tensor::Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    c.bench_function("conv2d_16x16x8to16", |bench| {
+        bench.iter(|| black_box(img.conv2d(&w, None, spec).0.sum()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokens, bench_embed_dim, bench_depth, bench_cross_vs_self, bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates **Figure 2**: the evolution of CDCL's per-task target
+//! accuracy on VisDA-2017 as training progresses through the task sequence,
+//! for both the TIL and CIL scenarios, with the mean ± std band over
+//! previously-learned tasks (the paper's shaded region).
+//!
+//! Output: an ASCII series per scenario plus the row mean/std table.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin figure2 -- --scale standard
+//! ```
+
+use cdcl_bench::{maybe_write_json, ExperimentConfig};
+use cdcl_core::{run_stream, CdclTrainer};
+use cdcl_data::visda;
+use cdcl_metrics::RMatrix;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FigureDump {
+    til_series: Vec<cdcl_metrics::AccSeries>,
+    cil_series: Vec<cdcl_metrics::AccSeries>,
+    til_band: Vec<(f64, f64)>,
+    cil_band: Vec<(f64, f64)>,
+}
+
+fn print_scenario(name: &str, r: &RMatrix) {
+    println!("--- {name} ---");
+    for s in r.series() {
+        let pts: Vec<String> = s
+            .accuracies
+            .iter()
+            .map(|a| format!("{:5.1}", a * 100.0))
+            .collect();
+        println!(
+            "task {} accuracy after tasks {}..T: [{}]",
+            s.task,
+            s.task,
+            pts.join(", ")
+        );
+    }
+    println!("mean ± std of learned-task accuracy after each task (the shaded band):");
+    for (i, (mean, std)) in r.row_mean_std().iter().enumerate() {
+        let bar_len = (mean * 40.0).round() as usize;
+        println!(
+            "after task {i}: {:5.1}% ± {:4.1}  |{}|",
+            mean * 100.0,
+            std * 100.0,
+            "#".repeat(bar_len)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let stream = visda(cfg.scale);
+    let start = std::time::Instant::now();
+    let result = run_stream(&mut CdclTrainer::new(cfg.cdcl(&stream)), &stream);
+    eprintln!(
+        "[visda] CDCL TIL {:.1}% CIL {:.1}% ({:.0}s)",
+        result.til_acc_pct(),
+        result.cil_acc_pct(),
+        start.elapsed().as_secs_f64()
+    );
+
+    println!("Figure 2: evolution of CDCL's ACC on VisDA-2017\n");
+    print_scenario("TIL", &result.til);
+    print_scenario("CIL", &result.cil);
+
+    maybe_write_json(
+        &cfg.out,
+        &FigureDump {
+            til_series: result.til.series(),
+            cil_series: result.cil.series(),
+            til_band: result.til.row_mean_std(),
+            cil_band: result.cil.row_mean_std(),
+        },
+    );
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Table I**: TIL and CIL average accuracy (and CDCL's
+//! forgetting) on Office-31 (6 transfer pairs), MNIST↔USPS (2 directions),
+//! and VisDA-2017, plus the TVT static-UDA upper-bound row.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin table1 -- --scale standard
+//! ```
+
+use cdcl_bench::{maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell};
+use cdcl_data::{mnist_usps, office31, visda, CrossDomainStream, MnistUspsDirection, Office31Domain};
+use cdcl_metrics::{format_table, TableRow};
+
+fn streams(cfg: &ExperimentConfig) -> Vec<(&'static str, CrossDomainStream)> {
+    use Office31Domain::*;
+    vec![
+        ("A->D", office31(Amazon, Dslr, cfg.scale)),
+        ("A->W", office31(Amazon, Webcam, cfg.scale)),
+        ("D->A", office31(Dslr, Amazon, cfg.scale)),
+        ("D->W", office31(Dslr, Webcam, cfg.scale)),
+        ("W->A", office31(Webcam, Amazon, cfg.scale)),
+        ("W->D", office31(Webcam, Dslr, cfg.scale)),
+        (
+            "MN->US",
+            mnist_usps(MnistUspsDirection::MnistToUsps, cfg.scale),
+        ),
+        (
+            "US->MN",
+            mnist_usps(MnistUspsDirection::UspsToMnist, cfg.scale),
+        ),
+        ("VisDA", visda(cfg.scale)),
+    ]
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let streams = streams(&cfg);
+    let columns: Vec<&str> = streams.iter().map(|(c, _)| *c).collect();
+
+    let mut cells: Vec<ResultCell> = Vec::new();
+    let mut til_rows: Vec<TableRow> = Vec::new();
+    let mut cil_rows: Vec<TableRow> = Vec::new();
+    let mut ours_til_fgt: Vec<f64> = Vec::new();
+    let mut ours_cil_fgt: Vec<f64> = Vec::new();
+
+    for method in &cfg.methods {
+        let mut til = Vec::new();
+        let mut cil = Vec::new();
+        for (_, stream) in &streams {
+            let r = run_method(*method, stream, &cfg);
+            til.push(r.til_acc_pct());
+            cil.push(r.cil_acc_pct());
+            if *method == Method::Cdcl {
+                ours_til_fgt.push(r.til_fgt_pct());
+                ours_cil_fgt.push(r.cil_fgt_pct());
+            }
+            cells.push(ResultCell::from(&r));
+        }
+        til_rows.push(TableRow::new(method.label(), til));
+        cil_rows.push(TableRow::new(method.label(), cil));
+    }
+    if !ours_til_fgt.is_empty() {
+        til_rows.push(TableRow::new("Ours (FGT)", ours_til_fgt));
+        cil_rows.push(TableRow::new("Ours (FGT)", ours_cil_fgt));
+    }
+
+    // TVT static upper bound (excluded from the best-of comparison).
+    let mut tvt = Vec::new();
+    for (_, stream) in &streams {
+        tvt.push(run_upper_bound(stream, &cfg).til_acc_pct());
+    }
+    til_rows.push(TableRow::new("TVT (Static UDA)", tvt));
+
+    let competing: Vec<usize> = (0..cfg.methods.len()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Table I (TIL): ACC on Office-31, MNIST<->USPS, VisDA-2017",
+            &columns,
+            &til_rows,
+            &competing
+        )
+    );
+    println!(
+        "{}",
+        format_table(
+            "Table I (CIL): ACC on Office-31, MNIST<->USPS, VisDA-2017",
+            &columns,
+            &cil_rows,
+            &competing
+        )
+    );
+    maybe_write_json(&cfg.out, &cells);
+}

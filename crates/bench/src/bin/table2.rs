@@ -1,0 +1,88 @@
+//! Regenerates **Table II**: TIL and CIL average accuracy on the
+//! Office-Home analogue's 12 transfer pairs.
+//!
+//! Office-Home is the heaviest per-pair suite (13 tasks × 12 pairs), so by
+//! default a representative 4-pair subset runs; pass `--full` for all 12
+//! pairs as in the paper.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin table2 -- --scale standard --full
+//! ```
+
+use cdcl_bench::{maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell};
+use cdcl_data::{office_home, OfficeHomeDomain};
+use cdcl_metrics::{format_table, TableRow};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let all_pairs: Vec<(OfficeHomeDomain, OfficeHomeDomain)> = OfficeHomeDomain::ALL
+        .iter()
+        .flat_map(|&s| {
+            OfficeHomeDomain::ALL
+                .iter()
+                .filter(move |&&t| t != s)
+                .map(move |&t| (s, t))
+        })
+        .collect();
+    let pairs: Vec<(OfficeHomeDomain, OfficeHomeDomain)> = if cfg.full {
+        all_pairs
+    } else {
+        use OfficeHomeDomain::*;
+        vec![
+            (Art, Clipart),
+            (Clipart, Product),
+            (Product, RealWorld),
+            (RealWorld, Art),
+        ]
+    };
+
+    let mut columns = Vec::new();
+    let mut streams = Vec::new();
+    for (s, t) in &pairs {
+        columns.push(format!("{}->{}", s.label(), t.label()));
+        streams.push(office_home(*s, *t, cfg.scale));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    let mut cells: Vec<ResultCell> = Vec::new();
+    let mut til_rows = Vec::new();
+    let mut cil_rows = Vec::new();
+    let mut ours_til_fgt = Vec::new();
+    let mut ours_cil_fgt = Vec::new();
+    for method in &cfg.methods {
+        let mut til = Vec::new();
+        let mut cil = Vec::new();
+        for stream in &streams {
+            let r = run_method(*method, stream, &cfg);
+            til.push(r.til_acc_pct());
+            cil.push(r.cil_acc_pct());
+            if *method == Method::Cdcl {
+                ours_til_fgt.push(r.til_fgt_pct());
+                ours_cil_fgt.push(r.cil_fgt_pct());
+            }
+            cells.push(ResultCell::from(&r));
+        }
+        til_rows.push(TableRow::new(method.label(), til));
+        cil_rows.push(TableRow::new(method.label(), cil));
+    }
+    if !ours_til_fgt.is_empty() {
+        til_rows.push(TableRow::new("Ours (FGT)", ours_til_fgt));
+        cil_rows.push(TableRow::new("Ours (FGT)", ours_cil_fgt));
+    }
+    let mut tvt = Vec::new();
+    for stream in &streams {
+        tvt.push(run_upper_bound(stream, &cfg).til_acc_pct());
+    }
+    til_rows.push(TableRow::new("TVT (Static UDA)", tvt));
+
+    let competing: Vec<usize> = (0..cfg.methods.len()).collect();
+    println!(
+        "{}",
+        format_table("Table II (TIL): ACC on Office-Home", &column_refs, &til_rows, &competing)
+    );
+    println!(
+        "{}",
+        format_table("Table II (CIL): ACC on Office-Home", &column_refs, &cil_rows, &competing)
+    );
+    maybe_write_json(&cfg.out, &cells);
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Table III**: the DomainNet source→target matrices (rows =
+//! source domain, columns = target domain) for each method, TIL and CIL,
+//! plus the TVT static row.
+//!
+//! The full matrix is 30 pairs × 15 tasks; by default a representative
+//! 6-pair subset runs (one near pair, one quickdraw pair, and the pairs the
+//! paper calls out), pass `--full` for the complete 6×6 matrix.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin table3 -- --scale standard
+//! ```
+
+use cdcl_bench::{maybe_write_json, run_method, ExperimentConfig, ResultCell};
+use cdcl_data::{domain_net, DomainNetDomain};
+use cdcl_metrics::{format_table, TableRow};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    use DomainNetDomain::*;
+    let pairs: Vec<(DomainNetDomain, DomainNetDomain)> = if cfg.full {
+        DomainNetDomain::ALL
+            .iter()
+            .flat_map(|&s| {
+                DomainNetDomain::ALL
+                    .iter()
+                    .filter(move |&&t| t != s)
+                    .map(move |&t| (s, t))
+            })
+            .collect()
+    } else {
+        vec![
+            (Real, Clipart),
+            (Clipart, Real),
+            (Real, Sketch),
+            (Quickdraw, Real),
+            (Infograph, Painting),
+            (Sketch, Clipart),
+        ]
+    };
+
+    let mut columns = Vec::new();
+    let mut streams = Vec::new();
+    for (s, t) in &pairs {
+        columns.push(format!("{}->{}", s.label(), t.label()));
+        streams.push(domain_net(*s, *t, cfg.scale));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+
+    let mut cells: Vec<ResultCell> = Vec::new();
+    let mut til_rows = Vec::new();
+    let mut cil_rows = Vec::new();
+    for method in &cfg.methods {
+        let mut til = Vec::new();
+        let mut cil = Vec::new();
+        for stream in &streams {
+            let r = run_method(*method, stream, &cfg);
+            til.push(r.til_acc_pct());
+            cil.push(r.cil_acc_pct());
+            cells.push(ResultCell::from(&r));
+        }
+        til_rows.push(TableRow::new(method.label(), til));
+        cil_rows.push(TableRow::new(method.label(), cil));
+    }
+
+    let competing: Vec<usize> = (0..cfg.methods.len()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Table III (TIL): ACC on DomainNet (source->target)",
+            &column_refs,
+            &til_rows,
+            &competing
+        )
+    );
+    println!(
+        "{}",
+        format_table(
+            "Table III (CIL): ACC on DomainNet (source->target)",
+            &column_refs,
+            &cil_rows,
+            &competing
+        )
+    );
+    maybe_write_json(&cfg.out, &cells);
+}

@@ -1,0 +1,85 @@
+//! Regenerates **Table IV**: the ablation study — dropping each loss block
+//! (`L^CIL`, `L^TIL`, `L_R`) and replacing the inter- intra-task
+//! cross-attention with standard simple attention — on MN→US and US→MN,
+//! reporting TIL and CIL ACC for each variant.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin table4 -- --scale standard
+//! ```
+
+use cdcl_bench::{maybe_write_json, ExperimentConfig, ResultCell};
+use cdcl_core::{run_stream, CdclConfig, CdclTrainer};
+use cdcl_data::{mnist_usps, MnistUspsDirection};
+use cdcl_metrics::{format_table, TableRow};
+use cdcl_nn::AttentionMode;
+
+struct Variant {
+    label: &'static str,
+    configure: fn(&mut CdclConfig),
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let variants: Vec<Variant> = vec![
+        Variant { label: "Full CDCL", configure: |_| {} },
+        Variant {
+            label: "A: no L_CIL",
+            configure: |c| c.losses.cil = false,
+        },
+        Variant {
+            label: "B: no L_TIL",
+            configure: |c| c.losses.til = false,
+        },
+        Variant {
+            label: "C: no L_R",
+            configure: |c| c.losses.rehearsal = false,
+        },
+        Variant {
+            label: "Simple attention",
+            configure: |c| {
+                c.backbone.attention = AttentionMode::Simple;
+                c.cross_attention = false;
+            },
+        },
+    ];
+    let streams = [
+        mnist_usps(MnistUspsDirection::MnistToUsps, cfg.scale),
+        mnist_usps(MnistUspsDirection::UspsToMnist, cfg.scale),
+    ];
+
+    let mut rows = Vec::new();
+    let mut cells: Vec<ResultCell> = Vec::new();
+    for v in &variants {
+        let mut values = Vec::new();
+        for stream in &streams {
+            let mut conf = cfg.cdcl(stream);
+            (v.configure)(&mut conf);
+            let start = std::time::Instant::now();
+            let r = run_stream(&mut CdclTrainer::new(conf), stream);
+            eprintln!(
+                "[{}] {} TIL {:.1}% CIL {:.1}% ({:.0}s)",
+                stream.name,
+                v.label,
+                r.til_acc_pct(),
+                r.cil_acc_pct(),
+                start.elapsed().as_secs_f64()
+            );
+            values.push(r.til_acc_pct());
+            values.push(r.cil_acc_pct());
+            cells.push(ResultCell::from(&r));
+        }
+        rows.push(TableRow::new(v.label, values));
+    }
+
+    let competing: Vec<usize> = (0..rows.len()).collect();
+    println!(
+        "{}",
+        format_table(
+            "Table IV: loss/attention ablation on MNIST<->USPS",
+            &["MN->US TIL", "MN->US CIL", "US->MN TIL", "US->MN CIL"],
+            &rows,
+            &competing
+        )
+    );
+    maybe_write_json(&cfg.out, &cells);
+}

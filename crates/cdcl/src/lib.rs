@@ -1,0 +1,49 @@
+//! # CDCL — Cross-Domain Continual Learning, in Rust
+//!
+//! A from-scratch reproduction of *"Towards Cross-Domain Continual
+//! Learning"* (de Carvalho et al., ICDE 2024): a continual learner that
+//! adapts a labelled **source** domain to an unlabelled **target** domain on
+//! every task of a sequential stream, without forgetting the feature
+//! alignment of earlier tasks.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`tensor`] / [`autograd`] — the numeric substrate (dense CPU tensors,
+//!   tape-based reverse-mode AD).
+//! * [`nn`] — the model zoo: CCT convolutional tokenizer, the paper's
+//!   inter- intra-task cross-attention with frozen per-task keys, encoder
+//!   stack, sequence pooling, TIL/CIL heads.
+//! * [`optim`] — AdamW and the warm-up + cosine schedule of §V-B.
+//! * [`data`] — synthetic cross-domain benchmark analogues (MNIST↔USPS,
+//!   Office-31, Office-Home, VisDA-2017, DomainNet).
+//! * [`metrics`] — the R-matrix protocol: average accuracy and forgetting.
+//! * [`core`] — the CDCL learner itself (Algorithm 1).
+//! * [`baselines`] — DER, DER++, HAL, MLS, CDTrans-S/B, and the TVT-style
+//!   static upper bound.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
+//! use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
+//!
+//! // A tiny stream: 5 sequential 2-class tasks, labelled MNIST-like source,
+//! // unlabelled USPS-like target.
+//! let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+//! let mut config = CdclConfig::smoke();
+//! config.epochs = 2; // doc-test budget; use the defaults for real runs
+//! config.warmup_epochs = 1;
+//! let mut learner = CdclTrainer::new(config);
+//! let result = run_stream(&mut learner, &stream);
+//! assert_eq!(result.til.num_tasks(), 5);
+//! println!("TIL ACC {:.1}%  FGT {:.1}%", result.til_acc_pct(), result.til_fgt_pct());
+//! ```
+
+pub use cdcl_autograd as autograd;
+pub use cdcl_baselines as baselines;
+pub use cdcl_core as core;
+pub use cdcl_data as data;
+pub use cdcl_metrics as metrics;
+pub use cdcl_nn as nn;
+pub use cdcl_optim as optim;
+pub use cdcl_tensor as tensor;

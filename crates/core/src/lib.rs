@@ -1,0 +1,29 @@
+//! The CDCL learner — the paper's primary contribution.
+//!
+//! * [`CdclModel`] assembles the shared [`cdcl_nn::Backbone`] with the
+//!   multi-head TIL output and the growing single-head CIL output, and
+//!   manages per-task `K_i`/`b_i` instantiation and freezing (§IV-A).
+//! * [`pseudo`] implements the intra-task center-aware pseudo-labeling of
+//!   §IV-B: TIL-softmax-weighted centroids (Eq. 17), nearest-centroid
+//!   pseudo-labels (Eq. 18), and the matched pair set `P` (Eq. 19).
+//! * [`RehearsalMemory`] stores `(x_S, x_T, y_S, logits)` records selected
+//!   by intra-task confidence and rebalanced to `⌊|M|/t⌋` records per task
+//!   (§IV-C).
+//! * [`CdclTrainer`] runs Algorithm 1: warm-up on the source, pseudo-label
+//!   refresh each epoch, the CIL/TIL loss triples (Eqs. 9–16), and the
+//!   rehearsal losses (Eqs. 20–23).
+//! * [`protocol`] defines the [`ContinualLearner`] trait shared with every
+//!   baseline and the R-matrix evaluation loop of §V-C.
+
+mod config;
+mod memory;
+mod model;
+pub mod protocol;
+pub mod pseudo;
+mod trainer;
+
+pub use config::{CdclConfig, LossToggles};
+pub use memory::{MemoryRecord, RehearsalMemory};
+pub use model::CdclModel;
+pub use protocol::{run_stream, ContinualLearner, StreamResult};
+pub use trainer::CdclTrainer;

@@ -1,0 +1,202 @@
+//! The rehearsal memory of §IV-C.
+//!
+//! Each record is the paper's tuple `(x_S, x_T, y_S, y^CIL_S, y^CIL_T)` plus
+//! its origin task. At the end of task `t`, the memory is rebalanced so
+//! every task keeps `⌊|M|/t⌋` records, and the incoming task contributes its
+//! records with the highest intra-task confidence
+//! `max(y^TIL_S) ∨ max(y^TIL_T)`.
+
+use cdcl_tensor::Tensor;
+
+/// One rehearsal record.
+#[derive(Debug, Clone)]
+pub struct MemoryRecord {
+    /// Origin task id (selects the frozen `K_i` used when replaying).
+    pub task: usize,
+    /// Source image `[c, h, w]`.
+    pub x_source: Tensor,
+    /// Paired target image `[c, h, w]`.
+    pub x_target: Tensor,
+    /// Task-local source label.
+    pub label: usize,
+    /// Global (CIL) class id.
+    pub global_label: usize,
+    /// Stored source CIL probabilities at storage time (logit replay).
+    pub cil_probs_source: Vec<f32>,
+    /// Stored target CIL probabilities at storage time.
+    pub cil_probs_target: Vec<f32>,
+    /// Intra-task confidence used for selection.
+    pub confidence: f32,
+}
+
+/// Fixed-capacity rehearsal memory with per-task balancing.
+#[derive(Debug, Default)]
+pub struct RehearsalMemory {
+    capacity: usize,
+    records: Vec<MemoryRecord>,
+}
+
+impl RehearsalMemory {
+    /// New memory holding at most `capacity` records (paper: 1000).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            records: Vec::new(),
+        }
+    }
+
+    /// Total records stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[MemoryRecord] {
+        &self.records
+    }
+
+    /// Records belonging to one task.
+    pub fn task_records(&self, task: usize) -> impl Iterator<Item = &MemoryRecord> {
+        self.records.iter().filter(move |r| r.task == task)
+    }
+
+    /// Finishes task `task` (0-based): keeps the top-confidence
+    /// `⌊capacity/(task+1)⌋` records of every previous task and admits the
+    /// same number from `candidates` (sorted by confidence, descending).
+    pub fn finish_task(&mut self, task: usize, mut candidates: Vec<MemoryRecord>) {
+        let quota = if self.capacity == 0 {
+            0
+        } else {
+            self.capacity / (task + 1)
+        };
+        for c in &candidates {
+            assert_eq!(c.task, task, "candidate tagged with wrong task");
+        }
+        let mut kept: Vec<MemoryRecord> = Vec::with_capacity(self.capacity);
+        for t in 0..task {
+            let mut old: Vec<MemoryRecord> = self
+                .records
+                .iter()
+                .filter(|r| r.task == t)
+                .cloned()
+                .collect();
+            old.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+            old.truncate(quota);
+            kept.extend(old);
+        }
+        candidates.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+        candidates.truncate(quota);
+        kept.extend(candidates);
+        self.records = kept;
+    }
+
+    /// Deterministic rotating mini-batches for replay: returns up to
+    /// `batch` record indices starting at `cursor` (wrapping).
+    pub fn replay_indices(&self, cursor: usize, batch: usize) -> Vec<usize> {
+        if self.records.is_empty() || batch == 0 {
+            return Vec::new();
+        }
+        (0..batch.min(self.records.len()))
+            .map(|i| (cursor + i) % self.records.len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(task: usize, confidence: f32, label: usize) -> MemoryRecord {
+        MemoryRecord {
+            task,
+            x_source: Tensor::zeros(&[1, 2, 2]),
+            x_target: Tensor::zeros(&[1, 2, 2]),
+            label,
+            global_label: label,
+            cil_probs_source: vec![1.0],
+            cil_probs_target: vec![1.0],
+            confidence,
+        }
+    }
+
+    #[test]
+    fn first_task_takes_full_capacity() {
+        let mut m = RehearsalMemory::new(10);
+        let cands = (0..20).map(|i| record(0, i as f32, 0)).collect();
+        m.finish_task(0, cands);
+        assert_eq!(m.len(), 10);
+        // highest confidence kept
+        assert!(m.records().iter().all(|r| r.confidence >= 10.0));
+    }
+
+    #[test]
+    fn rebalancing_shrinks_old_tasks() {
+        let mut m = RehearsalMemory::new(12);
+        m.finish_task(0, (0..20).map(|i| record(0, i as f32, 0)).collect());
+        assert_eq!(m.len(), 12);
+        m.finish_task(1, (0..20).map(|i| record(1, i as f32, 0)).collect());
+        // quota = 12/2 = 6 per task
+        assert_eq!(m.task_records(0).count(), 6);
+        assert_eq!(m.task_records(1).count(), 6);
+        m.finish_task(2, (0..20).map(|i| record(2, i as f32, 0)).collect());
+        // quota = 4 per task
+        assert_eq!(m.len(), 12);
+        for t in 0..3 {
+            assert_eq!(m.task_records(t).count(), 4);
+        }
+    }
+
+    #[test]
+    fn keeps_highest_confidence_of_old_tasks_when_shrinking() {
+        let mut m = RehearsalMemory::new(4);
+        m.finish_task(0, vec![record(0, 0.1, 0), record(0, 0.9, 1), record(0, 0.5, 2)]);
+        m.finish_task(1, vec![record(1, 0.3, 0), record(1, 0.7, 1), record(1, 0.2, 2)]);
+        // quota 2 each
+        let t0: Vec<f32> = m.task_records(0).map(|r| r.confidence).collect();
+        assert!(t0.contains(&0.9) && t0.contains(&0.5));
+        let t1: Vec<f32> = m.task_records(1).map(|r| r.confidence).collect();
+        assert!(t1.contains(&0.7) && t1.contains(&0.3));
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut m = RehearsalMemory::new(0);
+        m.finish_task(0, vec![record(0, 1.0, 0)]);
+        assert!(m.is_empty());
+        assert!(m.replay_indices(0, 8).is_empty());
+    }
+
+    #[test]
+    fn fewer_candidates_than_quota_is_fine() {
+        let mut m = RehearsalMemory::new(100);
+        m.finish_task(0, vec![record(0, 1.0, 0)]);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn replay_indices_wrap() {
+        let mut m = RehearsalMemory::new(5);
+        m.finish_task(0, (0..5).map(|i| record(0, i as f32, 0)).collect());
+        let idx = m.replay_indices(3, 4);
+        assert_eq!(idx, vec![3, 4, 0, 1]);
+        let idx = m.replay_indices(0, 99);
+        assert_eq!(idx.len(), 5, "batch larger than memory truncates");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong task")]
+    fn mistagged_candidate_panics() {
+        let mut m = RehearsalMemory::new(5);
+        m.finish_task(1, vec![record(0, 1.0, 0)]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Model assembly: backbone + TIL multi-head + growing CIL head, with
+//! per-task key management.
+
+use cdcl_autograd::{Graph, Param, Var};
+use cdcl_nn::{Backbone, BackboneConfig, GrowingLinear, Module, TilHeads};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The CDCL network of Figure 1: shared tokenizer/encoder/pooling, one TIL
+/// head per task, one growing CIL head, and per-task `K_i`/`b_i` inside
+/// every attention layer.
+pub struct CdclModel {
+    backbone: Backbone,
+    til: TilHeads,
+    cil: GrowingLinear,
+    /// Global class-id offset of each task (for CIL labels).
+    class_offsets: Vec<usize>,
+}
+
+impl CdclModel {
+    /// Builds the model with no tasks yet.
+    pub fn new(rng: &mut SmallRng, config: BackboneConfig) -> Self {
+        let backbone = Backbone::new(rng, config);
+        let d = backbone.embed_dim();
+        Self {
+            backbone,
+            til: TilHeads::new(d),
+            cil: GrowingLinear::new(rng, "cil", d, 0),
+            class_offsets: Vec::new(),
+        }
+    }
+
+    /// Registers a new task with `classes` classes: instantiates fresh
+    /// `K_i`/`b_i` (freezing previous tasks'), appends a TIL head, and grows
+    /// the CIL head.
+    pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R, classes: usize) {
+        self.backbone.add_task(rng);
+        self.til.add_task(rng, classes);
+        self.class_offsets.push(self.cil.classes());
+        self.cil.grow(rng, classes);
+    }
+
+    /// Number of tasks registered so far.
+    pub fn num_tasks(&self) -> usize {
+        self.til.num_tasks()
+    }
+
+    /// Total classes across all tasks.
+    pub fn total_classes(&self) -> usize {
+        self.cil.classes()
+    }
+
+    /// Global class-id offset of `task`.
+    pub fn class_offset(&self, task: usize) -> usize {
+        self.class_offsets[task]
+    }
+
+    /// The shared backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Pooled features `a(x)` via the self path using `task`'s keys.
+    pub fn features_self(&self, g: &mut Graph, x: Var, task: usize) -> Var {
+        self.backbone.features_self(g, x, task)
+    }
+
+    /// Mixed features via the cross path (source queries, target values).
+    pub fn features_cross(&self, g: &mut Graph, x_src: Var, x_tgt: Var, task: usize) -> Var {
+        self.backbone.features_cross(g, x_src, x_tgt, task)
+    }
+
+    /// TIL logits of `task` for pooled features.
+    pub fn til_logits(&self, g: &mut Graph, z: Var, task: usize) -> Var {
+        self.til.forward(g, z, task)
+    }
+
+    /// CIL logits over all known classes.
+    pub fn cil_logits(&self, g: &mut Graph, z: Var) -> Var {
+        self.cil.forward(g, z)
+    }
+
+    /// Inference-only TIL probabilities for a batch of images.
+    pub fn predict_til(&self, images: &Tensor, task: usize) -> Tensor {
+        let mut g = Graph::new();
+        let x = g.input(images.clone());
+        let z = self.features_self(&mut g, x, task);
+        let logits = self.til_logits(&mut g, z, task);
+        g.value(logits).softmax_last()
+    }
+
+    /// Inference-only CIL probabilities (uses the *latest* task's keys, as
+    /// the paper prescribes for `f^CIL`).
+    pub fn predict_cil(&self, images: &Tensor) -> Tensor {
+        let latest = self.num_tasks() - 1;
+        let mut g = Graph::new();
+        let x = g.input(images.clone());
+        let z = self.features_self(&mut g, x, latest);
+        let logits = self.cil_logits(&mut g, z);
+        g.value(logits).softmax_last()
+    }
+
+    /// Inference-only pooled features (for pseudo-label centroids).
+    pub fn extract_features(&self, images: &Tensor, task: usize) -> Tensor {
+        let mut g = Graph::new();
+        let x = g.input(images.clone());
+        let z = self.features_self(&mut g, x, task);
+        g.value(z).clone()
+    }
+}
+
+impl Module for CdclModel {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.backbone.params();
+        p.extend(self.til.params());
+        p.extend(self.cil.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> (SmallRng, CdclModel) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = CdclModel::new(&mut rng, BackboneConfig::default());
+        (rng, m)
+    }
+
+    #[test]
+    fn add_task_tracks_offsets_and_heads() {
+        let (mut rng, mut m) = model();
+        m.add_task(&mut rng, 2);
+        m.add_task(&mut rng, 3);
+        assert_eq!(m.num_tasks(), 2);
+        assert_eq!(m.total_classes(), 5);
+        assert_eq!(m.class_offset(0), 0);
+        assert_eq!(m.class_offset(1), 2);
+    }
+
+    #[test]
+    fn predictions_have_expected_shapes() {
+        let (mut rng, mut m) = model();
+        m.add_task(&mut rng, 2);
+        m.add_task(&mut rng, 3);
+        let imgs = Tensor::randn(&mut rng, &[4, 1, 16, 16], 1.0);
+        assert_eq!(m.predict_til(&imgs, 0).shape(), &[4, 2]);
+        assert_eq!(m.predict_til(&imgs, 1).shape(), &[4, 3]);
+        assert_eq!(m.predict_cil(&imgs).shape(), &[4, 5]);
+        assert_eq!(m.extract_features(&imgs, 1).shape(), &[4, 32]);
+    }
+
+    #[test]
+    fn til_probabilities_are_distributions() {
+        let (mut rng, mut m) = model();
+        m.add_task(&mut rng, 3);
+        let imgs = Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0);
+        let p = m.predict_til(&imgs, 0);
+        let sums = p.sum_last();
+        for s in sums.data() {
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn old_task_keys_frozen_after_growth() {
+        let (mut rng, mut m) = model();
+        m.add_task(&mut rng, 2);
+        m.add_task(&mut rng, 2);
+        let frozen = m.params().iter().filter(|p| !p.trainable()).count();
+        assert!(frozen > 0, "task-0 keys must be frozen");
+    }
+}

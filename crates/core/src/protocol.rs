@@ -1,0 +1,153 @@
+//! The continual-learning evaluation protocol shared by CDCL and every
+//! baseline: learn tasks sequentially, after each task evaluate the target
+//! test set of every task seen so far (§V-C), and fill TIL and CIL
+//! R-matrices.
+
+use cdcl_data::{CrossDomainStream, Sample, TaskData};
+use cdcl_metrics::RMatrix;
+
+/// A learner that consumes the cross-domain task stream.
+pub trait ContinualLearner {
+    /// Human-readable method name (table row label).
+    fn name(&self) -> String;
+
+    /// Trains on one task (labelled source + unlabelled target).
+    /// Implementations must not read `target_train`/`target_test` labels.
+    fn learn_task(&mut self, task: &TaskData);
+
+    /// Task-incremental accuracy on `test` given the task identity.
+    fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64;
+
+    /// Class-incremental accuracy on `test` (no task identity at
+    /// inference; predictions range over all classes seen so far).
+    fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64;
+}
+
+/// TIL and CIL R-matrices of one full stream run.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// Stream name.
+    pub stream: String,
+    /// Method name.
+    pub method: String,
+    /// Task-incremental R-matrix.
+    pub til: RMatrix,
+    /// Class-incremental R-matrix.
+    pub cil: RMatrix,
+}
+
+impl StreamResult {
+    /// TIL average accuracy in percent (as the paper reports).
+    pub fn til_acc_pct(&self) -> f64 {
+        self.til.acc() * 100.0
+    }
+
+    /// TIL forgetting in percent.
+    pub fn til_fgt_pct(&self) -> f64 {
+        self.til.fgt() * 100.0
+    }
+
+    /// CIL average accuracy in percent.
+    pub fn cil_acc_pct(&self) -> f64 {
+        self.cil.acc() * 100.0
+    }
+
+    /// CIL forgetting in percent.
+    pub fn cil_fgt_pct(&self) -> f64 {
+        self.cil.fgt() * 100.0
+    }
+}
+
+/// Runs the full protocol: for each task — learn, then evaluate every task
+/// seen so far in both scenarios.
+pub fn run_stream<L: ContinualLearner + ?Sized>(
+    learner: &mut L,
+    stream: &CrossDomainStream,
+) -> StreamResult {
+    let mut til = RMatrix::new();
+    let mut cil = RMatrix::new();
+    for (i, task) in stream.tasks.iter().enumerate() {
+        learner.learn_task(task);
+        let mut til_row = Vec::with_capacity(i + 1);
+        let mut cil_row = Vec::with_capacity(i + 1);
+        for (j, seen) in stream.tasks.iter().take(i + 1).enumerate() {
+            til_row.push(learner.eval_til(j, &seen.target_test));
+            cil_row.push(learner.eval_cil(j, &seen.target_test));
+        }
+        til.push_row(til_row);
+        cil.push_row(cil_row);
+    }
+    StreamResult {
+        stream: stream.name.clone(),
+        method: learner.name(),
+        til,
+        cil,
+    }
+}
+
+/// Counts correct argmax predictions against task-local labels.
+pub fn accuracy_from_predictions(predicted: &[usize], test: &[Sample]) -> f64 {
+    assert_eq!(predicted.len(), test.len());
+    if test.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(test.iter())
+        .filter(|(p, s)| **p == s.label)
+        .count();
+    hits as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+    use cdcl_tensor::Tensor;
+
+    /// A learner that always predicts class 0 — exercises the protocol
+    /// plumbing without training anything.
+    struct Zero {
+        tasks_seen: usize,
+    }
+
+    impl ContinualLearner for Zero {
+        fn name(&self) -> String {
+            "zero".into()
+        }
+        fn learn_task(&mut self, _task: &cdcl_data::TaskData) {
+            self.tasks_seen += 1;
+        }
+        fn eval_til(&self, _task_id: usize, test: &[Sample]) -> f64 {
+            accuracy_from_predictions(&vec![0; test.len()], test)
+        }
+        fn eval_cil(&self, _task_id: usize, _test: &[Sample]) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn run_stream_fills_triangular_matrices() {
+        let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+        let mut learner = Zero { tasks_seen: 0 };
+        let result = run_stream(&mut learner, &stream);
+        assert_eq!(learner.tasks_seen, 5);
+        assert_eq!(result.til.num_tasks(), 5);
+        assert_eq!(result.cil.num_tasks(), 5);
+        // always-0 learner gets the base rate of class 0 in 2-class tasks
+        let acc = result.til.acc();
+        assert!(acc > 0.2 && acc < 0.8, "base-rate accuracy, got {acc}");
+        assert_eq!(result.cil.acc(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_from_predictions_counts() {
+        let mk = |l| Sample {
+            image: Tensor::zeros(&[1, 1, 1]),
+            label: l,
+        };
+        let test = vec![mk(0), mk(1), mk(1)];
+        assert!((accuracy_from_predictions(&[0, 1, 0], &test) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy_from_predictions(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Intra-task center-aware pseudo-labeling (paper §IV-B).
+//!
+//! After the warm-up stage, target-domain category centroids are built from
+//! the model's *intra-task* (TIL) predictions as a weighted average of
+//! pooled features (Eq. 17); pseudo-labels come from the nearest centroid
+//! under cosine distance (Eq. 18); and the pair set `P` keeps, for each
+//! target sample, the nearest source feature whose ground-truth label
+//! matches the pseudo-label (Eq. 19) — discarding mismatches as noise.
+
+use cdcl_tensor::Tensor;
+
+/// Weighted class centroids (Eq. 17):
+/// `c_k = Σ_i p_ik z_i / Σ_i p_ik`, where `p = softmax(TIL logits)` on the
+/// target samples and `z` are pooled features.
+///
+/// `probs: [n, k]`, `features: [n, d]` → `[k, d]`. Classes that receive no
+/// probability mass fall back to the global feature mean (never NaN).
+pub fn weighted_centroids(probs: &Tensor, features: &Tensor) -> Tensor {
+    assert_eq!(probs.ndim(), 2, "probs must be [n, k]");
+    assert_eq!(features.ndim(), 2, "features must be [n, d]");
+    assert_eq!(probs.shape()[0], features.shape()[0], "row count mismatch");
+    let (n, k) = (probs.shape()[0], probs.shape()[1]);
+    let d = features.shape()[1];
+    let mut out = vec![0.0; k * d];
+    let mut mass = vec![0.0f32; k];
+    for i in 0..n {
+        for c in 0..k {
+            let w = probs.data()[i * k + c];
+            mass[c] += w;
+            for j in 0..d {
+                out[c * d + j] += w * features.data()[i * d + j];
+            }
+        }
+    }
+    // Global mean fallback for empty classes.
+    let mut mean = vec![0.0; d];
+    for i in 0..n {
+        for j in 0..d {
+            mean[j] += features.data()[i * d + j];
+        }
+    }
+    for m in &mut mean {
+        *m /= n.max(1) as f32;
+    }
+    for c in 0..k {
+        if mass[c] > 1e-8 {
+            for j in 0..d {
+                out[c * d + j] /= mass[c];
+            }
+        } else {
+            out[c * d..(c + 1) * d].copy_from_slice(&mean);
+        }
+    }
+    Tensor::from_vec(out, &[k, d])
+}
+
+/// Nearest-centroid pseudo-labels under cosine distance (Eq. 18).
+/// `features: [n, d]`, `centroids: [k, d]` → `n` labels in `0..k`.
+pub fn nearest_centroid_labels(features: &Tensor, centroids: &Tensor) -> Vec<usize> {
+    let fn_ = features.l2_normalize_last();
+    let cn = centroids.l2_normalize_last();
+    // cosine similarity = normalized dot product; nearest = max similarity.
+    let sims = fn_.matmul(&cn.transpose_last2()); // [n, k]
+    sims.argmax_last()
+}
+
+/// One matched source/target pair of Eq. 19.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// Index into the source sample set.
+    pub source: usize,
+    /// Index into the target sample set.
+    pub target: usize,
+    /// The shared (ground-truth source = pseudo target) task-local label.
+    pub label: usize,
+}
+
+/// Builds the pair set `P` (Eq. 19): for every target sample, the nearest
+/// (cosine) source feature whose ground-truth label equals the target's
+/// pseudo-label. Targets whose pseudo-label has no source sample are
+/// dropped — they are the "noise" the paper discards.
+pub fn build_pairs(
+    source_features: &Tensor,
+    source_labels: &[usize],
+    target_features: &Tensor,
+    pseudo_labels: &[usize],
+) -> Vec<Pair> {
+    assert_eq!(source_features.shape()[0], source_labels.len());
+    assert_eq!(target_features.shape()[0], pseudo_labels.len());
+    let sn = source_features.l2_normalize_last();
+    let tn = target_features.l2_normalize_last();
+    let sims = tn.matmul(&sn.transpose_last2()); // [n_t, n_s]
+    let n_s = source_labels.len();
+    let mut pairs = Vec::with_capacity(pseudo_labels.len());
+    for (t, &pl) in pseudo_labels.iter().enumerate() {
+        let row = &sims.data()[t * n_s..(t + 1) * n_s];
+        let mut best: Option<(usize, f32)> = None;
+        for (s, &sl) in source_labels.iter().enumerate() {
+            if sl != pl {
+                continue;
+            }
+            if best.map_or(true, |(_, bv)| row[s] > bv) {
+                best = Some((s, row[s]));
+            }
+        }
+        if let Some((s, _)) = best {
+            pairs.push(Pair {
+                source: s,
+                target: t,
+                label: pl,
+            });
+        }
+    }
+    pairs
+}
+
+/// Fraction of pseudo-labels matching the (hidden) ground truth — used by
+/// tests and diagnostics only; the learner itself never sees target labels.
+pub fn pseudo_label_accuracy(pseudo: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pseudo.len(), truth.len());
+    if pseudo.is_empty() {
+        return 0.0;
+    }
+    let hits = pseudo.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / pseudo.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn centroids_of_onehot_probs_are_class_means() {
+        // Two classes, two samples each.
+        let feats = Tensor::from_vec(
+            vec![
+                1.0, 0.0, //
+                3.0, 0.0, //
+                0.0, 2.0, //
+                0.0, 4.0,
+            ],
+            &[4, 2],
+        );
+        let probs = Tensor::one_hot(&[0, 0, 1, 1], 2);
+        let c = weighted_centroids(&probs, &feats);
+        cdcl_tensor::assert_close(c.data(), &[2.0, 0.0, 0.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    fn soft_probs_interpolate_centroids() {
+        let feats = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]);
+        let probs = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]);
+        let c = weighted_centroids(&probs, &feats);
+        // both classes get the same single weighted feature
+        cdcl_tensor::assert_close(c.data(), &[2.0, 0.0, 2.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn empty_class_falls_back_to_mean_not_nan() {
+        let feats = Tensor::from_vec(vec![1.0, 1.0, 3.0, 3.0], &[2, 2]);
+        let probs = Tensor::one_hot(&[0, 0], 3); // class 1, 2 empty
+        let c = weighted_centroids(&probs, &feats);
+        assert!(c.all_finite());
+        cdcl_tensor::assert_close(&c.data()[2..4], &[2.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn nearest_centroid_assigns_by_cosine() {
+        let centroids = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        // Cosine ignores magnitude: (10, 1) is still class 0.
+        let feats = Tensor::from_vec(vec![10.0, 1.0, 0.1, 0.5], &[2, 2]);
+        assert_eq!(nearest_centroid_labels(&feats, &centroids), vec![0, 1]);
+    }
+
+    #[test]
+    fn pairs_match_labels_and_proximity() {
+        // sources: two class-0 (one near, one far), one class-1
+        let src = Tensor::from_vec(
+            vec![
+                1.0, 0.0, //
+                0.7, 0.7, //
+                0.0, 1.0,
+            ],
+            &[3, 2],
+        );
+        let src_labels = vec![0, 0, 1];
+        let tgt = Tensor::from_vec(vec![0.9, 0.1], &[1, 2]);
+        let pseudo = vec![0];
+        let pairs = build_pairs(&src, &src_labels, &tgt, &pseudo);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].source, 0, "nearest same-label source wins");
+        assert_eq!(pairs[0].label, 0);
+    }
+
+    #[test]
+    fn pairs_drop_targets_with_unmatched_pseudo_labels() {
+        let src = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let src_labels = vec![0];
+        let tgt = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        let pseudo = vec![1, 0]; // class 1 has no source sample
+        let pairs = build_pairs(&src, &src_labels, &tgt, &pseudo);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].target, 1);
+    }
+
+    #[test]
+    fn pseudo_accuracy_counts_hits() {
+        assert_eq!(pseudo_label_accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(pseudo_label_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn well_separated_clusters_recovered_end_to_end() {
+        // Generate two well-separated clusters in both "domains", run the
+        // full centroid -> pseudo-label pipeline with noisy initial probs,
+        // and check pseudo-labels beat chance comfortably.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut feats = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let base = if class == 0 { [3.0, 0.0] } else { [0.0, 3.0] };
+            let noise = Tensor::randn(&mut rng, &[2], 0.4);
+            feats.extend_from_slice(&[base[0] + noise.data()[0], base[1] + noise.data()[1]]);
+            truth.push(class);
+        }
+        let feats = Tensor::from_vec(feats, &[40, 2]);
+        // noisy-but-informative probabilities: 70% on the true class
+        let mut probs = Vec::new();
+        for &t in &truth {
+            probs.extend_from_slice(if t == 0 { &[0.7, 0.3] } else { &[0.3, 0.7] });
+        }
+        let probs = Tensor::from_vec(probs, &[40, 2]);
+        let c = weighted_centroids(&probs, &feats);
+        let pseudo = nearest_centroid_labels(&feats, &c);
+        assert!(pseudo_label_accuracy(&pseudo, &truth) > 0.9);
+    }
+}

@@ -1,0 +1,558 @@
+//! Algorithm 1: the CDCL training loop.
+//!
+//! Per task: instantiate `K_i`/`b_i` + heads, warm up on the labelled source
+//! (Eqs. 9, 12), then alternate — rebuild centroids and pseudo-labels every
+//! epoch (Eqs. 17–19), optimize the CIL/TIL loss triples on matched pairs
+//! (Eqs. 9–16) plus the rehearsal losses on memory records (Eqs. 20–23) —
+//! and finally store the task's highest-confidence pairs in memory.
+
+use cdcl_autograd::{Graph, Var};
+use cdcl_data::{stack, Batcher, Sample, TaskData};
+use cdcl_nn::Module;
+use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::memory::{MemoryRecord, RehearsalMemory};
+use crate::model::CdclModel;
+use crate::protocol::{accuracy_from_predictions, ContinualLearner};
+use crate::pseudo::{build_pairs, nearest_centroid_labels, weighted_centroids, Pair};
+use crate::CdclConfig;
+
+/// Inference chunk size (bounds peak memory during evaluation).
+const EVAL_CHUNK: usize = 32;
+
+/// The CDCL learner: model + memory + optimizer + Algorithm 1.
+pub struct CdclTrainer {
+    config: CdclConfig,
+    model: CdclModel,
+    memory: RehearsalMemory,
+    optimizer: AdamW,
+    rng: SmallRng,
+    replay_cursor: usize,
+    /// Pairs built during the last adaptation epoch (reused for memory
+    /// candidate selection at task end).
+    last_pairs: Vec<Pair>,
+}
+
+impl CdclTrainer {
+    /// Builds a fresh CDCL learner.
+    pub fn new(config: CdclConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let model = CdclModel::new(&mut rng, config.backbone);
+        let optimizer = AdamW::with_weight_decay(model.params(), config.weight_decay);
+        Self {
+            config,
+            model,
+            memory: RehearsalMemory::new(config.memory_size),
+            optimizer,
+            rng,
+            replay_cursor: 0,
+            last_pairs: Vec::new(),
+        }
+    }
+
+    /// The underlying model (for tests and analysis).
+    pub fn model(&self) -> &CdclModel {
+        &self.model
+    }
+
+    /// The rehearsal memory (for tests and analysis).
+    pub fn memory(&self) -> &RehearsalMemory {
+        &self.memory
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CdclConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Feature / probability extraction (inference mode, chunked)
+    // ------------------------------------------------------------------
+
+    fn stack_batch(samples: &[Sample], idx: &[usize]) -> (Tensor, Vec<usize>) {
+        let refs: Vec<&Sample> = idx.iter().map(|&i| &samples[i]).collect();
+        stack(&refs)
+    }
+
+    fn extract_features(&self, samples: &[Sample], task: usize) -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = Self::stack_batch(samples, chunk);
+            parts.push(self.model.extract_features(&imgs, task));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    }
+
+    fn til_probabilities(&self, samples: &[Sample], task: usize) -> Tensor {
+        let mut parts = Vec::new();
+        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = Self::stack_batch(samples, chunk);
+            parts.push(self.model.predict_til(&imgs, task));
+        }
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        Tensor::concat0(&refs)
+    }
+
+    // ------------------------------------------------------------------
+    // Loss assembly
+    // ------------------------------------------------------------------
+
+    /// Adds the CIL or TIL loss triple `L_S + L_T + L_D` (Eqs. 15/16) for a
+    /// batch of matched pairs. `heads` maps pooled features to logits.
+    fn loss_triple(
+        &self,
+        g: &mut Graph,
+        z_src: Var,
+        z_tgt: Var,
+        z_mixed: Var,
+        labels: &[usize],
+        til_task: Option<usize>,
+    ) -> Var {
+        let (logits_s, logits_t, logits_m) = match til_task {
+            Some(t) => (
+                self.model.til_logits(g, z_src, t),
+                self.model.til_logits(g, z_tgt, t),
+                self.model.til_logits(g, z_mixed, t),
+            ),
+            None => (
+                self.model.cil_logits(g, z_src),
+                self.model.cil_logits(g, z_tgt),
+                self.model.cil_logits(g, z_mixed),
+            ),
+        };
+        let lp_s = g.log_softmax_last(logits_s);
+        let lp_t = g.log_softmax_last(logits_t);
+        let lp_m = g.log_softmax_last(logits_m);
+        // L_S (Eq. 9/12): supervised CE on the source.
+        let l_s = g.nll_loss(lp_s, labels);
+        // L_T (Eq. 10/13): CE of the target prediction against the *paired
+        // source label* (= matching pseudo-label per Eq. 19).
+        let l_t = g.nll_loss(lp_t, labels);
+        // L_D (Eq. 11/14): align the mixed cross-attention prediction with
+        // the target prediction — symmetric distillation with detached
+        // teachers (see DESIGN.md §2 on the sign of Eq. 11).
+        let teacher_m = g.value(logits_m).softmax_last();
+        let teacher_t = g.value(logits_t).softmax_last();
+        let l_d1 = g.ce_soft(lp_t, teacher_m);
+        let l_d2 = g.ce_soft(lp_m, teacher_t);
+        let l_d1 = g.scale(l_d1, 0.5);
+        let l_d2 = g.scale(l_d2, 0.5);
+        let st = g.add(l_s, l_t);
+        let d = g.add(l_d1, l_d2);
+        g.add(st, d)
+    }
+
+    /// Adds the rehearsal losses (Eqs. 20–23) for one group of memory
+    /// records that share an origin task. Returns `None` when the group is
+    /// empty.
+    fn rehearsal_loss(&self, g: &mut Graph, records: &[&MemoryRecord]) -> Option<Var> {
+        if records.is_empty() {
+            return None;
+        }
+        let task = records[0].task;
+        let src_imgs = {
+            let mut data = Vec::new();
+            let shape = records[0].x_source.shape().to_vec();
+            for r in records {
+                data.extend_from_slice(r.x_source.data());
+            }
+            let mut s = vec![records.len()];
+            s.extend_from_slice(&shape);
+            Tensor::from_vec(data, &s)
+        };
+        let tgt_imgs = {
+            let mut data = Vec::new();
+            let shape = records[0].x_target.shape().to_vec();
+            for r in records {
+                data.extend_from_slice(r.x_target.data());
+            }
+            let mut s = vec![records.len()];
+            s.extend_from_slice(&shape);
+            Tensor::from_vec(data, &s)
+        };
+        let globals: Vec<usize> = records.iter().map(|r| r.global_label).collect();
+
+        let xs = g.input(src_imgs);
+        let xt = g.input(tgt_imgs);
+        let zs = self.model.features_self(g, xs, task);
+        let zt = self.model.features_self(g, xt, task);
+        let zm = if self.config.cross_attention {
+            self.model.features_cross(g, xs, xt, task)
+        } else {
+            zs
+        };
+        let cil_s = self.model.cil_logits(g, zs);
+        let cil_t = self.model.cil_logits(g, zt);
+        let cil_m = self.model.cil_logits(g, zm);
+        let lp_s = g.log_softmax_last(cil_s);
+        let lp_t = g.log_softmax_last(cil_t);
+        let lp_m = g.log_softmax_last(cil_m);
+
+        // L_R^ST (Eq. 20): CE of both replayed streams against the stored
+        // source label, through the inter-task (CIL) head.
+        let l_st_s = g.nll_loss(lp_s, &globals);
+        let l_st_t = g.nll_loss(lp_t, &globals);
+        let l_st = g.add(l_st_s, l_st_t);
+
+        // L_R^D (Eq. 21): align the replayed mixed signal with the replayed
+        // target prediction.
+        let teacher_t = g.value(cil_t).softmax_last();
+        let l_d = g.ce_soft(lp_m, teacher_t);
+
+        // L_R^Z (Eq. 22): logit replay — KL between the stored distributions
+        // and the current ones. Stored vectors cover only the classes known
+        // at storage time; pad with zeros (zero-mass terms contribute
+        // nothing to KL).
+        let total = self.model.total_classes();
+        let pad = |probs: &[f32]| {
+            let mut row = vec![0.0f32; total];
+            row[..probs.len()].copy_from_slice(probs);
+            row
+        };
+        let stored_s: Vec<f32> = records
+            .iter()
+            .flat_map(|r| pad(&r.cil_probs_source))
+            .collect();
+        let stored_t: Vec<f32> = records
+            .iter()
+            .flat_map(|r| pad(&r.cil_probs_target))
+            .collect();
+        let n = records.len();
+        let p_s = Tensor::from_vec(stored_s, &[n, total]);
+        let p_t = Tensor::from_vec(stored_t, &[n, total]);
+        let l_z_s = g.kl_div(lp_s, p_s);
+        let l_z_t = g.kl_div(lp_t, p_t);
+        let l_z = g.add(l_z_s, l_z_t);
+
+        // L_R = L_R^ST + L_R^D + L_R^Z (Eq. 23).
+        let partial = g.add(l_st, l_d);
+        Some(g.add(partial, l_z))
+    }
+
+    /// One warm-up step: source-only supervised training of both heads.
+    fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32) {
+        let t = task.task_id;
+        let (imgs, labels) = Self::stack_batch(&task.source_train, idx);
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+        let mut g = Graph::new();
+        let x = g.input(imgs);
+        let z = self.model.features_self(&mut g, x, t);
+        let mut loss = None;
+        if self.config.losses.til {
+            let logits = self.model.til_logits(&mut g, z, t);
+            let lp = g.log_softmax_last(logits);
+            let l = g.nll_loss(lp, &labels);
+            loss = Some(l);
+        }
+        if self.config.losses.cil {
+            let logits = self.model.cil_logits(&mut g, z);
+            let lp = g.log_softmax_last(logits);
+            let l = g.nll_loss(lp, &globals);
+            loss = Some(match loss {
+                Some(prev) => g.add(prev, l),
+                None => l,
+            });
+        }
+        let Some(loss) = loss else { return };
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+
+    /// One adaptation step on a batch of matched pairs (+ rehearsal).
+    fn adaptation_step(&mut self, task: &TaskData, pairs: &[Pair], lr: f32) {
+        let t = task.task_id;
+        let src_refs: Vec<&Sample> = pairs.iter().map(|p| &task.source_train[p.source]).collect();
+        let tgt_refs: Vec<&Sample> = pairs.iter().map(|p| &task.target_train[p.target]).collect();
+        let (src_imgs, _) = stack(&src_refs);
+        let (tgt_imgs, _) = stack(&tgt_refs);
+        let labels: Vec<usize> = pairs.iter().map(|p| p.label).collect();
+        let globals: Vec<usize> = labels
+            .iter()
+            .map(|&l| self.model.class_offset(t) + l)
+            .collect();
+
+        let mut g = Graph::new();
+        let xs = g.input(src_imgs);
+        let xt = g.input(tgt_imgs);
+        let zs = self.model.features_self(&mut g, xs, t);
+        let zt = self.model.features_self(&mut g, xt, t);
+        // The "simple attention" ablation removes the mixed cross-attention
+        // signal entirely; the source stream stands in for it.
+        let zm = if self.config.cross_attention {
+            self.model.features_cross(&mut g, xs, xt, t)
+        } else {
+            zs
+        };
+
+        let mut loss: Option<Var> = None;
+        let add = |g: &mut Graph, loss: &mut Option<Var>, l: Var| {
+            *loss = Some(match *loss {
+                Some(prev) => g.add(prev, l),
+                None => l,
+            });
+        };
+        if self.config.losses.til {
+            let l = self.loss_triple(&mut g, zs, zt, zm, &labels, Some(t));
+            add(&mut g, &mut loss, l);
+        }
+        if self.config.losses.cil {
+            let l = self.loss_triple(&mut g, zs, zt, zm, &globals, None);
+            add(&mut g, &mut loss, l);
+        }
+        if self.config.losses.rehearsal && !self.memory.is_empty() {
+            let idx = self
+                .memory
+                .replay_indices(self.replay_cursor, self.config.rehearsal_batch);
+            self.replay_cursor = self.replay_cursor.wrapping_add(idx.len());
+            // Group by origin task so each group uses its frozen keys.
+            let mut by_task: Vec<(usize, Vec<&MemoryRecord>)> = Vec::new();
+            for &i in &idx {
+                let r = &self.memory.records()[i];
+                match by_task.iter_mut().find(|(t, _)| *t == r.task) {
+                    Some((_, v)) => v.push(r),
+                    None => by_task.push((r.task, vec![r])),
+                }
+            }
+            for (_, group) in &by_task {
+                if let Some(l) = self.rehearsal_loss(&mut g, group) {
+                    add(&mut g, &mut loss, l);
+                }
+            }
+        }
+        let Some(loss) = loss else { return };
+        self.optimizer.zero_grad();
+        g.backward(loss);
+        self.optimizer.step(lr);
+    }
+
+    /// Rebuilds centroids, pseudo-labels, and the pair set for the epoch
+    /// (Eqs. 17–19). Falls back to index-aligned pairing when no pair
+    /// survives the label filter (never returns an empty set for non-empty
+    /// data).
+    fn refresh_pairs(&mut self, task: &TaskData) -> Vec<Pair> {
+        let t = task.task_id;
+        let src_feats = self.extract_features(&task.source_train, t);
+        let src_labels: Vec<usize> = task.source_train.iter().map(|s| s.label).collect();
+        let tgt_feats = self.extract_features(&task.target_train, t);
+        let tgt_probs = self.til_probabilities(&task.target_train, t);
+        let centroids = weighted_centroids(&tgt_probs, &tgt_feats);
+        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+        // Second center-aware round (as in SHOT [26], which §IV-B extends):
+        // rebuild the centroids from the hard assignments and re-assign —
+        // stabilises the labels when the warm-up classifier is weak.
+        let hard = cdcl_tensor::Tensor::one_hot(&pseudo, centroids.shape()[0]);
+        let centroids = weighted_centroids(&hard, &tgt_feats);
+        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+        let pairs = build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo);
+        if !pairs.is_empty() {
+            return pairs;
+        }
+        // Degenerate fallback (e.g. a collapsed warm-up): pair by index.
+        (0..task.target_train.len().min(task.source_train.len()))
+            .map(|i| Pair {
+                source: i,
+                target: i,
+                label: task.source_train[i].label,
+            })
+            .collect()
+    }
+
+    /// Builds memory candidates from the final pair set, scoring each by
+    /// intra-task confidence `max(y_S^TIL) ∨ max(y_T^TIL)` and recording
+    /// current CIL probabilities for logit replay.
+    fn memory_candidates(&self, task: &TaskData) -> Vec<MemoryRecord> {
+        let t = task.task_id;
+        let mut out = Vec::with_capacity(self.last_pairs.len());
+        for chunk in self.last_pairs.chunks(EVAL_CHUNK) {
+            let src_refs: Vec<&Sample> =
+                chunk.iter().map(|p| &task.source_train[p.source]).collect();
+            let tgt_refs: Vec<&Sample> =
+                chunk.iter().map(|p| &task.target_train[p.target]).collect();
+            let (src_imgs, _) = stack(&src_refs);
+            let (tgt_imgs, _) = stack(&tgt_refs);
+            let til_s = self.model.predict_til(&src_imgs, t);
+            let til_t = self.model.predict_til(&tgt_imgs, t);
+            let cil_s = self.model.predict_cil(&src_imgs);
+            let cil_t = self.model.predict_cil(&tgt_imgs);
+            let u = til_s.shape()[1];
+            let total = cil_s.shape()[1];
+            for (i, p) in chunk.iter().enumerate() {
+                let conf_s = til_s.data()[i * u..(i + 1) * u]
+                    .iter()
+                    .copied()
+                    .fold(0.0f32, f32::max);
+                let conf_t = til_t.data()[i * u..(i + 1) * u]
+                    .iter()
+                    .copied()
+                    .fold(0.0f32, f32::max);
+                out.push(MemoryRecord {
+                    task: t,
+                    x_source: src_refs[i].image.clone(),
+                    x_target: tgt_refs[i].image.clone(),
+                    label: p.label,
+                    global_label: self.model.class_offset(t) + p.label,
+                    cil_probs_source: cil_s.data()[i * total..(i + 1) * total].to_vec(),
+                    cil_probs_target: cil_t.data()[i * total..(i + 1) * total].to_vec(),
+                    confidence: conf_s.max(conf_t),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl ContinualLearner for CdclTrainer {
+    fn name(&self) -> String {
+        let l = &self.config.losses;
+        let mut name = "CDCL".to_string();
+        if !l.cil {
+            name.push_str("-noCIL");
+        }
+        if !l.til {
+            name.push_str("-noTIL");
+        }
+        if !l.rehearsal {
+            name.push_str("-noR");
+        }
+        if !self.config.cross_attention {
+            name.push_str("-simpleAttn");
+        }
+        name
+    }
+
+    fn learn_task(&mut self, task: &TaskData) {
+        assert_eq!(
+            task.task_id,
+            self.model.num_tasks(),
+            "tasks must arrive in order"
+        );
+        self.model.add_task(&mut self.rng, task.num_classes());
+        self.optimizer.rebind(self.model.params());
+        self.last_pairs.clear();
+
+        let schedule = WarmupCosine {
+            warmup_lr: self.config.warmup_lr,
+            peak_lr: self.config.peak_lr,
+            min_lr: self.config.min_lr,
+            warmup_epochs: self.config.warmup_epochs,
+            total_epochs: self.config.epochs,
+        };
+        let mut src_batcher = Batcher::new(
+            task.source_train.len(),
+            self.config.batch_size,
+            self.config.seed ^ (task.task_id as u64) << 16,
+        );
+
+        for epoch in 0..self.config.epochs {
+            let lr = schedule.lr(epoch);
+            if epoch < self.config.warmup_epochs {
+                for batch in src_batcher.epoch() {
+                    self.warmup_step(task, &batch, lr);
+                }
+            } else {
+                // Eqs. 17–19: rebuild centroids/pseudo-labels every epoch.
+                let pairs = self.refresh_pairs(task);
+                let mut pair_batcher = Batcher::new(
+                    pairs.len(),
+                    self.config.batch_size,
+                    self.config.seed ^ ((task.task_id as u64) << 16 | epoch as u64),
+                );
+                for batch in pair_batcher.epoch() {
+                    let subset: Vec<Pair> = batch.iter().map(|&i| pairs[i]).collect();
+                    self.adaptation_step(task, &subset, lr);
+                }
+                self.last_pairs = pairs;
+            }
+        }
+        if self.last_pairs.is_empty() {
+            // All-warm-up configuration: fall back to index pairing so the
+            // memory still receives records.
+            self.last_pairs = (0..task.target_train.len().min(task.source_train.len()))
+                .map(|i| Pair {
+                    source: i,
+                    target: i,
+                    label: task.source_train[i].label,
+                })
+                .collect();
+        }
+        let candidates = self.memory_candidates(task);
+        self.memory.finish_task(task.task_id, candidates);
+    }
+
+    fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
+        let mut predictions = Vec::with_capacity(test.len());
+        for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, _) = Self::stack_batch(test, chunk);
+            predictions.extend(self.model.predict_til(&imgs, task_id).argmax_last());
+        }
+        accuracy_from_predictions(&predictions, test)
+    }
+
+    fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
+        let offset = self.model.class_offset(task_id);
+        let mut hits = 0usize;
+        for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
+            let (imgs, labels) = Self::stack_batch(test, chunk);
+            let pred = self.model.predict_cil(&imgs).argmax_last();
+            for (p, l) in pred.iter().zip(labels.iter()) {
+                if *p == offset + l {
+                    hits += 1;
+                }
+            }
+        }
+        if test.is_empty() {
+            0.0
+        } else {
+            hits as f64 / test.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trainer_constructs_with_defaults() {
+        let t = CdclTrainer::new(CdclConfig::smoke());
+        assert_eq!(t.model().num_tasks(), 0);
+        assert_eq!(t.memory().capacity(), 60);
+        assert_eq!(t.name(), "CDCL");
+    }
+
+    #[test]
+    fn ablated_names_reflect_toggles() {
+        let mut c = CdclConfig::smoke();
+        c.losses.rehearsal = false;
+        assert_eq!(CdclTrainer::new(c).name(), "CDCL-noR");
+        let mut c = CdclConfig::smoke();
+        c.losses.cil = false;
+        c.losses.til = false;
+        assert_eq!(CdclTrainer::new(c).name(), "CDCL-noCIL-noTIL");
+        let mut c = CdclConfig::smoke();
+        c.cross_attention = false;
+        assert_eq!(CdclTrainer::new(c).name(), "CDCL-simpleAttn");
+    }
+
+    #[test]
+    #[should_panic(expected = "tasks must arrive in order")]
+    fn out_of_order_task_panics() {
+        let mut t = CdclTrainer::new(CdclConfig::smoke());
+        let task = TaskData {
+            task_id: 3,
+            global_classes: vec![0, 1],
+            source_train: vec![],
+            target_train: vec![],
+            target_test: vec![],
+        };
+        t.learn_task(&task);
+    }
+}

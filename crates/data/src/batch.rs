@@ -1,0 +1,110 @@
+//! Mini-batch assembly over [`Sample`] slices.
+
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::generator::Sample;
+
+/// Stacks samples into a `[b, c, h, w]` tensor plus a label vector.
+pub fn stack(samples: &[&Sample]) -> (Tensor, Vec<usize>) {
+    assert!(!samples.is_empty(), "stack of zero samples");
+    let shape = samples[0].image.shape().to_vec();
+    let per = samples[0].image.len();
+    let mut data = Vec::with_capacity(samples.len() * per);
+    let mut labels = Vec::with_capacity(samples.len());
+    for s in samples {
+        assert_eq!(s.image.shape(), &shape[..], "inconsistent sample shapes");
+        data.extend_from_slice(s.image.data());
+        labels.push(s.label);
+    }
+    let mut out_shape = vec![samples.len()];
+    out_shape.extend_from_slice(&shape);
+    (Tensor::from_vec(data, &out_shape), labels)
+}
+
+/// Deterministic shuffled mini-batch iterator over an indexed dataset.
+pub struct Batcher {
+    indices: Vec<usize>,
+    batch_size: usize,
+    rng: SmallRng,
+}
+
+impl Batcher {
+    /// New batcher over `n` samples with the given batch size and seed.
+    pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            indices: (0..n).collect(),
+            batch_size,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Reshuffles and returns the epoch's batches of indices. The final
+    /// partial batch is kept (never dropped) so small datasets still train.
+    pub fn epoch(&mut self) -> Vec<Vec<usize>> {
+        self.indices.shuffle(&mut self.rng);
+        self.indices
+            .chunks(self.batch_size)
+            .map(<[usize]>::to_vec)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(label: usize, v: f32) -> Sample {
+        Sample {
+            image: Tensor::full(&[1, 2, 2], v),
+            label,
+        }
+    }
+
+    #[test]
+    fn stack_shapes_and_labels() {
+        let a = sample(0, 1.0);
+        let b = sample(1, 2.0);
+        let (t, labels) = stack(&[&a, &b]);
+        assert_eq!(t.shape(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![0, 1]);
+        assert_eq!(t.row(1).data(), &[2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn stack_empty_panics() {
+        let v: Vec<&Sample> = vec![];
+        stack(&v);
+    }
+
+    #[test]
+    fn batcher_covers_every_index_once_per_epoch() {
+        let mut b = Batcher::new(10, 3, 42);
+        let batches = b.epoch();
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batcher_is_deterministic_per_seed() {
+        let mut a = Batcher::new(20, 5, 1);
+        let mut b = Batcher::new(20, 5, 1);
+        assert_eq!(a.epoch(), b.epoch());
+        let mut c = Batcher::new(20, 5, 2);
+        assert_ne!(a.epoch(), c.epoch());
+    }
+
+    #[test]
+    fn batcher_epochs_differ() {
+        let mut b = Batcher::new(30, 10, 3);
+        let e1 = b.epoch();
+        let e2 = b.epoch();
+        assert_ne!(e1, e2, "epochs should reshuffle");
+    }
+}

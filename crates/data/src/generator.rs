@@ -1,0 +1,389 @@
+//! The latent-prototype domain-pair generator.
+
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One labelled image. For target-domain samples the label exists only for
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Image tensor `[c, h, w]`.
+    pub image: Tensor,
+    /// Task-local label in `0..classes_per_task`.
+    pub label: usize,
+}
+
+/// All data of one sequential task.
+#[derive(Debug, Clone)]
+pub struct TaskData {
+    /// 0-based task index.
+    pub task_id: usize,
+    /// Global class ids covered by this task (`classes_per_task` of them).
+    pub global_classes: Vec<usize>,
+    /// Labelled source-domain training samples.
+    pub source_train: Vec<Sample>,
+    /// Unlabelled target-domain training samples (labels hidden from
+    /// learners; used only to score pseudo-label quality in tests).
+    pub target_train: Vec<Sample>,
+    /// Target-domain test samples (labels used for evaluation only).
+    pub target_test: Vec<Sample>,
+}
+
+impl TaskData {
+    /// Number of classes in this task.
+    pub fn num_classes(&self) -> usize {
+        self.global_classes.len()
+    }
+}
+
+/// A full cross-domain task stream: the data-stream system
+/// `(D_{S_i}, D_{T_i})` of the paper's §III.
+#[derive(Debug, Clone)]
+pub struct CrossDomainStream {
+    /// Benchmark name, e.g. `"office31 A->D"`.
+    pub name: String,
+    /// The sequential tasks.
+    pub tasks: Vec<TaskData>,
+    /// Image layout `(channels, (h, w))`.
+    pub image_layout: (usize, (usize, usize)),
+}
+
+impl CrossDomainStream {
+    /// Number of tasks `T`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// Configuration of a synthetic source/target domain pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DomainPairConfig {
+    /// Benchmark name for reports.
+    pub name: String,
+    /// Total classes (must be divisible by `tasks`).
+    pub num_classes: usize,
+    /// Number of sequential tasks.
+    pub tasks: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height/width.
+    pub hw: (usize, usize),
+    /// Latent prototype dimensionality.
+    pub latent_dim: usize,
+    /// Source↔target rendering gap in `[0, 1]`: 0 = identical domains,
+    /// 1 = unrelated renderings.
+    pub domain_gap: f32,
+    /// Per-task rendering drift in `[0, 1]` — the paper's *task drift*
+    /// (`P_i(X,Y) != P_{i+1}(X,Y)`, §III): each task perturbs the shared
+    /// rendering by this amount, so a sequentially fine-tuned network
+    /// forgets how to read earlier tasks' inputs unless it retains
+    /// task-specific alignment (frozen `K_i`, rehearsal).
+    pub task_drift: f32,
+    /// Latent within-class standard deviation (class overlap).
+    pub within_class_std: f32,
+    /// Additive pixel noise std in the *source* domain.
+    pub source_noise_std: f32,
+    /// Additive pixel noise std in the *target* domain.
+    pub target_noise_std: f32,
+    /// Source training samples per class.
+    pub train_per_class: usize,
+    /// Target training samples per class.
+    pub target_train_per_class: usize,
+    /// Target test samples per class.
+    pub test_per_class: usize,
+    /// Master seed: everything derives deterministically from it.
+    pub seed: u64,
+}
+
+impl DomainPairConfig {
+    /// Classes per task.
+    pub fn classes_per_task(&self) -> usize {
+        assert!(
+            self.num_classes % self.tasks == 0,
+            "{}: {} classes not divisible into {} tasks",
+            self.name,
+            self.num_classes,
+            self.tasks
+        );
+        self.num_classes / self.tasks
+    }
+
+    /// Generates the full task stream.
+    pub fn generate(&self) -> CrossDomainStream {
+        assert!(
+            (0.0..=1.0).contains(&self.domain_gap),
+            "domain_gap must lie in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.task_drift),
+            "task_drift must lie in [0,1]"
+        );
+        let cpt = self.classes_per_task();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let pixels = self.channels * self.hw.0 * self.hw.1;
+
+        // Latent class prototypes, unit-ish scale, well separated.
+        let prototypes: Vec<Tensor> = (0..self.num_classes)
+            .map(|_| Tensor::randn(&mut rng, &[self.latent_dim], 1.0))
+            .collect();
+
+        // Domain renderings: target = sqrt(1-gap) * shared + sqrt(gap) * own.
+        let shared = Tensor::randn(&mut rng, &[self.latent_dim, pixels], 1.0);
+        let source_own = Tensor::randn(&mut rng, &[self.latent_dim, pixels], 1.0);
+        let target_own = Tensor::randn(&mut rng, &[self.latent_dim, pixels], 1.0);
+        // The source keeps a mild private component so the two domains are
+        // never literally identical even at gap = 0.05.
+        let src_gap = (self.domain_gap * 0.25).min(1.0);
+        let scale = 1.0 / (self.latent_dim as f32).sqrt();
+
+        // Per-domain photometric parameters (contrast/brightness), mimicking
+        // e.g. DSLR vs Webcam exposure differences.
+        let source_photo = (1.0, 0.0);
+        let target_photo = (
+            1.0 - 0.3 * self.domain_gap,
+            0.2 * self.domain_gap,
+        );
+
+        let mut tasks = Vec::with_capacity(self.tasks);
+        for t in 0..self.tasks {
+            // Task drift: every task perturbs the *shared* rendering by its
+            // own random direction (identical for both domains, so the
+            // within-task domain gap is preserved while consecutive tasks'
+            // conditionals differ).
+            let drift_dir = Tensor::randn(&mut rng, &[self.latent_dim, pixels], 1.0);
+            let shared_t = mix(&shared, &drift_dir, self.task_drift);
+            let w_source = mix(&shared_t, &source_own, src_gap);
+            let w_target = mix(&shared_t, &target_own, self.domain_gap);
+            let global_classes: Vec<usize> = (t * cpt..(t + 1) * cpt).collect();
+            let mut source_train = Vec::with_capacity(cpt * self.train_per_class);
+            let mut target_train = Vec::with_capacity(cpt * self.target_train_per_class);
+            let mut target_test = Vec::with_capacity(cpt * self.test_per_class);
+            for (local, &gc) in global_classes.iter().enumerate() {
+                let proto = &prototypes[gc];
+                for _ in 0..self.train_per_class {
+                    source_train.push(self.render(
+                        &mut rng,
+                        proto,
+                        &w_source,
+                        scale,
+                        source_photo,
+                        self.source_noise_std,
+                        local,
+                    ));
+                }
+                for _ in 0..self.target_train_per_class {
+                    target_train.push(self.render(
+                        &mut rng,
+                        proto,
+                        &w_target,
+                        scale,
+                        target_photo,
+                        self.target_noise_std,
+                        local,
+                    ));
+                }
+                for _ in 0..self.test_per_class {
+                    target_test.push(self.render(
+                        &mut rng,
+                        proto,
+                        &w_target,
+                        scale,
+                        target_photo,
+                        self.target_noise_std,
+                        local,
+                    ));
+                }
+            }
+            source_train.shuffle(&mut rng);
+            target_train.shuffle(&mut rng);
+            tasks.push(TaskData {
+                task_id: t,
+                global_classes,
+                source_train,
+                target_train,
+                target_test,
+            });
+        }
+        CrossDomainStream {
+            name: self.name.clone(),
+            tasks,
+            image_layout: (self.channels, self.hw),
+        }
+    }
+
+    /// Renders one sample: latent draw → linear mix → tanh squash →
+    /// photometric transform → noise.
+    #[allow(clippy::too_many_arguments)]
+    fn render<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        proto: &Tensor,
+        w: &Tensor,
+        scale: f32,
+        (contrast, brightness): (f32, f32),
+        noise_std: f32,
+        label: usize,
+    ) -> Sample {
+        let latent = proto.add(&Tensor::randn(rng, &[self.latent_dim], self.within_class_std));
+        let flat = latent.reshape(&[1, self.latent_dim]).matmul(w).scale(scale);
+        let mut img = flat.map(|v| v.tanh() * contrast + brightness);
+        if noise_std > 0.0 {
+            img = img.add(&Tensor::randn(rng, img.shape(), noise_std));
+        }
+        Sample {
+            image: img.reshape(&[self.channels, self.hw.0, self.hw.1]),
+            label,
+        }
+    }
+}
+
+/// `sqrt(1-gap) * a + sqrt(gap) * b` — keeps the output variance constant
+/// while interpolating between a shared and a private rendering.
+fn mix(a: &Tensor, b: &Tensor, gap: f32) -> Tensor {
+    a.scale((1.0 - gap).sqrt()).add(&b.scale(gap.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(gap: f32, seed: u64) -> DomainPairConfig {
+        DomainPairConfig {
+            name: "tiny".into(),
+            num_classes: 4,
+            tasks: 2,
+            channels: 1,
+            hw: (8, 8),
+            latent_dim: 6,
+            domain_gap: gap,
+            task_drift: 0.4,
+            within_class_std: 0.3,
+            source_noise_std: 0.05,
+            target_noise_std: 0.05,
+            train_per_class: 10,
+            target_train_per_class: 10,
+            test_per_class: 5,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_expected_task_structure() {
+        let s = tiny(0.3, 1).generate();
+        assert_eq!(s.num_tasks(), 2);
+        assert_eq!(s.tasks[0].global_classes, vec![0, 1]);
+        assert_eq!(s.tasks[1].global_classes, vec![2, 3]);
+        assert_eq!(s.tasks[0].source_train.len(), 20);
+        assert_eq!(s.tasks[0].target_train.len(), 20);
+        assert_eq!(s.tasks[0].target_test.len(), 10);
+        assert_eq!(s.image_layout, (1, (8, 8)));
+    }
+
+    #[test]
+    fn labels_are_task_local() {
+        let s = tiny(0.3, 2).generate();
+        for task in &s.tasks {
+            for sample in task
+                .source_train
+                .iter()
+                .chain(&task.target_train)
+                .chain(&task.target_test)
+            {
+                assert!(sample.label < task.num_classes());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = tiny(0.3, 7).generate();
+        let b = tiny(0.3, 7).generate();
+        assert_eq!(
+            a.tasks[0].source_train[0].image.data(),
+            b.tasks[0].source_train[0].image.data()
+        );
+        let c = tiny(0.3, 8).generate();
+        assert_ne!(
+            a.tasks[0].source_train[0].image.data(),
+            c.tasks[0].source_train[0].image.data()
+        );
+    }
+
+    #[test]
+    fn images_are_bounded_and_finite() {
+        let s = tiny(0.5, 3).generate();
+        for sample in &s.tasks[0].source_train {
+            assert!(sample.image.all_finite());
+            // tanh output + noise: comfortably within [-2, 2]
+            assert!(sample.image.max() < 2.0);
+        }
+    }
+
+    /// Mean pixel-space distance between same-class samples across domains.
+    fn cross_domain_class_distance(s: &CrossDomainStream) -> f32 {
+        let task = &s.tasks[0];
+        let mut total = 0.0;
+        let mut count = 0;
+        for src in task.source_train.iter().take(10) {
+            for tgt in task.target_train.iter().take(10) {
+                if src.label == tgt.label {
+                    total += src.image.sub(&tgt.image).sq_norm().sqrt();
+                    count += 1;
+                }
+            }
+        }
+        total / count as f32
+    }
+
+    #[test]
+    fn larger_gap_means_larger_domain_shift() {
+        let near = cross_domain_class_distance(&tiny(0.05, 4).generate());
+        let far = cross_domain_class_distance(&tiny(0.9, 4).generate());
+        assert!(
+            far > near * 1.2,
+            "gap must widen the shift: near={near} far={far}"
+        );
+    }
+
+    #[test]
+    fn class_structure_exists_within_source_domain() {
+        // Same-class pairs must be closer than different-class pairs in the
+        // source domain, otherwise nothing is learnable.
+        let s = tiny(0.3, 5).generate();
+        let task = &s.tasks[0];
+        let (mut same, mut diff) = (0.0f32, 0.0f32);
+        let (mut ns, mut nd) = (0, 0);
+        for a in task.source_train.iter().take(15) {
+            for b in task.source_train.iter().skip(5).take(15) {
+                let d = a.image.sub(&b.image).sq_norm();
+                if a.label == b.label {
+                    same += d;
+                    ns += 1;
+                } else {
+                    diff += d;
+                    nd += 1;
+                }
+            }
+        }
+        assert!(same / (ns as f32) < diff / (nd as f32));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_classes_panic() {
+        let mut c = tiny(0.3, 1);
+        c.num_classes = 5;
+        c.generate();
+    }
+
+    #[test]
+    #[should_panic(expected = "domain_gap")]
+    fn gap_out_of_range_panics() {
+        let mut c = tiny(0.3, 1);
+        c.domain_gap = 1.5;
+        c.generate();
+    }
+}

@@ -1,0 +1,20 @@
+//! The continual-learning evaluation protocol (paper §V-C).
+//!
+//! After finishing each task `t_i`, the learner is evaluated on the *target
+//! domain* test set of every task seen so far, filling row `i` of the test
+//! classification matrix `R ∈ R^{T×T}` (`R[i][j]` = accuracy on task `j`
+//! after training through task `i`). From `R` the two headline metrics are:
+//!
+//! * **Average accuracy** (Eq. 33): `ACC = (1/T) Σ_j R[T-1][j]` — higher is
+//!   better.
+//! * **Forgetting** (Eq. 34): `FGT = (1/(T-1)) Σ_j max_i (R[i][j] −
+//!   R[T-1][j])` over `j < T-1` — lower is better.
+//!
+//! [`RMatrix`] accumulates the protocol; [`AccSeries`] derives the per-task
+//! accuracy evolution plotted in the paper's Figure 2.
+
+mod rmatrix;
+mod table;
+
+pub use rmatrix::{AccSeries, RMatrix};
+pub use table::{format_table, TableRow};

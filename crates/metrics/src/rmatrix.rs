@@ -1,0 +1,204 @@
+//! The `R` matrix protocol and the metrics derived from it.
+
+use serde::{Deserialize, Serialize};
+
+/// Lower-triangular test classification matrix.
+///
+/// `R[i][j]` (for `j <= i`) is the accuracy on task `j`'s target-domain test
+/// set after the learner finished training task `i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RMatrix {
+    rows: Vec<Vec<f64>>,
+}
+
+impl RMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Records the evaluation row after finishing task `rows.len()`: the
+    /// accuracies on tasks `0..=i`, in task order. The row must have exactly
+    /// one more entry than the previous row.
+    pub fn push_row(&mut self, accuracies: Vec<f64>) {
+        assert_eq!(
+            accuracies.len(),
+            self.rows.len() + 1,
+            "row after task {} must contain {} accuracies",
+            self.rows.len(),
+            self.rows.len() + 1
+        );
+        for (j, a) in accuracies.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(a),
+                "accuracy R[{}][{}] = {} outside [0,1]",
+                self.rows.len(),
+                j,
+                a
+            );
+        }
+        self.rows.push(accuracies);
+    }
+
+    /// Number of completed tasks `T`.
+    pub fn num_tasks(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `R[i][j]` (panics when `j > i`).
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.rows[i][j]
+    }
+
+    /// Average accuracy over the final row (paper Eq. 33), in `[0, 1]`.
+    pub fn acc(&self) -> f64 {
+        let last = self.rows.last().expect("ACC of an empty R matrix");
+        last.iter().sum::<f64>() / last.len() as f64
+    }
+
+    /// Forgetting (paper Eq. 34), in `[-1, 1]`: the mean over tasks
+    /// `j < T-1` of the gap between the best accuracy ever achieved on task
+    /// `j` and the final accuracy on it. Returns 0 for a single task.
+    pub fn fgt(&self) -> f64 {
+        let t = self.rows.len();
+        if t < 2 {
+            return 0.0;
+        }
+        let last = &self.rows[t - 1];
+        let mut total = 0.0;
+        for j in 0..t - 1 {
+            let best = (j..t - 1)
+                .map(|i| self.rows[i][j])
+                .fold(f64::NEG_INFINITY, f64::max);
+            total += best - last[j];
+        }
+        total / (t - 1) as f64
+    }
+
+    /// Per-task accuracy series for the paper's Figure 2: entry `j` holds
+    /// the accuracies on task `j` measured after each of tasks `j..T`.
+    pub fn series(&self) -> Vec<AccSeries> {
+        let t = self.rows.len();
+        (0..t)
+            .map(|j| AccSeries {
+                task: j,
+                accuracies: (j..t).map(|i| self.rows[i][j]).collect(),
+            })
+            .collect()
+    }
+
+    /// Mean and standard deviation of the accuracies of *previously learned*
+    /// tasks after each task — the shaded band of Figure 2. Entry `i`
+    /// summarizes row `i`.
+    pub fn row_mean_std(&self) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let n = row.len() as f64;
+                let mean = row.iter().sum::<f64>() / n;
+                let var = row.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n;
+                (mean, var.sqrt())
+            })
+            .collect()
+    }
+}
+
+impl Default for RMatrix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accuracy trajectory of one task across the learning sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccSeries {
+    /// Task index `j`.
+    pub task: usize,
+    /// `R[j][j], R[j+1][j], …, R[T-1][j]`.
+    pub accuracies: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> RMatrix {
+        let mut r = RMatrix::new();
+        r.push_row(vec![0.9]);
+        r.push_row(vec![0.7, 0.8]);
+        r.push_row(vec![0.5, 0.6, 0.9]);
+        r
+    }
+
+    #[test]
+    fn acc_is_mean_of_final_row() {
+        let r = demo();
+        assert!((r.acc() - (0.5 + 0.6 + 0.9) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fgt_uses_best_previous_row() {
+        let r = demo();
+        // task 0: best over rows 0..2 = 0.9, final 0.5 -> 0.4
+        // task 1: best = 0.8, final 0.6 -> 0.2
+        assert!((r.fgt() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fgt_single_task_is_zero() {
+        let mut r = RMatrix::new();
+        r.push_row(vec![0.5]);
+        assert_eq!(r.fgt(), 0.0);
+    }
+
+    #[test]
+    fn fgt_can_be_negative_with_backward_transfer() {
+        let mut r = RMatrix::new();
+        r.push_row(vec![0.5]);
+        r.push_row(vec![0.9, 0.8]); // task 0 improved after task 1
+        assert!(r.fgt() < 0.0);
+    }
+
+    #[test]
+    fn series_extracts_columns() {
+        let r = demo();
+        let s = r.series();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].accuracies, vec![0.9, 0.7, 0.5]);
+        assert_eq!(s[1].accuracies, vec![0.8, 0.6]);
+        assert_eq!(s[2].accuracies, vec![0.9]);
+    }
+
+    #[test]
+    fn row_mean_std_shapes() {
+        let r = demo();
+        let ms = r.row_mean_std();
+        assert_eq!(ms.len(), 3);
+        assert!((ms[0].0 - 0.9).abs() < 1e-12);
+        assert_eq!(ms[0].1, 0.0);
+        assert!((ms[1].0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain")]
+    fn wrong_row_length_panics() {
+        let mut r = RMatrix::new();
+        r.push_row(vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_accuracy_panics() {
+        let mut r = RMatrix::new();
+        r.push_row(vec![1.5]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = demo();
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: RMatrix = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.acc(), r.acc());
+        assert_eq!(back.fgt(), r.fgt());
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text table rendering for the experiment binaries, mirroring the
+//! layout of the paper's tables (methods as rows, transfer pairs as
+//! columns, best entry highlighted).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of an experiment table: a method name plus one value per column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Method label, e.g. `"DER"`, `"Ours (ACC)"`.
+    pub label: String,
+    /// One value per column; `None` renders as `-`.
+    pub values: Vec<Option<f64>>,
+}
+
+impl TableRow {
+    /// Convenience constructor from fully-populated values.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            values: values.into_iter().map(Some).collect(),
+        }
+    }
+}
+
+/// Renders a paper-style table. `highlight_rows` lists the row indices that
+/// compete for the per-column bold marker (`*`), so upper-bound rows (TVT)
+/// and forgetting rows can be excluded from the comparison, as in the paper.
+pub fn format_table(
+    title: &str,
+    columns: &[&str],
+    rows: &[TableRow],
+    highlight_rows: &[usize],
+) -> String {
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once("Method".len()))
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let col_w = columns
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(6)
+        .max(7);
+
+    // Per-column winner among the highlighted rows.
+    let mut best: Vec<Option<usize>> = vec![None; columns.len()];
+    for (c, slot) in best.iter_mut().enumerate() {
+        let mut best_v = f64::NEG_INFINITY;
+        for &r in highlight_rows {
+            if let Some(Some(v)) = rows.get(r).and_then(|row| row.values.get(c)) {
+                if *v > best_v {
+                    best_v = *v;
+                    *slot = Some(r);
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:label_w$}", "Method"));
+    for c in columns {
+        out.push_str(&format!(" | {c:>col_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + columns.len() * (col_w + 3)));
+    out.push('\n');
+    for (ri, row) in rows.iter().enumerate() {
+        out.push_str(&format!("{:label_w$}", row.label));
+        for (ci, v) in row.values.iter().enumerate() {
+            match v {
+                Some(v) => {
+                    let marker = if best[ci] == Some(ri) { "*" } else { " " };
+                    out.push_str(&format!(" | {:>w$.2}{marker}", v, w = col_w - 1));
+                }
+                None => out.push_str(&format!(" | {:>col_w$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_values() {
+        let rows = vec![
+            TableRow::new("DER", vec![4.45, 4.20]),
+            TableRow::new("Ours", vec![26.22, 22.43]),
+        ];
+        let t = format_table("Table I", &["A->D", "A->W"], &rows, &[0, 1]);
+        assert!(t.contains("Table I"));
+        assert!(t.contains("A->D"));
+        assert!(t.contains("DER"));
+        assert!(t.contains("26.22*"), "winner gets the star:\n{t}");
+        assert!(t.contains("4.45 "), "loser unstarred:\n{t}");
+    }
+
+    #[test]
+    fn missing_values_render_dash() {
+        let rows = vec![TableRow {
+            label: "X".into(),
+            values: vec![None, Some(1.0)],
+        }];
+        let t = format_table("T", &["a", "b"], &rows, &[0]);
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn excluded_rows_never_win() {
+        let rows = vec![
+            TableRow::new("Ours", vec![10.0]),
+            TableRow::new("TVT (upper bound)", vec![99.0]),
+        ];
+        let t = format_table("T", &["col"], &rows, &[0]);
+        assert!(t.contains("10.00*"));
+        assert!(!t.contains("99.00*"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The full feature extractor: tokenizer → encoder → sequence pooling.
+//!
+//! This is the `a(x)` operator of the paper (Eq. 6): images in, pooled
+//! feature vectors `z ∈ R^{b×d}` out. CDCL and every baseline share this
+//! type so that experimental comparisons isolate the learning algorithm.
+
+use cdcl_autograd::{Graph, Param, Var};
+use rand::Rng;
+
+use crate::attention::AttentionMode;
+use crate::encoder::Encoder;
+use crate::layers::{ConvTokenizer, SeqPool};
+use crate::Module;
+
+/// Architecture hyper-parameters of a [`Backbone`].
+///
+/// The paper's two instances (§V-B) map to:
+/// * small — 7 encoder layers, 2-stage 7×7 tokenizer, 28×28×1 inputs;
+/// * large — 14 encoder layers, 2-stage 7×7 tokenizer, 224×224×3 inputs.
+///
+/// The defaults here are scaled down for single-core CPU experiments; the
+/// paper-sized instances remain constructible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackboneConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial size.
+    pub in_hw: (usize, usize),
+    /// Embedding dimension `d`.
+    pub embed_dim: usize,
+    /// Number of encoder layers `L_a`.
+    pub depth: usize,
+    /// Tokenizer stages `L_c`.
+    pub tokenizer_stages: usize,
+    /// Tokenizer kernel size.
+    pub tokenizer_kernel: usize,
+    /// MLP expansion ratio.
+    pub mlp_ratio: usize,
+    /// Task-keyed (paper) vs simple attention (ablation).
+    pub attention: AttentionMode,
+    /// Apply softmax to attention scores (see DESIGN.md §2).
+    pub attn_softmax: bool,
+}
+
+impl Default for BackboneConfig {
+    fn default() -> Self {
+        Self {
+            in_channels: 1,
+            in_hw: (16, 16),
+            embed_dim: 32,
+            depth: 2,
+            tokenizer_stages: 2,
+            tokenizer_kernel: 3,
+            mlp_ratio: 2,
+            attention: AttentionMode::TaskKeyed,
+            attn_softmax: true,
+        }
+    }
+}
+
+impl BackboneConfig {
+    /// The paper's small instance (MNIST↔USPS): 7 encoder layers, 2-stage
+    /// 7×7 tokenizer, 28×28×1 inputs.
+    pub fn paper_small() -> Self {
+        Self {
+            in_channels: 1,
+            in_hw: (28, 28),
+            embed_dim: 128,
+            depth: 7,
+            tokenizer_stages: 2,
+            tokenizer_kernel: 7,
+            mlp_ratio: 2,
+            attention: AttentionMode::TaskKeyed,
+            attn_softmax: true,
+        }
+    }
+
+    /// The paper's large instance (all other benchmarks): 14 encoder layers,
+    /// 2-stage 7×7 tokenizer, 224×224×3 inputs.
+    pub fn paper_large() -> Self {
+        Self {
+            in_channels: 3,
+            in_hw: (224, 224),
+            embed_dim: 256,
+            depth: 14,
+            tokenizer_stages: 2,
+            tokenizer_kernel: 7,
+            mlp_ratio: 2,
+            attention: AttentionMode::TaskKeyed,
+            attn_softmax: true,
+        }
+    }
+}
+
+/// Tokenizer + encoder + pooling: images `[b, c, h, w]` to features
+/// `[b, d]`.
+pub struct Backbone {
+    tokenizer: ConvTokenizer,
+    encoder: Encoder,
+    pool: SeqPool,
+    config: BackboneConfig,
+}
+
+impl Backbone {
+    /// Builds the backbone from a config.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: BackboneConfig) -> Self {
+        let tokenizer = ConvTokenizer::new(
+            rng,
+            config.in_channels,
+            config.in_hw,
+            config.embed_dim,
+            config.tokenizer_stages,
+            config.tokenizer_kernel,
+        );
+        let encoder = Encoder::new(
+            rng,
+            config.embed_dim,
+            config.depth,
+            config.mlp_ratio,
+            config.attention,
+            config.attn_softmax,
+        );
+        let pool = SeqPool::new(rng, config.embed_dim);
+        Self {
+            tokenizer,
+            encoder,
+            pool,
+            config,
+        }
+    }
+
+    /// The architecture config.
+    pub fn config(&self) -> &BackboneConfig {
+        &self.config
+    }
+
+    /// Embedding dimension `d`.
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed_dim
+    }
+
+    /// Tokens per image `n`.
+    pub fn token_count(&self) -> usize {
+        self.tokenizer.token_count()
+    }
+
+    /// The encoder (exposed for freezing checks).
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Instantiates a new task's `K_i`/`b_i` in every layer, freezing the
+    /// previous task's.
+    pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.encoder.add_task(rng);
+    }
+
+    /// Number of task slots (1 in simple-attention mode regardless of how
+    /// many tasks were added).
+    pub fn num_task_slots(&self) -> usize {
+        self.encoder
+            .layers()
+            .first()
+            .map_or(0, |l| l.attention().bank().num_tasks())
+    }
+
+    /// `a(x)` — pooled features of a single stream via self-attention.
+    pub fn features_self(&self, g: &mut Graph, x_img: Var, task: usize) -> Var {
+        let tokens = self.tokenizer.forward(g, x_img);
+        let encoded = self.encoder.forward_self(g, tokens, task);
+        self.pool.forward(g, encoded)
+    }
+
+    /// Mixed features of a (source, target) image pair via cross-attention.
+    pub fn features_cross(&self, g: &mut Graph, x_src: Var, x_tgt: Var, task: usize) -> Var {
+        let src_tokens = self.tokenizer.forward(g, x_src);
+        let tgt_tokens = self.tokenizer.forward(g, x_tgt);
+        let mixed = self.encoder.forward_cross(g, src_tokens, tgt_tokens, task);
+        self.pool.forward(g, mixed)
+    }
+}
+
+impl Module for Backbone {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.tokenizer.params();
+        p.extend(self.encoder.params());
+        p.extend(self.pool.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl_tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small(rng: &mut SmallRng) -> Backbone {
+        let mut b = Backbone::new(rng, BackboneConfig::default());
+        b.add_task(rng);
+        b
+    }
+
+    #[test]
+    fn features_self_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = small(&mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0));
+        let z = b.features_self(&mut g, x, 0);
+        assert_eq!(g.value(z).shape(), &[2, 32]);
+        assert!(g.value(z).all_finite());
+    }
+
+    #[test]
+    fn features_cross_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let b = small(&mut rng);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0));
+        let xt = g.input(Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0));
+        let z = b.features_cross(&mut g, xs, xt, 0);
+        assert_eq!(g.value(z).shape(), &[2, 32]);
+    }
+
+    #[test]
+    fn add_task_grows_slots_and_params() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = small(&mut rng);
+        let p1 = b.num_parameters();
+        b.add_task(&mut rng);
+        assert_eq!(b.num_task_slots(), 2);
+        assert!(b.num_parameters() > p1, "new task must add parameters");
+    }
+
+    #[test]
+    fn paper_configs_construct() {
+        // Construction only — the paper-sized models are too slow to run in
+        // unit tests, but their shapes must be consistent.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let small = Backbone::new(&mut rng, BackboneConfig::paper_small());
+        assert_eq!(small.embed_dim(), 128);
+        assert_eq!(small.token_count(), 49); // 28 -> 14 -> 7
+        assert_eq!(small.encoder().depth(), 7);
+    }
+
+    #[test]
+    fn new_task_keys_warm_start_then_diverge() {
+        // New task keys warm-start from the previous task's values
+        // (DESIGN.md §2): features initially coincide, but the new pair is
+        // distinct trainable storage, so training moves only the new task.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = small(&mut rng);
+        b.add_task(&mut rng);
+        let img = Tensor::randn(&mut rng, &[1, 1, 16, 16], 1.0);
+        let mut g = Graph::new();
+        let x = g.input(img);
+        let z0 = b.features_self(&mut g, x, 0);
+        let z1 = b.features_self(&mut g, x, 1);
+        assert_eq!(g.value(z0).data(), g.value(z1).data(), "warm start");
+
+        // Perturb the (trainable) task-1 keys only; task-0 output must not
+        // move, task-1 output must.
+        use crate::Module;
+        for p in b.params() {
+            if p.trainable() && p.name().contains("key1") {
+                p.set_value(p.value().add_scalar(0.05));
+            }
+        }
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut SmallRng::seed_from_u64(5), &[1, 1, 16, 16], 1.0));
+        let z0b = b.features_self(&mut g, x, 0);
+        let z1b = b.features_self(&mut g, x, 1);
+        assert_ne!(g.value(z0b).data(), g.value(z1b).data());
+    }
+}

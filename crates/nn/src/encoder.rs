@@ -1,0 +1,257 @@
+//! Pre-norm transformer encoder stack with self and cross paths.
+
+use cdcl_autograd::{Graph, Param, Var};
+use rand::Rng;
+
+use crate::attention::{AttentionMode, InterIntraAttention};
+use crate::layers::{LayerNorm, Linear};
+use crate::Module;
+
+/// Two-layer GELU MLP (the transformer feed-forward block).
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Mlp {
+    /// New MLP `d -> hidden -> d`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, d: usize, hidden: usize) -> Self {
+        Self {
+            fc1: Linear::new(rng, &format!("{name}.fc1"), d, hidden, true),
+            fc2: Linear::new(rng, &format!("{name}.fc2"), hidden, d, true),
+        }
+    }
+
+    /// Applies the MLP token-wise.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let h = self.fc1.forward(g, x);
+        let h = g.gelu(h);
+        self.fc2.forward(g, h)
+    }
+}
+
+impl Module for Mlp {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.fc1.params();
+        p.extend(self.fc2.params());
+        p
+    }
+}
+
+/// One pre-norm encoder layer:
+/// `x = x + Attn(LN(x)); x = x + MLP(LN(x))`.
+pub struct EncoderLayer {
+    attn: InterIntraAttention,
+    mlp: Mlp,
+    norm1: LayerNorm,
+    norm2: LayerNorm,
+}
+
+impl EncoderLayer {
+    /// New layer for embedding dim `d` with MLP expansion `mlp_ratio`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: &str,
+        d: usize,
+        mlp_ratio: usize,
+        mode: AttentionMode,
+        softmax: bool,
+    ) -> Self {
+        Self {
+            attn: InterIntraAttention::new(rng, &format!("{name}.attn"), d, mode, softmax),
+            mlp: Mlp::new(rng, &format!("{name}.mlp"), d, d * mlp_ratio),
+            norm1: LayerNorm::new(&format!("{name}.norm1"), d),
+            norm2: LayerNorm::new(&format!("{name}.norm2"), d),
+        }
+    }
+
+    /// The attention block (exposed for freezing checks).
+    pub fn attention(&self) -> &InterIntraAttention {
+        &self.attn
+    }
+
+    /// Instantiates a new task's key/bias projections, freezing old ones.
+    pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.attn.add_task(rng);
+    }
+
+    /// Self path on a single stream.
+    pub fn forward_self(&self, g: &mut Graph, x: Var, task: usize) -> Var {
+        let n1 = self.norm1.forward(g, x);
+        let a = self.attn.forward_self(g, n1, task);
+        let x = g.add(x, a);
+        let n2 = self.norm2.forward(g, x);
+        let m = self.mlp.forward(g, n2);
+        g.add(x, m)
+    }
+
+    /// Cross path: updates the `mixed` stream with queries from `mixed` and
+    /// keys/values from the (pre-layer) `target` stream, then applies the
+    /// layer's MLP — the "mixed signal" arrow of Figure 1.
+    pub fn forward_cross(&self, g: &mut Graph, mixed: Var, target: Var, task: usize) -> Var {
+        let nq = self.norm1.forward(g, mixed);
+        let nk = self.norm1.forward(g, target);
+        let a = self.attn.forward_cross(g, nq, nk, task);
+        let x = g.add(mixed, a);
+        let n2 = self.norm2.forward(g, x);
+        let m = self.mlp.forward(g, n2);
+        g.add(x, m)
+    }
+}
+
+impl Module for EncoderLayer {
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.attn.params();
+        p.extend(self.mlp.params());
+        p.extend(self.norm1.params());
+        p.extend(self.norm2.params());
+        p
+    }
+}
+
+/// A stack of encoder layers.
+pub struct Encoder {
+    layers: Vec<EncoderLayer>,
+}
+
+impl Encoder {
+    /// New stack of `depth` layers.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        d: usize,
+        depth: usize,
+        mlp_ratio: usize,
+        mode: AttentionMode,
+        softmax: bool,
+    ) -> Self {
+        let layers = (0..depth)
+            .map(|i| EncoderLayer::new(rng, &format!("enc{i}"), d, mlp_ratio, mode, softmax))
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers (exposed for tests).
+    pub fn layers(&self) -> &[EncoderLayer] {
+        &self.layers
+    }
+
+    /// Instantiates a new task in every layer.
+    pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for l in &mut self.layers {
+            l.add_task(rng);
+        }
+    }
+
+    /// Self path: a single stream through every layer.
+    pub fn forward_self(&self, g: &mut Graph, mut x: Var, task: usize) -> Var {
+        for l in &self.layers {
+            x = l.forward_self(g, x, task);
+        }
+        x
+    }
+
+    /// Cross path: the target stream advances by self-attention; the mixed
+    /// stream advances by cross-attention against the target stream's
+    /// *pre-layer* representation (CDTrans-style two-stream weaving).
+    /// Returns the final mixed stream.
+    pub fn forward_cross(&self, g: &mut Graph, x_src: Var, x_tgt: Var, task: usize) -> Var {
+        let mut mixed = x_src;
+        let mut tgt = x_tgt;
+        for l in &self.layers {
+            mixed = l.forward_cross(g, mixed, tgt, task);
+            tgt = l.forward_self(g, tgt, task);
+        }
+        mixed
+    }
+}
+
+impl Module for Encoder {
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(Module::params).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl_tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn enc(rng: &mut SmallRng, d: usize, depth: usize) -> Encoder {
+        let mut e = Encoder::new(rng, d, depth, 2, AttentionMode::TaskKeyed, true);
+        e.add_task(rng);
+        e
+    }
+
+    #[test]
+    fn self_path_preserves_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let e = enc(&mut rng, 8, 2);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 5, 8], 1.0));
+        let y = e.forward_self(&mut g, x, 0);
+        assert_eq!(g.value(y).shape(), &[2, 5, 8]);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn cross_path_preserves_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let e = enc(&mut rng, 8, 2);
+        let mut g = Graph::new();
+        let xs = g.input(Tensor::randn(&mut rng, &[2, 5, 8], 1.0));
+        let xt = g.input(Tensor::randn(&mut rng, &[2, 5, 8], 1.0));
+        let y = e.forward_cross(&mut g, xs, xt, 0);
+        assert_eq!(g.value(y).shape(), &[2, 5, 8]);
+    }
+
+    #[test]
+    fn add_task_grows_every_layer_bank() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut e = enc(&mut rng, 4, 3);
+        e.add_task(&mut rng);
+        for l in e.layers() {
+            assert_eq!(l.attention().bank().num_tasks(), 2);
+            assert!(!l.attention().bank().task_trainable(0));
+            assert!(l.attention().bank().task_trainable(1));
+        }
+    }
+
+    #[test]
+    fn deeper_encoder_has_more_params() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let e1 = enc(&mut rng, 8, 1);
+        let e2 = enc(&mut rng, 8, 3);
+        assert!(e2.num_parameters() > e1.num_parameters());
+        assert_eq!(e2.num_parameters() % e1.num_parameters(), 0);
+    }
+
+    #[test]
+    fn gradients_flow_through_full_stack() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let e = enc(&mut rng, 4, 2);
+        for p in e.params() {
+            p.zero_grad();
+        }
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[1, 3, 4], 1.0));
+        let y = e.forward_self(&mut g, x, 0);
+        let y2 = g.mul(y, y);
+        let l = g.mean_all(y2);
+        g.backward(l);
+        let touched = e
+            .params()
+            .iter()
+            .filter(|p| p.trainable() && p.grad().sq_norm() > 0.0)
+            .count();
+        // every trainable param should receive gradient in this dense graph
+        let trainable = e.params().iter().filter(|p| p.trainable()).count();
+        assert_eq!(touched, trainable);
+    }
+}

@@ -1,0 +1,218 @@
+//! Classifier heads: the multi-head TIL output (`f^TIL`, Eq. 7) and the
+//! single growing CIL output (`f^CIL`, Eq. 8).
+
+use cdcl_autograd::{Graph, Param, Var};
+use cdcl_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::layers::Linear;
+use crate::Module;
+
+/// Multi-head output used for TIL: one `d -> u_t` linear classifier per
+/// task, selected by the task identifier available at inference time.
+pub struct TilHeads {
+    heads: Vec<Linear>,
+    d: usize,
+}
+
+impl TilHeads {
+    /// Empty multi-head output.
+    pub fn new(d: usize) -> Self {
+        Self { heads: Vec::new(), d }
+    }
+
+    /// Number of task heads.
+    pub fn num_tasks(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of classes of a given task head.
+    pub fn task_classes(&self, task: usize) -> usize {
+        self.heads[task].out_dim()
+    }
+
+    /// Appends a head for a new task with `classes` outputs.
+    pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R, classes: usize) {
+        let i = self.heads.len();
+        self.heads
+            .push(Linear::new(rng, &format!("til.head{i}"), self.d, classes, true));
+    }
+
+    /// Logits of task `task` for features `z: [b, d]`.
+    pub fn forward(&self, g: &mut Graph, z: Var, task: usize) -> Var {
+        assert!(task < self.heads.len(), "no TIL head for task {task}");
+        self.heads[task].forward(g, z)
+    }
+}
+
+impl Module for TilHeads {
+    fn params(&self) -> Vec<Param> {
+        self.heads.iter().flat_map(Module::params).collect()
+    }
+}
+
+/// A linear classifier whose output dimension grows as new classes arrive,
+/// preserving previously learned rows — the single-head CIL output.
+pub struct GrowingLinear {
+    w: Param,
+    b: Param,
+    d: usize,
+    classes: usize,
+    name: String,
+}
+
+impl GrowingLinear {
+    /// New head with an initial number of classes (may be 0).
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, name: &str, d: usize, classes: usize) -> Self {
+        let w = if classes == 0 {
+            Param::new(format!("{name}.w"), Tensor::zeros(&[d, 0]))
+        } else {
+            Param::new(
+                format!("{name}.w"),
+                xavier_uniform(rng, &[d, classes], d, classes),
+            )
+        };
+        let b = Param::new(format!("{name}.b"), Tensor::zeros(&[classes]));
+        Self {
+            w,
+            b,
+            d,
+            classes,
+            name: name.to_string(),
+        }
+    }
+
+    /// Current number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Grows the head by `new_classes` outputs. Existing columns (and their
+    /// optimizer-visible identity) are preserved: the weight tensor is
+    /// re-created with the old values copied in, inside the *same* [`Param`]
+    /// cell, so optimizers keyed on the parameter keep working — their
+    /// per-parameter state is reset by the caller via
+    /// [`GrowingLinear::params`] re-registration.
+    pub fn grow<R: Rng + ?Sized>(&mut self, rng: &mut R, new_classes: usize) {
+        if new_classes == 0 {
+            return;
+        }
+        let old_w = self.w.value();
+        let old_b = self.b.value();
+        let total = self.classes + new_classes;
+        let mut w = xavier_uniform(rng, &[self.d, total], self.d, total);
+        for r in 0..self.d {
+            for c in 0..self.classes {
+                w.data_mut()[r * total + c] = old_w.data()[r * self.classes + c];
+            }
+        }
+        let mut b = Tensor::zeros(&[total]);
+        b.data_mut()[..self.classes].copy_from_slice(old_b.data());
+        // Shapes change, so fresh Param cells are required (Param::set_value
+        // rejects shape changes by design). Optimizers must re-collect
+        // parameters after growth; the trainers in cdcl-core do.
+        self.w = Param::new(format!("{}.w", self.name), w);
+        self.b = Param::new(format!("{}.b", self.name), b);
+        self.classes = total;
+    }
+
+    /// Logits over all known classes for features `z: [b, d]`.
+    pub fn forward(&self, g: &mut Graph, z: Var) -> Var {
+        assert!(self.classes > 0, "growing head has no classes yet");
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        let y = g.matmul(z, w);
+        g.add(y, b)
+    }
+}
+
+impl Module for GrowingLinear {
+    fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn til_heads_per_task_dims() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut heads = TilHeads::new(8);
+        heads.add_task(&mut rng, 2);
+        heads.add_task(&mut rng, 5);
+        assert_eq!(heads.num_tasks(), 2);
+        assert_eq!(heads.task_classes(0), 2);
+        assert_eq!(heads.task_classes(1), 5);
+        let mut g = Graph::new();
+        let z = g.input(Tensor::zeros(&[3, 8]));
+        let y0 = heads.forward(&mut g, z, 0);
+        assert_eq!(g.value(y0).shape(), &[3, 2]);
+        let y1 = heads.forward(&mut g, z, 1);
+        assert_eq!(g.value(y1).shape(), &[3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no TIL head")]
+    fn til_unknown_task_panics() {
+        let heads = TilHeads::new(4);
+        let mut g = Graph::new();
+        let z = g.input(Tensor::zeros(&[1, 4]));
+        heads.forward(&mut g, z, 0);
+    }
+
+    #[test]
+    fn growing_linear_preserves_old_logits() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut head = GrowingLinear::new(&mut rng, "cil", 4, 3);
+        let z = Tensor::randn(&mut rng, &[2, 4], 1.0);
+        let mut g = Graph::new();
+        let zv = g.input(z.clone());
+        let yb = head.forward(&mut g, zv);
+        let before = g.value(yb).clone();
+
+        head.grow(&mut rng, 2);
+        assert_eq!(head.classes(), 5);
+        let mut g = Graph::new();
+        let zv = g.input(z);
+        let ya = head.forward(&mut g, zv);
+        let after = g.value(ya).clone();
+        assert_eq!(after.shape(), &[2, 5]);
+        // first three logits unchanged
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!(
+                    (after.at(&[r, c]) - before.at(&[r, c])).abs() < 1e-6,
+                    "logit ({r},{c}) changed on grow"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_from_zero() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut head = GrowingLinear::new(&mut rng, "cil", 4, 0);
+        assert_eq!(head.classes(), 0);
+        head.grow(&mut rng, 3);
+        assert_eq!(head.classes(), 3);
+        let mut g = Graph::new();
+        let z = g.input(Tensor::zeros(&[1, 4]));
+        let y = head.forward(&mut g, z);
+        assert_eq!(g.value(y).shape(), &[1, 3]);
+    }
+
+    #[test]
+    fn grow_zero_is_noop() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut head = GrowingLinear::new(&mut rng, "cil", 4, 2);
+        let key_before = head.params()[0].key();
+        head.grow(&mut rng, 0);
+        assert_eq!(head.classes(), 2);
+        assert_eq!(head.params()[0].key(), key_before);
+    }
+}

@@ -1,0 +1,44 @@
+//! Weight initialisation helpers.
+
+use cdcl_tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(rng, shape, -a, a)
+}
+
+/// Kaiming/He standard deviation for ReLU fan-in initialisation.
+pub fn kaiming_std(fan_in: usize) -> f32 {
+    (2.0 / fan_in as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_match_fan() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = xavier_uniform(&mut rng, &[100, 100], 100, 100);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.max() <= bound);
+        assert!(t.data().iter().all(|v| *v >= -bound));
+        // Not degenerate: spans a reasonable fraction of the range.
+        assert!(t.max() > bound * 0.8);
+    }
+
+    #[test]
+    fn kaiming_std_value() {
+        assert!((kaiming_std(8) - 0.5).abs() < 1e-6);
+    }
+}

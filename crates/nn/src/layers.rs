@@ -1,0 +1,384 @@
+//! Basic layers: `Linear`, `Conv2dLayer`, `LayerNorm`, the CCT convolutional
+//! tokenizer (Eq. 1), and sequence pooling (Eqs. 4–6).
+
+use cdcl_autograd::{Graph, Param, Var};
+use cdcl_tensor::{Conv2dSpec, Pool2dSpec, Tensor};
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::Module;
+
+/// Fully connected layer `y = x W + b`. Accepts `[b, in]` or `[b, n, in]`
+/// inputs (the latter applies the layer token-wise).
+pub struct Linear {
+    w: Param,
+    b: Option<Param>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// New layer with Xavier-initialised weight and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = Param::new(
+            format!("{name}.w"),
+            xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
+        );
+        let b = bias.then(|| Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.w
+    }
+
+    /// Applies the layer on the tape.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.w);
+        let y = g.matmul(x, w);
+        match &self.b {
+            Some(b) => {
+                let b = g.param(b);
+                g.add(y, b)
+            }
+            None => y,
+        }
+    }
+}
+
+impl Module for Linear {
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// Convolution layer wrapping [`cdcl_autograd::Graph::conv2d`].
+pub struct Conv2dLayer {
+    w: Param,
+    b: Param,
+    spec: Conv2dSpec,
+}
+
+impl Conv2dLayer {
+    /// New conv layer `[c_out, c_in, k, k]` with Xavier init.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: &str,
+        c_in: usize,
+        c_out: usize,
+        spec: Conv2dSpec,
+    ) -> Self {
+        let k = spec.kernel;
+        let fan_in = c_in * k * k;
+        let fan_out = c_out * k * k;
+        Self {
+            w: Param::new(
+                format!("{name}.w"),
+                xavier_uniform(rng, &[c_out, c_in, k, k], fan_in, fan_out),
+            ),
+            b: Param::new(format!("{name}.b"), Tensor::zeros(&[c_out])),
+            spec,
+        }
+    }
+
+    /// Applies the convolution on the tape.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.w);
+        let b = g.param(&self.b);
+        g.conv2d(x, w, Some(b), self.spec)
+    }
+
+    /// The convolution spec.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+}
+
+impl Module for Conv2dLayer {
+    fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+}
+
+/// Layer normalisation over the last axis with learnable affine.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// New layer-norm over a `d`-dimensional last axis.
+    pub fn new(name: &str, d: usize) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[d])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[d])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies the normalisation on the tape.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// The CCT convolutional tokenizer (paper Eq. 1):
+/// `x_ct = MaxPool(ReLU(Conv2d(x)))`, repeated `stages` times, with the last
+/// stage emitting `d` channels. The `[b, d, h, w]` activation map is then
+/// flattened to a `[b, n, d]` token sequence (`n = h·w`).
+pub struct ConvTokenizer {
+    stages: Vec<Conv2dLayer>,
+    pool: Pool2dSpec,
+    in_hw: (usize, usize),
+    in_channels: usize,
+    token_count: usize,
+    embed_dim: usize,
+}
+
+impl ConvTokenizer {
+    /// Builds a tokenizer.
+    ///
+    /// * `in_channels`, `in_hw` — input image layout.
+    /// * `embed_dim` — `d`, the transformer embedding size (channel count of
+    ///   the final stage; intermediate stages use `embed_dim / 2`).
+    /// * `stages` — number of conv+pool stages (the paper uses 2).
+    /// * `kernel` — conv kernel size (the paper uses 7×7 for the large model,
+    ///   we default to 3×3 at small resolutions; padding keeps spatial size).
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        in_hw: (usize, usize),
+        embed_dim: usize,
+        stages: usize,
+        kernel: usize,
+    ) -> Self {
+        assert!(stages >= 1, "tokenizer needs at least one stage");
+        let pool = Pool2dSpec { kernel: 2, stride: 2 };
+        let conv_spec = Conv2dSpec { kernel, stride: 1, padding: kernel / 2 };
+        let mut convs = Vec::with_capacity(stages);
+        let mut c_in = in_channels;
+        let (mut h, mut w) = in_hw;
+        for s in 0..stages {
+            let c_out = if s + 1 == stages {
+                embed_dim
+            } else {
+                (embed_dim / 2).max(1)
+            };
+            convs.push(Conv2dLayer::new(
+                rng,
+                &format!("tokenizer.conv{s}"),
+                c_in,
+                c_out,
+                conv_spec,
+            ));
+            let (ch, cw) = conv_spec.out_hw(h, w);
+            let (ph, pw) = pool.out_hw(ch, cw);
+            h = ph;
+            w = pw;
+            c_in = c_out;
+        }
+        Self {
+            stages: convs,
+            pool,
+            in_hw,
+            in_channels,
+            token_count: h * w,
+            embed_dim,
+        }
+    }
+
+    /// Number of tokens `n` the tokenizer emits per image.
+    pub fn token_count(&self) -> usize {
+        self.token_count
+    }
+
+    /// Embedding dimension `d`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Expected input layout `(channels, (h, w))`.
+    pub fn input_layout(&self) -> (usize, (usize, usize)) {
+        (self.in_channels, self.in_hw)
+    }
+
+    /// Tokenizes `x: [b, c, h, w]` into `[b, n, d]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let mut h = x;
+        for conv in &self.stages {
+            h = conv.forward(g, h);
+            h = g.relu(h);
+            h = g.maxpool2d(h, self.pool);
+        }
+        // [b, d, h, w] -> [b, d, n] -> [b, n, d]
+        let shape = g.value(h).shape().to_vec();
+        let (b, d, hh, ww) = (shape[0], shape[1], shape[2], shape[3]);
+        let h = g.reshape(h, &[b, d, hh * ww]);
+        g.transpose_last2(h)
+    }
+}
+
+impl Module for ConvTokenizer {
+    fn params(&self) -> Vec<Param> {
+        self.stages.iter().flat_map(Module::params).collect()
+    }
+}
+
+/// Attention-based sequence pooling (paper Eqs. 4–6):
+/// `z = softmax(g(x_L)ᵀ) · x_L`, where `g` is a learned `d → 1` map.
+pub struct SeqPool {
+    g: Linear,
+}
+
+impl SeqPool {
+    /// New pooling head for embedding dimension `d`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Self {
+        Self {
+            g: Linear::new(rng, "seqpool.g", d, 1, true),
+        }
+    }
+
+    /// Pools `x: [b, n, d]` into `[b, d]`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        let (b, d) = (shape[0], shape[2]);
+        let scores = self.g.forward(g, x); // [b, n, 1]
+        let scores = g.transpose_last2(scores); // [b, 1, n]
+        let weights = g.softmax_last(scores); // Eq. 4
+        let z = g.matmul(weights, x); // Eq. 5: [b, 1, d]
+        g.reshape(z, &[b, d]) // flatten (Eq. 6)
+    }
+}
+
+impl Module for SeqPool {
+    fn params(&self) -> Vec<Param> {
+        self.g.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_2d_and_3d() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let lin = Linear::new(&mut rng, "l", 4, 6, true);
+        let mut g = Graph::new();
+        let x2 = g.input(Tensor::zeros(&[3, 4]));
+        let y2 = lin.forward(&mut g, x2);
+        assert_eq!(g.value(y2).shape(), &[3, 6]);
+        let x3 = g.input(Tensor::zeros(&[2, 5, 4]));
+        let y3 = lin.forward(&mut g, x3);
+        assert_eq!(g.value(y3).shape(), &[2, 5, 6]);
+        assert_eq!(lin.num_parameters(), 4 * 6 + 6);
+    }
+
+    #[test]
+    fn linear_zero_bias_initially() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let lin = Linear::new(&mut rng, "l", 3, 2, true);
+        // y(0) = b = 0
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 3]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tokenizer_emits_expected_tokens() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // 16x16 input, 2 stages of /2 pooling -> 4x4 = 16 tokens.
+        let tok = ConvTokenizer::new(&mut rng, 1, (16, 16), 8, 2, 3);
+        assert_eq!(tok.token_count(), 16);
+        assert_eq!(tok.embed_dim(), 8);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 1, 16, 16]));
+        let t = tok.forward(&mut g, x);
+        assert_eq!(g.value(t).shape(), &[2, 16, 8]);
+    }
+
+    #[test]
+    fn tokenizer_single_stage() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let tok = ConvTokenizer::new(&mut rng, 3, (8, 8), 4, 1, 3);
+        assert_eq!(tok.token_count(), 16); // 8/2 = 4 -> 4x4
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 3, 8, 8]));
+        let t = tok.forward(&mut g, x);
+        assert_eq!(g.value(t).shape(), &[1, 16, 4]);
+    }
+
+    #[test]
+    fn seqpool_output_shape_and_convexity() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pool = SeqPool::new(&mut rng, 4);
+        let mut g = Graph::new();
+        // All tokens identical -> pooled output equals that token regardless
+        // of the attention weights (convex combination).
+        let token = [1.0f32, -2.0, 0.5, 3.0];
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.extend_from_slice(&token);
+        }
+        let x = g.input(Tensor::from_vec(data, &[1, 5, 4]));
+        let z = pool.forward(&mut g, x);
+        assert_eq!(g.value(z).shape(), &[1, 4]);
+        cdcl_tensor::assert_close(g.value(z).data(), &token, 1e-5);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let ln = LayerNorm::new("ln", 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]));
+        let y = ln.forward(&mut g, x);
+        let out = g.value(y);
+        assert!(out.mean().abs() < 1e-5);
+        let var = out.map(|v| v * v).mean();
+        assert!((var - 1.0).abs() < 1e-3, "var {var}");
+    }
+
+    #[test]
+    fn conv_layer_preserves_spatial_with_padding() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let conv = Conv2dLayer::new(&mut rng, "c", 2, 5, spec);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 2, 7, 7]));
+        let y = conv.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 5, 7, 7]);
+    }
+}

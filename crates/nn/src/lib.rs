@@ -1,0 +1,49 @@
+//! Neural-network modules for the CDCL reproduction.
+//!
+//! The module zoo is exactly the paper's model (§IV-A, Figure 1):
+//!
+//! * [`ConvTokenizer`] — the CCT-style convolutional tokenizer of Eq. 1
+//!   (`MaxPool(ReLU(Conv2d(x)))` stacked), which replaces ViT patch
+//!   embedding and emits a `[b, n, d]` token sequence.
+//! * [`TaskKeyBank`] + [`InterIntraAttention`] — the *inter- intra-task
+//!   cross-attention* of Eqs. 2–3: global query/value projections shared by
+//!   every task, per-task key/bias projections `K_i`, `b_i` that are frozen
+//!   once their task finishes.
+//! * [`EncoderLayer`] / [`Encoder`] — pre-norm transformer encoder stack with
+//!   a *self* path (single-domain input) and a *cross* path (source queries
+//!   against target keys/values, producing the mixed signal of Figure 1).
+//! * [`SeqPool`] — the attention-based sequence pooling of Eqs. 4–6.
+//! * [`TilHeads`] (multi-head, one per task) and [`GrowingLinear`] (the
+//!   single growing CIL head) — Eqs. 7–8.
+//! * [`Backbone`] — tokenizer + encoder + pooling glued together, shared by
+//!   CDCL and every baseline so comparisons isolate the algorithm.
+//!
+//! All modules expose their parameters through [`Module::params`] for the
+//! optimizers in `cdcl-optim`.
+
+mod attention;
+mod backbone;
+mod encoder;
+mod heads;
+mod init;
+mod layers;
+
+pub use attention::{AttentionMode, InterIntraAttention, TaskKeyBank};
+pub use backbone::{Backbone, BackboneConfig};
+pub use encoder::{Encoder, EncoderLayer, Mlp};
+pub use heads::{GrowingLinear, TilHeads};
+pub use init::{kaiming_std, xavier_uniform};
+pub use layers::{Conv2dLayer, ConvTokenizer, LayerNorm, Linear, SeqPool};
+
+use cdcl_autograd::Param;
+
+/// Anything that owns trainable parameters.
+pub trait Module {
+    /// All parameters of the module (clones alias the underlying storage).
+    fn params(&self) -> Vec<Param>;
+
+    /// Total scalar parameter count.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(Param::num_elements).sum()
+    }
+}

@@ -1,0 +1,14 @@
+//! Optimizers and learning-rate schedules for the CDCL reproduction.
+//!
+//! The paper trains with AdamW and a warm-up + cosine-annealing learning
+//! rate: "CDCL uses AdamW optimizer with a warm-up learning-rate λ = 1e-5, a
+//! cosine annealing learning-rate starting at λ = 5e-5 and a minimum
+//! learning-rate of λ = 1e-6" (§V-B). [`WarmupCosine`] reproduces exactly
+//! that curve; [`AdamW`] implements decoupled weight decay (Loshchilov &
+//! Hutter). SGD and Adam are provided for the baselines.
+
+mod optimizer;
+mod schedule;
+
+pub use optimizer::{Adam, AdamW, Optimizer, Sgd};
+pub use schedule::{ConstantLr, LrSchedule, WarmupCosine};

@@ -1,0 +1,355 @@
+//! First-order optimizers operating on [`Param`] cells.
+
+use cdcl_autograd::Param;
+use cdcl_tensor::Tensor;
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Applies one update step at learning rate `lr`, then leaves gradients
+    /// untouched (call [`Optimizer::zero_grad`] to clear them).
+    fn step(&mut self, lr: f32);
+
+    /// Clears every managed parameter's gradient.
+    fn zero_grad(&self);
+
+    /// Replaces the managed parameter set (used after a model grows — e.g.
+    /// when the CIL head gains classes or a new task's `K_i`/`b_i` appear).
+    /// Optimizer state for surviving parameters is preserved; state for new
+    /// parameters starts fresh.
+    fn rebind(&mut self, params: Vec<Param>);
+
+    /// The parameters currently managed.
+    fn params(&self) -> &[Param];
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    params: Vec<Param>,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// New SGD over `params` with `momentum` (0 disables it).
+    pub fn new(params: Vec<Param>, momentum: f32) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape()))
+            .collect();
+        Self {
+            params,
+            momentum,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, lr: f32) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            if !p.trainable() {
+                continue;
+            }
+            let lr = lr * p.lr_scale();
+            p.apply_update(|value, grad| {
+                if self.momentum > 0.0 {
+                    // v = m*v + g ; w -= lr * v
+                    let mut new_v = v.scale(self.momentum);
+                    new_v.add_assign_scaled(grad, 1.0);
+                    value.add_assign_scaled(&new_v, -lr);
+                    *v = new_v;
+                } else {
+                    value.add_assign_scaled(grad, -lr);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn rebind(&mut self, params: Vec<Param>) {
+        let mut velocity = Vec::with_capacity(params.len());
+        for p in &params {
+            let existing = self
+                .params
+                .iter()
+                .position(|q| q.same(p))
+                .map(|i| self.velocity[i].clone());
+            velocity.push(existing.unwrap_or_else(|| Tensor::zeros(&p.shape())));
+        }
+        self.params = params;
+        self.velocity = velocity;
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Per-parameter Adam moments.
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
+}
+
+/// Adam optimizer (Kingma & Ba). `AdamW` extends it with decoupled weight
+/// decay.
+pub struct Adam {
+    params: Vec<Param>,
+    state: Vec<AdamState>,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    /// Decoupled weight-decay coefficient (0 = plain Adam).
+    weight_decay: f32,
+    t: i32,
+}
+
+impl Adam {
+    /// Plain Adam with default betas `(0.9, 0.999)`.
+    pub fn new(params: Vec<Param>) -> Self {
+        Self::with_config(params, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully configurable constructor.
+    pub fn with_config(
+        params: Vec<Param>,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let state = params
+            .iter()
+            .map(|p| AdamState {
+                m: Tensor::zeros(&p.shape()),
+                v: Tensor::zeros(&p.shape()),
+            })
+            .collect();
+        Self {
+            params,
+            state,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (p, s) in self.params.iter().zip(self.state.iter_mut()) {
+            if !p.trainable() {
+                continue;
+            }
+            let lr = lr * p.lr_scale();
+            p.apply_update(|value, grad| {
+                for i in 0..grad.len() {
+                    let g = grad.data()[i];
+                    let m = self.beta1 * s.m.data()[i] + (1.0 - self.beta1) * g;
+                    let v = self.beta2 * s.v.data()[i] + (1.0 - self.beta2) * g * g;
+                    s.m.data_mut()[i] = m;
+                    s.v.data_mut()[i] = v;
+                    let m_hat = m / bc1;
+                    let v_hat = v / bc2;
+                    let mut update = -lr * m_hat / (v_hat.sqrt() + self.eps);
+                    if self.weight_decay > 0.0 {
+                        // Decoupled decay (AdamW): shrink weights directly.
+                        update -= lr * self.weight_decay * value.data()[i];
+                    }
+                    value.data_mut()[i] += update;
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn rebind(&mut self, params: Vec<Param>) {
+        let mut state = Vec::with_capacity(params.len());
+        for p in &params {
+            let existing = self.params.iter().position(|q| q.same(p));
+            match existing {
+                Some(i) => state.push(AdamState {
+                    m: self.state[i].m.clone(),
+                    v: self.state[i].v.clone(),
+                }),
+                None => state.push(AdamState {
+                    m: Tensor::zeros(&p.shape()),
+                    v: Tensor::zeros(&p.shape()),
+                }),
+            }
+        }
+        self.params = params;
+        self.state = state;
+    }
+
+    fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay — the paper's optimizer (§V-B).
+pub struct AdamW(Adam);
+
+impl AdamW {
+    /// AdamW with the usual defaults and `weight_decay = 0.01`.
+    pub fn new(params: Vec<Param>) -> Self {
+        Self(Adam::with_config(params, 0.9, 0.999, 1e-8, 0.01))
+    }
+
+    /// AdamW with a custom decay coefficient.
+    pub fn with_weight_decay(params: Vec<Param>, weight_decay: f32) -> Self {
+        Self(Adam::with_config(params, 0.9, 0.999, 1e-8, weight_decay))
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, lr: f32) {
+        self.0.step(lr);
+    }
+
+    fn zero_grad(&self) {
+        self.0.zero_grad();
+    }
+
+    fn rebind(&mut self, params: Vec<Param>) {
+        self.0.rebind(params);
+    }
+
+    fn params(&self) -> &[Param] {
+        self.0.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: loss = 0.5 * ||w - target||², grad = w - target.
+    fn quadratic_step(p: &Param, target: &[f32]) {
+        let w = p.value();
+        let grad = Tensor::from_vec(
+            w.data()
+                .iter()
+                .zip(target.iter())
+                .map(|(w, t)| w - t)
+                .collect(),
+            w.shape(),
+        );
+        p.zero_grad();
+        p.accumulate_grad(&grad);
+    }
+
+    fn converges<O: Optimizer>(mut opt: O, p: &Param, lr: f32, iters: usize) -> f32 {
+        let target = [1.0f32, -2.0, 3.0];
+        for _ in 0..iters {
+            quadratic_step(p, &target);
+            opt.step(lr);
+        }
+        p.value()
+            .data()
+            .iter()
+            .zip(target.iter())
+            .map(|(w, t)| (w - t).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let err = converges(Sgd::new(vec![p.clone()], 0.0), &p, 0.1, 200);
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let err = converges(Sgd::new(vec![p.clone()], 0.9), &p, 0.05, 200);
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let err = converges(Adam::new(vec![p.clone()]), &p, 0.05, 2000);
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn adamw_decays_weights_without_gradient() {
+        let p = Param::new("w", Tensor::full(&[2], 10.0));
+        let mut opt = AdamW::with_weight_decay(vec![p.clone()], 0.1);
+        p.zero_grad(); // zero grad: only decay acts
+        for _ in 0..10 {
+            opt.step(0.1);
+        }
+        assert!(p.value().data()[0] < 10.0, "decay must shrink weights");
+        // plain Adam with zero grad must not move the weights
+        let q = Param::new("q", Tensor::full(&[2], 10.0));
+        let mut plain = Adam::new(vec![q.clone()]);
+        q.zero_grad();
+        for _ in 0..10 {
+            plain.step(0.1);
+        }
+        assert_eq!(q.value().data(), &[10.0, 10.0]);
+    }
+
+    #[test]
+    fn frozen_params_are_skipped() {
+        let p = Param::new("w", Tensor::full(&[1], 5.0));
+        p.set_trainable(false);
+        p.accumulate_grad(&Tensor::ones(&[1])); // ignored: frozen
+        p.set_trainable(false);
+        let mut opt = Sgd::new(vec![p.clone()], 0.0);
+        opt.step(1.0);
+        assert_eq!(p.value().data(), &[5.0]);
+    }
+
+    #[test]
+    fn rebind_preserves_state_for_surviving_params() {
+        let a = Param::new("a", Tensor::zeros(&[1]));
+        let b = Param::new("b", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(vec![a.clone()]);
+        // run one step to build state on `a`
+        a.accumulate_grad(&Tensor::ones(&[1]));
+        opt.step(0.1);
+        let after_one_step = a.value().data()[0];
+        opt.rebind(vec![a.clone(), b.clone()]);
+        assert_eq!(opt.params().len(), 2);
+        // stepping again continues from existing momentum rather than jumping
+        a.zero_grad();
+        a.accumulate_grad(&Tensor::ones(&[1]));
+        b.accumulate_grad(&Tensor::ones(&[1]));
+        opt.step(0.1);
+        assert!(a.value().data()[0] < after_one_step);
+        assert!(b.value().data()[0] < 0.0);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let a = Param::new("a", Tensor::zeros(&[2]));
+        a.accumulate_grad(&Tensor::ones(&[2]));
+        let opt = Sgd::new(vec![a.clone()], 0.0);
+        opt.zero_grad();
+        assert_eq!(a.grad().sq_norm(), 0.0);
+    }
+}

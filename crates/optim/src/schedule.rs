@@ -1,0 +1,119 @@
+//! Learning-rate schedules.
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate for (0-based) `epoch`.
+    fn lr(&self, epoch: usize) -> f32;
+}
+
+/// Constant learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// The paper's schedule (§V-B): a flat warm-up rate for the warm-up epochs,
+/// then cosine annealing from `peak_lr` down to `min_lr` over the remaining
+/// epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupCosine {
+    /// Learning rate during warm-up (paper: 1e-5).
+    pub warmup_lr: f32,
+    /// Cosine start value (paper: 5e-5).
+    pub peak_lr: f32,
+    /// Cosine floor (paper: 1e-6).
+    pub min_lr: f32,
+    /// Number of warm-up epochs (paper: 25).
+    pub warmup_epochs: usize,
+    /// Total epochs (paper: 125).
+    pub total_epochs: usize,
+}
+
+impl WarmupCosine {
+    /// The paper's exact hyper-parameters at a given epoch budget.
+    pub fn paper(warmup_epochs: usize, total_epochs: usize) -> Self {
+        Self {
+            warmup_lr: 1e-5,
+            peak_lr: 5e-5,
+            min_lr: 1e-6,
+            warmup_epochs,
+            total_epochs,
+        }
+    }
+}
+
+impl LrSchedule for WarmupCosine {
+    fn lr(&self, epoch: usize) -> f32 {
+        if epoch < self.warmup_epochs {
+            return self.warmup_lr;
+        }
+        let span = (self.total_epochs.saturating_sub(self.warmup_epochs)).max(1);
+        let t = ((epoch - self.warmup_epochs).min(span) as f32) / span as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.min_lr + (self.peak_lr - self.min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(0.01);
+        assert_eq!(s.lr(0), 0.01);
+        assert_eq!(s.lr(1000), 0.01);
+    }
+
+    #[test]
+    fn warmup_phase_is_flat() {
+        let s = WarmupCosine::paper(25, 125);
+        for e in 0..25 {
+            assert_eq!(s.lr(e), 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_starts_at_peak_and_ends_at_floor() {
+        let s = WarmupCosine::paper(25, 125);
+        assert!((s.lr(25) - 5e-5).abs() < 1e-9, "start {}", s.lr(25));
+        assert!((s.lr(125) - 1e-6).abs() < 1e-9, "end {}", s.lr(125));
+        assert!((s.lr(10_000) - 1e-6).abs() < 1e-9, "past end clamps to floor");
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing_after_warmup() {
+        let s = WarmupCosine::paper(5, 50);
+        let mut prev = f32::INFINITY;
+        for e in 5..=50 {
+            let lr = s.lr(e);
+            assert!(lr <= prev + 1e-12, "lr increased at epoch {e}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn halfway_point_is_midpoint() {
+        let s = WarmupCosine {
+            warmup_lr: 0.0,
+            peak_lr: 1.0,
+            min_lr: 0.0,
+            warmup_epochs: 0,
+            total_epochs: 100,
+        };
+        assert!((s.lr(50) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_all_warmup() {
+        let s = WarmupCosine::paper(10, 10);
+        assert_eq!(s.lr(5), 1e-5);
+        // epoch >= total: clamp, no panic
+        let _ = s.lr(10);
+        let _ = s.lr(11);
+    }
+}

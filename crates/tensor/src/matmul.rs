@@ -1,0 +1,156 @@
+//! Matrix multiplication kernels: plain 2-D GEMM and the batched variants
+//! attention needs (`[b,m,k] × [b,k,n]` and `[b,m,k] × [k,n]`).
+
+use crate::Tensor;
+
+/// Naive but cache-friendly (ikj-ordered) single-threaded GEMM:
+/// `out[m,n] += a[m,k] * b[k,n]`.
+fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix/batched-matrix product. Supported rank combinations:
+    ///
+    /// * `[m,k] × [k,n] -> [m,n]`
+    /// * `[b,m,k] × [b,k,n] -> [b,m,n]`
+    /// * `[b,m,k] × [k,n] -> [b,m,n]` (shared right operand, e.g. a `Linear`
+    ///   applied token-wise)
+    ///
+    /// Panics on inner-dimension mismatch or unsupported ranks.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        match (self.ndim(), rhs.ndim()) {
+            (2, 2) => {
+                let (m, k) = (self.shape()[0], self.shape()[1]);
+                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; m * n];
+                gemm_into(&mut out, self.data(), rhs.data(), m, k, n);
+                Tensor::from_vec(out, &[m, n])
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+                assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                for i in 0..b {
+                    gemm_into(
+                        &mut out[i * m * n..(i + 1) * m * n],
+                        &self.data()[i * m * k..(i + 1) * m * k],
+                        &rhs.data()[i * k * n..(i + 1) * k * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (3, 2) => {
+                // Shared right operand: flatten batch into rows.
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                gemm_into(&mut out, self.data(), rhs.data(), b * m, k, n);
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (a, b) => panic!("unsupported matmul ranks: {a} x {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_close(c.data(), &[58.0, 64.0, 139.0, 154.0], 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Tensor::randn(&mut rng, &[4, 4], 1.0);
+        let c = a.matmul(&Tensor::eye(4));
+        assert_close(c.data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn matmul_batched_matches_per_slice() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = Tensor::randn(&mut rng, &[3, 2, 5], 1.0);
+        let b = Tensor::randn(&mut rng, &[3, 5, 4], 1.0);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 2, 4]);
+        for i in 0..3 {
+            let ci = a.row(i).matmul(&b.row(i));
+            assert_close(c.row(i).data(), ci.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_3d_by_2d_shared_rhs() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = Tensor::randn(&mut rng, &[2, 3, 4], 1.0);
+        let w = Tensor::randn(&mut rng, &[4, 6], 1.0);
+        let c = a.matmul(&w);
+        assert_eq!(c.shape(), &[2, 3, 6]);
+        for i in 0..2 {
+            assert_close(c.row(i).data(), a.row(i).matmul(&w).data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = Tensor::randn(&mut rng, &[3, 3], 0.5);
+        let b = Tensor::randn(&mut rng, &[3, 3], 0.5);
+        let c = Tensor::randn(&mut rng, &[3, 3], 0.5);
+        let l = a.matmul(&b).matmul(&c);
+        let r = a.matmul(&b.matmul(&c));
+        assert_close(l.data(), r.data(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_product_identity() {
+        // (A B)^T == B^T A^T
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = Tensor::randn(&mut rng, &[3, 5], 1.0);
+        let b = Tensor::randn(&mut rng, &[5, 2], 1.0);
+        let lhs = a.matmul(&b).transpose_last2();
+        let rhs = b.transpose_last2().matmul(&a.transpose_last2());
+        assert_close(lhs.data(), rhs.data(), 1e-5);
+    }
+}

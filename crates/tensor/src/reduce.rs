@@ -1,0 +1,187 @@
+//! Reductions and the softmax family, all along the **last** axis (the only
+//! axis the model reduces over), plus whole-tensor reductions.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Splits the tensor into `(rows, cols)` where `cols` is the last-axis
+    /// length and `rows` is everything else flattened.
+    fn rows_cols(&self) -> (usize, usize) {
+        assert!(self.ndim() >= 1, "last-axis reduction on a scalar");
+        let cols = *self.shape().last().expect("non-scalar");
+        let rows = self.len() / cols.max(1);
+        (rows, cols)
+    }
+
+    /// Sum along the last axis; the axis is dropped.
+    pub fn sum_last(&self) -> Tensor {
+        let (rows, cols) = self.rows_cols();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push(self.data()[r * cols..(r + 1) * cols].iter().sum());
+        }
+        Tensor::from_vec(out, &self.shape()[..self.ndim() - 1])
+    }
+
+    /// Mean along the last axis; the axis is dropped.
+    pub fn mean_last(&self) -> Tensor {
+        let (_, cols) = self.rows_cols();
+        self.sum_last().scale(1.0 / cols as f32)
+    }
+
+    /// Max along the last axis; the axis is dropped.
+    pub fn max_last(&self) -> Tensor {
+        let (rows, cols) = self.rows_cols();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            out.push(
+                self.data()[r * cols..(r + 1) * cols]
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max),
+            );
+        }
+        Tensor::from_vec(out, &self.shape()[..self.ndim() - 1])
+    }
+
+    /// Index of the maximum along the last axis (first maximum wins).
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let (rows, cols) = self.rows_cols();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (j, v) in row.iter().enumerate() {
+                if *v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Numerically stable softmax along the last axis.
+    pub fn softmax_last(&self) -> Tensor {
+        let (rows, cols) = self.rows_cols();
+        let mut out = vec![0.0; self.len()];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            let mut z = 0.0;
+            for (d, v) in dst.iter_mut().zip(row.iter()) {
+                *d = (v - m).exp();
+                z += *d;
+            }
+            let inv = 1.0 / z;
+            dst.iter_mut().for_each(|d| *d *= inv);
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// Numerically stable log-softmax along the last axis.
+    pub fn log_softmax_last(&self) -> Tensor {
+        let (rows, cols) = self.rows_cols();
+        let mut out = vec![0.0; self.len()];
+        for r in 0..rows {
+            let row = &self.data()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|v| (v - m).exp()).sum::<f32>().ln();
+            for (d, v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+                *d = v - lse;
+            }
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// L2-normalizes each last-axis row (used for cosine distances in the
+    /// pseudo-labeling step). Rows with near-zero norm are left unchanged.
+    pub fn l2_normalize_last(&self) -> Tensor {
+        let (rows, cols) = self.rows_cols();
+        let mut out = self.data().to_vec();
+        for r in 0..rows {
+            let row = &mut out[r * cols..(r + 1) * cols];
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                row.iter_mut().for_each(|v| *v /= norm);
+            }
+        }
+        Tensor::from_vec(out, self.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sum_and_mean_last() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.sum_last().data(), &[6.0, 15.0]);
+        assert_close(t.mean_last().data(), &[2.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn max_and_argmax_last() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, 3.0, 7.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.max_last().data(), &[9.0, 7.0]);
+        assert_eq!(t.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = Tensor::randn(&mut rng, &[4, 7], 3.0);
+        let s = t.softmax_last();
+        for r in 0..4 {
+            let sum: f32 = s.row(r).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        assert!(s.data().iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let s1 = t.softmax_last();
+        let s2 = t.add_scalar(100.0).softmax_last();
+        assert_close(s1.data(), s2.data(), 1e-5);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]);
+        let s = t.softmax_last();
+        assert!(s.all_finite());
+        assert!((s.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let t = Tensor::randn(&mut rng, &[3, 5], 2.0);
+        let a = t.log_softmax_last();
+        let b = t.softmax_last().map(|v| v.ln());
+        assert_close(a.data(), b.data(), 1e-4);
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let t = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[2, 2]);
+        let n = t.l2_normalize_last();
+        assert_close(n.row(0).data(), &[0.6, 0.8], 1e-6);
+        // zero row untouched
+        assert_eq!(n.row(1).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reductions_on_3d_keep_leading_shape() {
+        let t = Tensor::ones(&[2, 3, 4]);
+        assert_eq!(t.sum_last().shape(), &[2, 3]);
+        assert_eq!(t.sum_last().data(), &[4.0; 6]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Shape arithmetic: dimension products, row-major strides, and NumPy-style
+//! broadcasting rules.
+
+/// A tensor shape: dimension sizes, outermost first (row-major).
+pub type Shape = Vec<usize>;
+
+/// Number of elements implied by a shape. The empty shape denotes a scalar
+/// and has one element.
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for i in (0..shape.len()).rev() {
+        strides[i] = acc;
+        acc *= shape[i];
+    }
+    strides
+}
+
+/// Computes the broadcast result shape of two operand shapes following the
+/// NumPy rule: align trailing dimensions; each pair must be equal or one of
+/// them must be 1.
+///
+/// Panics with a descriptive message when the shapes are incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Shape {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = dim_from_end(a, ndim - 1 - i);
+        let db = dim_from_end(b, ndim - 1 - i);
+        out[i] = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            _ => panic!("cannot broadcast shapes {a:?} and {b:?}"),
+        };
+    }
+    out
+}
+
+/// Dimension `k` positions from the end, treating missing leading dimensions
+/// as size 1 (the broadcasting convention).
+fn dim_from_end(shape: &[usize], from_end: usize) -> usize {
+    if from_end < shape.len() {
+        shape[shape.len() - 1 - from_end]
+    } else {
+        1
+    }
+}
+
+/// Strides for iterating an operand of shape `shape` as if it had been
+/// broadcast to `out_shape`: broadcast dimensions get stride 0.
+pub(crate) fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let ndim = out_shape.len();
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let from_end = ndim - 1 - i;
+        if from_end < shape.len() {
+            let j = shape.len() - 1 - from_end;
+            out[i] = if shape[j] == 1 { 0 } else { strides[j] };
+        }
+    }
+    out
+}
+
+/// Converts a flat row-major index in `shape` to its multi-index.
+pub(crate) fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0; shape.len()];
+    for i in (0..shape.len()).rev() {
+        idx[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+    idx
+}
+
+/// Dot product of a multi-index with strides — the flat offset.
+pub(crate) fn offset_of(idx: &[usize], strides: &[usize]) -> usize {
+    idx.iter().zip(strides.iter()).map(|(i, s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn num_elements_basic() {
+        assert_eq!(num_elements(&[2, 3, 4]), 24);
+        assert_eq!(num_elements(&[]), 1);
+        assert_eq!(num_elements(&[0, 3]), 0);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_trailing_ones() {
+        assert_eq!(broadcast_shapes(&[2, 1, 4], &[3, 1]), vec![2, 3, 4]);
+        assert_eq!(broadcast_shapes(&[4], &[2, 3, 4]), vec![2, 3, 4]);
+        assert_eq!(broadcast_shapes(&[2, 3, 4], &[1]), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast_shapes(&[], &[2, 2]), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot broadcast")]
+    fn broadcast_incompatible_panics() {
+        broadcast_shapes(&[2, 3], &[4, 3]);
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_expanded_dims() {
+        // shape [3,1] broadcast into [2,3,4]: leading dim absent (stride 0),
+        // middle dim real (stride 1), trailing dim broadcast (stride 0).
+        assert_eq!(broadcast_strides(&[3, 1], &[2, 3, 4]), vec![0, 1, 0]);
+        assert_eq!(broadcast_strides(&[2, 3, 4], &[2, 3, 4]), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn unravel_round_trip() {
+        let shape = [2usize, 3, 4];
+        let strides = strides_for(&shape);
+        for flat in 0..num_elements(&shape) {
+            let idx = unravel(flat, &shape);
+            assert_eq!(offset_of(&idx, &strides), flat);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the tensor kernels.
+
+use cdcl_tensor::{broadcast_shapes, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small shape of rank 1..=3.
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+/// Strategy: a tensor with the given shape and bounded values.
+fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &shape))
+}
+
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(tensor_with_shape)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in small_tensor()) {
+        let u = t.scale(0.5).add_scalar(1.0);
+        let a = t.add(&u);
+        let b = u.add(&t);
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn add_zero_is_identity(t in small_tensor()) {
+        let z = Tensor::zeros(t.shape());
+        let sum = t.add(&z);
+        prop_assert_eq!(sum.data(), t.data());
+    }
+
+    #[test]
+    fn mul_one_is_identity(t in small_tensor()) {
+        let o = Tensor::ones(t.shape());
+        let prod = t.mul(&o);
+        prop_assert_eq!(prod.data(), t.data());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in small_tensor()) {
+        let u = t.map(|v| v.sin());
+        let lhs = t.add(&u).scale(2.0);
+        let rhs = t.scale(2.0).add(&u.scale(2.0));
+        for (a, b) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in small_tensor()) {
+        let n = t.len();
+        let flat = t.reshape(&[n]);
+        prop_assert_eq!(flat.data(), t.data());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_tensor()) {
+        let s = t.softmax_last();
+        prop_assert!(s.data().iter().all(|v| *v >= 0.0 && *v <= 1.0 + 1e-6));
+        let sums = s.sum_last();
+        for v in sums.data() {
+            prop_assert!((v - 1.0).abs() < 1e-4, "row sum {}", v);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(t in small_tensor()) {
+        prop_assert_eq!(t.softmax_last().argmax_last(), t.argmax_last());
+    }
+
+    #[test]
+    fn broadcast_is_symmetric_and_dominates(a in small_shape(), _unused in 0..1u8) {
+        // broadcast(a, a) == a; broadcast with [1;rank] == a
+        prop_assert_eq!(broadcast_shapes(&a, &a), a.clone());
+        let ones = vec![1usize; a.len()];
+        prop_assert_eq!(broadcast_shapes(&a, &ones), a);
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(t in small_tensor()) {
+        // Reducing all the way to a scalar preserves the total sum.
+        let scalar = t.reduce_to_shape(&[]);
+        prop_assert!((scalar.item() - t.sum()).abs() < 1e-2 * (1.0 + t.sum().abs()));
+    }
+
+    #[test]
+    fn matmul_right_identity(m in 1usize..5, k in 1usize..5) {
+        let t = Tensor::from_vec((0..m*k).map(|v| v as f32 * 0.25).collect(), &[m, k]);
+        let got = t.matmul(&Tensor::eye(k));
+        prop_assert_eq!(got.data(), t.data());
+    }
+
+    #[test]
+    fn matmul_linearity(m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        // (A + B) C == A C + B C
+        let a = Tensor::from_vec((0..m*k).map(|v| (v as f32).sin()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..m*k).map(|v| (v as f32).cos()).collect(), &[m, k]);
+        let c = Tensor::from_vec((0..k*n).map(|v| (v as f32 * 0.3).sin()).collect(), &[k, n]);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn select_rows_then_concat_round_trips(rows in 1usize..6, cols in 1usize..6) {
+        let t = Tensor::from_vec((0..rows*cols).map(|v| v as f32).collect(), &[rows, cols]);
+        let parts: Vec<Tensor> = (0..rows).map(|i| t.select_rows(&[i])).collect();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat0(&refs);
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn one_hot_argmax_round_trips(labels in prop::collection::vec(0usize..7, 1..20)) {
+        let t = Tensor::one_hot(&labels, 7);
+        prop_assert_eq!(t.argmax_last(), labels);
+    }
+}

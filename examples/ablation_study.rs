@@ -1,0 +1,43 @@
+//! A compact version of the paper's Table IV ablation: toggle each CDCL
+//! loss block off in turn — and swap the inter- intra-task cross-attention
+//! for plain attention — then watch the accuracy move.
+//!
+//! ```text
+//! cargo run --release -p cdcl --example ablation_study
+//! ```
+
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
+use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
+use cdcl::nn::AttentionMode;
+
+fn main() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Standard);
+    let variants: Vec<(&str, Box<dyn Fn(&mut CdclConfig)>)> = vec![
+        ("full CDCL", Box::new(|_: &mut CdclConfig| {})),
+        ("without L_CIL (inter-task losses)", Box::new(|c: &mut CdclConfig| c.losses.cil = false)),
+        ("without L_TIL (intra-task losses)", Box::new(|c: &mut CdclConfig| c.losses.til = false)),
+        ("without L_R (rehearsal)", Box::new(|c: &mut CdclConfig| c.losses.rehearsal = false)),
+        (
+            "simple attention (no task keys, no cross-attention)",
+            Box::new(|c: &mut CdclConfig| {
+                c.backbone.attention = AttentionMode::Simple;
+                c.cross_attention = false;
+            }),
+        ),
+    ];
+
+    println!("ablation on `{}` ({} tasks):\n", stream.name, stream.num_tasks());
+    println!("{:38} {:>8} {:>8} {:>8}", "variant", "TIL ACC", "TIL FGT", "CIL ACC");
+    for (label, mutate) in variants {
+        let mut config = CdclConfig::default();
+        mutate(&mut config);
+        let r = run_stream(&mut CdclTrainer::new(config), &stream);
+        println!(
+            "{label:38} {:7.1}% {:7.1}% {:7.1}%",
+            r.til_acc_pct(),
+            r.til_fgt_pct(),
+            r.cil_acc_pct()
+        );
+    }
+    println!("\n(the paper's finding: dropping the intra-task loss hurts most,\n then rehearsal; simple attention collapses CDCL toward DER-level)");
+}

@@ -1,0 +1,59 @@
+//! Head-to-head on a near-domain Office-31 pair (DSLR→Webcam analogue):
+//! CDCL vs the continual-learning and static-UDA baselines, plus the
+//! joint-training upper bound — a one-column slice of the paper's Table I.
+//!
+//! ```text
+//! cargo run --release -p cdcl --example compare_baselines
+//! ```
+
+use cdcl::baselines::{
+    run_static_uda, BaselineConfig, CdTransSize, CdTransTrainer, DerTrainer, DerVariant,
+    HalTrainer, MlsTrainer,
+};
+use cdcl::core::protocol::ContinualLearner;
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
+use cdcl::data::{office31, Office31Domain, Scale};
+
+fn main() {
+    let stream = office31(Office31Domain::Dslr, Office31Domain::Webcam, Scale::Standard);
+    println!(
+        "benchmark `{}`: {} tasks x {} classes\n",
+        stream.name,
+        stream.num_tasks(),
+        stream.tasks[0].num_classes()
+    );
+
+    let mut base = BaselineConfig::default();
+    base.backbone.in_channels = 3;
+    let mut cdcl_cfg = CdclConfig::default();
+    cdcl_cfg.backbone.in_channels = 3;
+
+    let mut learners: Vec<Box<dyn ContinualLearner>> = vec![
+        Box::new(DerTrainer::new(DerVariant::Der, base)),
+        Box::new(DerTrainer::new(DerVariant::DerPlusPlus, base)),
+        Box::new(HalTrainer::new(base)),
+        Box::new(MlsTrainer::new(base)),
+        Box::new(CdTransTrainer::new(CdTransSize::Small, base)),
+        Box::new(CdclTrainer::new(cdcl_cfg)),
+    ];
+
+    println!("{:12} {:>8} {:>8} {:>8} {:>8}", "method", "TIL ACC", "TIL FGT", "CIL ACC", "CIL FGT");
+    for learner in &mut learners {
+        let r = run_stream(learner.as_mut(), &stream);
+        println!(
+            "{:12} {:7.1}% {:7.1}% {:7.1}% {:7.1}%",
+            r.method,
+            r.til_acc_pct(),
+            r.til_fgt_pct(),
+            r.cil_acc_pct(),
+            r.cil_fgt_pct()
+        );
+    }
+
+    let upper = run_static_uda(&stream, base);
+    println!(
+        "{:12} {:7.1}%       -        -       -   (joint training on all tasks)",
+        "TVT-static",
+        upper.til_acc_pct()
+    );
+}

@@ -1,0 +1,51 @@
+//! Quickstart: train CDCL on the MNIST→USPS analogue and print the
+//! continual-learning metrics.
+//!
+//! ```text
+//! cargo run --release -p cdcl --example quickstart
+//! ```
+
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
+use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
+
+fn main() {
+    // 10 digit classes split into 5 sequential tasks of 2 classes each.
+    // Each task ships labelled source images (MNIST-like rendering) and
+    // UNLABELLED target images (USPS-like rendering).
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Standard);
+    println!(
+        "stream `{}`: {} tasks x {} classes",
+        stream.name,
+        stream.num_tasks(),
+        stream.tasks[0].num_classes()
+    );
+
+    // The default config is the paper's recipe (AdamW, flat warm-up then
+    // cosine annealing, fixed-size rehearsal memory), scaled to CPU.
+    let config = CdclConfig::default();
+    let mut learner = CdclTrainer::new(config);
+
+    // learn task 1, evaluate tasks 1..1; learn task 2, evaluate 1..2; ...
+    let result = run_stream(&mut learner, &stream);
+
+    println!("\nTask-incremental (task id given at inference):");
+    println!("  average accuracy : {:.1}%", result.til_acc_pct());
+    println!("  forgetting       : {:.1}%", result.til_fgt_pct());
+    println!("Class-incremental (no task id at inference):");
+    println!("  average accuracy : {:.1}%", result.cil_acc_pct());
+    println!("  forgetting       : {:.1}%", result.cil_fgt_pct());
+
+    println!("\nR-matrix (TIL): rows = after learning task i, cols = accuracy on task j");
+    for i in 0..result.til.num_tasks() {
+        let row: Vec<String> = (0..=i)
+            .map(|j| format!("{:5.1}", result.til.at(i, j) * 100.0))
+            .collect();
+        println!("  after task {i}: [{}]", row.join(", "));
+    }
+
+    println!(
+        "\nrehearsal memory: {} / {} records",
+        learner.memory().len(),
+        learner.memory().capacity()
+    );
+}

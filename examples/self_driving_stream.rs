@@ -1,0 +1,77 @@
+//! The paper's motivating scenario (§I): a self-driving car first learns
+//! supervised city driving (London), must generalize to *unlabelled*
+//! related roads (countryside), and then keeps encountering new driving
+//! tasks (France: new signs, opposite side) — without forgetting how to
+//! read the earlier domains.
+//!
+//! We model this with a custom [`DomainPairConfig`]: each task is a batch
+//! of new "road situation" classes, the source domain is the labelled
+//! simulator/city footage and the target domain the unlabelled countryside
+//! footage. CDCL is compared with DER++ — a strong single-domain continual
+//! learner that cannot use the unlabelled target data.
+//!
+//! ```text
+//! cargo run --release -p cdcl --example self_driving_stream
+//! ```
+
+use cdcl::baselines::{BaselineConfig, DerTrainer, DerVariant};
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
+use cdcl::data::DomainPairConfig;
+
+fn main() {
+    // 12 road-situation classes (signage, markings, hazards, ...) arriving
+    // as 4 sequential driving tasks of 3 classes each. The countryside
+    // rendering differs substantially from the labelled city footage
+    // (domain_gap 0.45) — related, but not trivially transferable.
+    let config = DomainPairConfig {
+        name: "self-driving city->countryside".into(),
+        num_classes: 12,
+        tasks: 4,
+        channels: 3,
+        hw: (16, 16),
+        latent_dim: 16,
+        domain_gap: 0.45,
+        task_drift: 0.4,
+        within_class_std: 0.35,
+        source_noise_std: 0.05,
+        target_noise_std: 0.08,
+        train_per_class: 16,
+        target_train_per_class: 16,
+        test_per_class: 10,
+        seed: 2024,
+    };
+    let stream = config.generate();
+    println!(
+        "driving stream: {} tasks of {} situations each\n",
+        stream.num_tasks(),
+        stream.tasks[0].num_classes()
+    );
+
+    let mut cdcl_cfg = CdclConfig::default();
+    cdcl_cfg.backbone.in_channels = 3;
+    let cdcl = run_stream(&mut CdclTrainer::new(cdcl_cfg), &stream);
+
+    let mut der_cfg = BaselineConfig::default();
+    der_cfg.backbone.in_channels = 3;
+    let der = run_stream(
+        &mut DerTrainer::new(DerVariant::DerPlusPlus, der_cfg),
+        &stream,
+    );
+
+    println!("how well does each learner read the countryside (target) roads?");
+    println!(
+        "  CDCL  (uses unlabelled countryside footage): TIL {:5.1}%  FGT {:5.1}%",
+        cdcl.til_acc_pct(),
+        cdcl.til_fgt_pct()
+    );
+    println!(
+        "  DER++ (labelled city footage only)         : TIL {:5.1}%  FGT {:5.1}%",
+        der.til_acc_pct(),
+        der.til_fgt_pct()
+    );
+    let gain = cdcl.til_acc_pct() - der.til_acc_pct();
+    println!(
+        "\nunsupervised cross-domain adaptation is worth {gain:+.1} accuracy points \
+         on this stream — the car that watches the unlabelled countryside learns it."
+    );
+}

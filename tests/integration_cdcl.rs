@@ -1,0 +1,131 @@
+//! End-to-end tests of the CDCL learner on smoke-scale streams.
+
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{mnist_usps, office31, MnistUspsDirection, Office31Domain, Scale};
+use cdcl::nn::Module;
+
+#[test]
+fn cdcl_learns_two_tasks_above_chance() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut trainer = CdclTrainer::new(CdclConfig::smoke());
+    for task in stream.tasks.iter().take(2) {
+        trainer.learn_task(task);
+    }
+    // 2-class tasks: chance = 50%. After training, both tasks should be
+    // clearly above chance in the TIL scenario on the *target* domain.
+    let acc0 = trainer.eval_til(0, &stream.tasks[0].target_test);
+    let acc1 = trainer.eval_til(1, &stream.tasks[1].target_test);
+    assert!(acc1 > 0.6, "current task target acc {acc1} <= 0.6");
+    assert!(acc0 > 0.5, "previous task target acc {acc0} fell to chance");
+}
+
+#[test]
+fn memory_fills_and_respects_quota() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.memory_size = 20;
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    trainer.learn_task(&stream.tasks[0]);
+    let after_one = trainer.memory().len();
+    assert!(after_one > 0 && after_one <= 20);
+    trainer.learn_task(&stream.tasks[1]);
+    // quota = 20/2 = 10 per task
+    assert!(trainer.memory().task_records(0).count() <= 10);
+    assert!(trainer.memory().task_records(1).count() <= 10);
+    assert!(trainer.memory().len() <= 20);
+}
+
+#[test]
+fn frozen_task_keys_do_not_move() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    trainer.learn_task(&stream.tasks[0]);
+
+    // Snapshot every parameter that is frozen once task 1 begins.
+    trainer.learn_task(&stream.tasks[1]);
+    let frozen: Vec<_> = trainer
+        .model()
+        .params()
+        .into_iter()
+        .filter(|p| !p.trainable())
+        .map(|p| (p.clone(), p.value()))
+        .collect();
+    assert!(!frozen.is_empty(), "task-0 keys should be frozen");
+
+    trainer.learn_task(&stream.tasks[2]);
+    for (p, before) in frozen {
+        assert_eq!(
+            p.value().data(),
+            before.data(),
+            "frozen param {} moved during task 2",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn til_beats_cil_and_metrics_are_bounded() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut trainer = CdclTrainer::new(CdclConfig::smoke());
+    let r = run_stream(&mut trainer, &stream);
+    // With task identity, accuracy must beat the task-agnostic scenario.
+    assert!(r.til.acc() >= r.cil.acc(), "TIL {} < CIL {}", r.til.acc(), r.cil.acc());
+    assert!(r.til.acc() > 0.0 && r.til.acc() <= 1.0);
+    assert!(r.til.fgt() >= -1.0 && r.til.fgt() <= 1.0);
+    assert_eq!(r.til.num_tasks(), 5);
+}
+
+#[test]
+fn near_pair_transfers_better_than_far_pair() {
+    // D->W (near analogue) must end with higher TIL ACC than A->D (far):
+    // the ordering the paper's Table I depends on. Two tasks suffice.
+    let near = office31(Office31Domain::Dslr, Office31Domain::Webcam, Scale::Smoke);
+    let far = office31(Office31Domain::Amazon, Office31Domain::Dslr, Scale::Smoke);
+    let mut cfg = CdclConfig::smoke();
+    cfg.backbone.in_channels = 3;
+    cfg.epochs = 6;
+    cfg.warmup_epochs = 2;
+
+    let mut near_trainer = CdclTrainer::new(cfg);
+    for task in near.tasks.iter().take(2) {
+        near_trainer.learn_task(task);
+    }
+    let near_acc = (near_trainer.eval_til(0, &near.tasks[0].target_test)
+        + near_trainer.eval_til(1, &near.tasks[1].target_test))
+        / 2.0;
+
+    let mut far_trainer = CdclTrainer::new(cfg);
+    for task in far.tasks.iter().take(2) {
+        far_trainer.learn_task(task);
+    }
+    let far_acc = (far_trainer.eval_til(0, &far.tasks[0].target_test)
+        + far_trainer.eval_til(1, &far.tasks[1].target_test))
+        / 2.0;
+
+    assert!(
+        near_acc > far_acc,
+        "near-domain pair ({near_acc}) must transfer better than far ({far_acc})"
+    );
+}
+
+#[test]
+fn ablation_variants_run_and_are_ordered_sanely() {
+    // Dropping all three loss blocks at once must not panic (nothing to
+    // optimize during adaptation epochs — warm-up CE also gone).
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 2;
+    config.warmup_epochs = 1;
+    config.losses.cil = false;
+    config.losses.til = false;
+    config.losses.rehearsal = false;
+    let mut trainer = CdclTrainer::new(config);
+    trainer.learn_task(&stream.tasks[0]);
+    let acc = trainer.eval_til(0, &stream.tasks[0].target_test);
+    assert!((0.0..=1.0).contains(&acc));
+}

@@ -1,0 +1,121 @@
+//! Failure-injection tests: degenerate configurations the trainers must
+//! survive without panicking or producing NaNs.
+
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{DomainPairConfig, Sample, TaskData};
+use cdcl::tensor::Tensor;
+
+fn tiny_stream(classes: usize, tasks: usize) -> cdcl::data::CrossDomainStream {
+    DomainPairConfig {
+        name: "tiny".into(),
+        num_classes: classes,
+        tasks,
+        channels: 1,
+        hw: (16, 16),
+        latent_dim: 8,
+        domain_gap: 0.2,
+        task_drift: 0.4,
+        within_class_std: 0.3,
+        source_noise_std: 0.05,
+        target_noise_std: 0.05,
+        train_per_class: 6,
+        target_train_per_class: 6,
+        test_per_class: 4,
+        seed: 11,
+    }
+    .generate()
+}
+
+fn fast_config() -> CdclConfig {
+    let mut c = CdclConfig::smoke();
+    c.epochs = 3;
+    c.warmup_epochs = 1;
+    c
+}
+
+#[test]
+fn zero_memory_trains_without_rehearsal() {
+    let stream = tiny_stream(4, 2);
+    let mut config = fast_config();
+    config.memory_size = 0;
+    let mut trainer = CdclTrainer::new(config);
+    let r = run_stream(&mut trainer, &stream);
+    assert_eq!(trainer.memory().len(), 0);
+    assert!(r.til.acc() >= 0.0);
+}
+
+#[test]
+fn single_class_tasks_are_degenerate_but_stable() {
+    // 1 class per task: CE losses are trivially minimised; nothing may NaN.
+    let stream = tiny_stream(2, 2);
+    let mut trainer = CdclTrainer::new(fast_config());
+    let r = run_stream(&mut trainer, &stream);
+    // single answer per task -> TIL accuracy 1.0 by construction... only if
+    // there are 1-class tasks; 2 classes over 2 tasks gives exactly that.
+    assert_eq!(stream.tasks[0].num_classes(), 1);
+    assert!((r.til.acc() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn single_task_stream_has_zero_forgetting() {
+    let stream = tiny_stream(4, 1);
+    let mut trainer = CdclTrainer::new(fast_config());
+    let r = run_stream(&mut trainer, &stream);
+    assert_eq!(r.til.fgt(), 0.0);
+    assert_eq!(r.til.num_tasks(), 1);
+}
+
+#[test]
+fn tiny_batches_and_memory_one() {
+    let stream = tiny_stream(4, 2);
+    let mut config = fast_config();
+    config.batch_size = 1;
+    config.memory_size = 1;
+    config.rehearsal_batch = 1;
+    let mut trainer = CdclTrainer::new(config);
+    let r = run_stream(&mut trainer, &stream);
+    assert!(trainer.memory().len() <= 1);
+    assert!(r.til.acc() >= 0.0 && r.til.acc() <= 1.0);
+}
+
+#[test]
+fn all_warmup_no_adaptation_epochs() {
+    // warmup == epochs: the pseudo-label/adaptation stage never runs; the
+    // memory falls back to index pairing and the learner stays functional.
+    let stream = tiny_stream(4, 2);
+    let mut config = fast_config();
+    config.epochs = 2;
+    config.warmup_epochs = 2;
+    let mut trainer = CdclTrainer::new(config);
+    let r = run_stream(&mut trainer, &stream);
+    assert!(trainer.memory().len() > 0, "fallback pairing must fill memory");
+    assert!(r.til.acc() >= 0.0);
+}
+
+#[test]
+fn evaluating_on_empty_test_set_is_zero() {
+    let stream = tiny_stream(4, 2);
+    let mut trainer = CdclTrainer::new(fast_config());
+    trainer.learn_task(&stream.tasks[0]);
+    assert_eq!(trainer.eval_cil(0, &[]), 0.0);
+}
+
+#[test]
+fn handcrafted_task_with_uneven_sets_trains() {
+    // Source and target sets of different sizes (the usual real-data case).
+    let mk = |label: usize, v: f32| Sample {
+        image: Tensor::full(&[1, 16, 16], v),
+        label,
+    };
+    let task = TaskData {
+        task_id: 0,
+        global_classes: vec![0, 1],
+        source_train: vec![mk(0, 0.1), mk(1, 0.9), mk(0, 0.15), mk(1, 0.85), mk(0, 0.12)],
+        target_train: vec![mk(0, 0.2), mk(1, 0.8), mk(1, 0.78)],
+        target_test: vec![mk(0, 0.18), mk(1, 0.82)],
+    };
+    let mut trainer = CdclTrainer::new(fast_config());
+    trainer.learn_task(&task);
+    let acc = trainer.eval_til(0, &task.target_test);
+    assert!((0.0..=1.0).contains(&acc));
+}

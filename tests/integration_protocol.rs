@@ -1,0 +1,93 @@
+//! Cross-crate protocol tests: the R-matrix evaluation loop, the metric
+//! definitions, and property-based checks tying them together.
+
+use cdcl::core::{run_stream, CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{visda, Sample, Scale};
+use cdcl::metrics::RMatrix;
+use proptest::prelude::*;
+
+#[test]
+fn full_stream_protocol_on_visda() {
+    let stream = visda(Scale::Smoke);
+    let mut cfg = CdclConfig::smoke();
+    cfg.backbone.in_channels = 3;
+    cfg.epochs = 4;
+    cfg.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(cfg);
+    let r = run_stream(&mut trainer, &stream);
+    assert_eq!(r.til.num_tasks(), 4);
+    assert_eq!(r.stream, "visda-2017");
+    assert_eq!(r.method, "CDCL");
+    // Figure-2 style series must have the staircase lengths.
+    let series = r.til.series();
+    for (j, s) in series.iter().enumerate() {
+        assert_eq!(s.accuracies.len(), 4 - j);
+    }
+    // row_mean_std summarises each row
+    assert_eq!(r.til.row_mean_std().len(), 4);
+}
+
+#[test]
+fn learner_rejects_label_free_misuse() {
+    // eval_til on an unknown task id must panic rather than silently
+    // misreport — guards against protocol bugs in experiment binaries.
+    let stream = visda(Scale::Smoke);
+    let mut cfg = CdclConfig::smoke();
+    cfg.backbone.in_channels = 3;
+    cfg.epochs = 2;
+    cfg.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(cfg);
+    trainer.learn_task(&stream.tasks[0]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trainer.eval_til(3, &stream.tasks[0].target_test)
+    }));
+    assert!(result.is_err(), "unknown task id must panic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ACC is always the mean of the final row; FGT is bounded by the
+    /// maximum accuracy spread.
+    #[test]
+    fn rmatrix_metric_bounds(rows in 1usize..6, seed in 0u64..1000) {
+        let mut r = RMatrix::new();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 1000.0
+        };
+        for i in 0..rows {
+            r.push_row((0..=i).map(|_| next()).collect());
+        }
+        prop_assert!(r.acc() >= 0.0 && r.acc() <= 1.0);
+        prop_assert!(r.fgt() >= -1.0 && r.fgt() <= 1.0);
+        prop_assert_eq!(r.series().len(), rows);
+    }
+
+    /// Forgetting is zero whenever accuracy never decreases.
+    #[test]
+    fn monotone_rmatrix_has_nonpositive_fgt(rows in 2usize..6) {
+        let mut r = RMatrix::new();
+        for i in 0..rows {
+            // accuracy on every task improves with each new task
+            r.push_row((0..=i).map(|_| 0.2 + 0.1 * i as f64).collect());
+        }
+        prop_assert!(r.fgt() <= 0.0, "fgt {}", r.fgt());
+    }
+
+    /// The accuracy helper is permutation-consistent.
+    #[test]
+    fn accuracy_counts_are_permutation_invariant(labels in prop::collection::vec(0usize..3, 1..20)) {
+        use cdcl::core::protocol::accuracy_from_predictions;
+        use cdcl::tensor::Tensor;
+        let test: Vec<Sample> = labels.iter().map(|&l| Sample {
+            image: Tensor::zeros(&[1, 1, 1]),
+            label: l,
+        }).collect();
+        let perfect = accuracy_from_predictions(&labels, &test);
+        prop_assert_eq!(perfect, 1.0);
+        let wrong: Vec<usize> = labels.iter().map(|&l| (l + 1) % 3).collect();
+        prop_assert_eq!(accuracy_from_predictions(&wrong, &test), 0.0);
+    }
+}

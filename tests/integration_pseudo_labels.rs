@@ -1,0 +1,80 @@
+//! End-to-end validation of the center-aware pseudo-labeling pipeline:
+//! after a source warm-up, the centroids built from TIL predictions must
+//! label the (hidden-label) target data well above chance on a near pair.
+
+use cdcl::core::pseudo::{
+    build_pairs, nearest_centroid_labels, pseudo_label_accuracy, weighted_centroids,
+};
+use cdcl::core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{mnist_usps, stack, MnistUspsDirection, Sample, Scale};
+use cdcl::tensor::Tensor;
+
+fn features_of(trainer: &CdclTrainer, samples: &[Sample], task: usize) -> Tensor {
+    let mut parts = Vec::new();
+    for chunk in samples.chunks(32) {
+        let refs: Vec<&Sample> = chunk.iter().collect();
+        let (imgs, _) = stack(&refs);
+        parts.push(trainer.model().extract_features(&imgs, task));
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat0(&refs)
+}
+
+fn til_probs_of(trainer: &CdclTrainer, samples: &[Sample], task: usize) -> Tensor {
+    let mut parts = Vec::new();
+    for chunk in samples.chunks(32) {
+        let refs: Vec<&Sample> = chunk.iter().collect();
+        let (imgs, _) = stack(&refs);
+        parts.push(trainer.model().predict_til(&imgs, task));
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Tensor::concat0(&refs)
+}
+
+#[test]
+fn pseudo_labels_beat_chance_after_training() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let task = &stream.tasks[0];
+    let mut trainer = CdclTrainer::new(CdclConfig::smoke());
+    trainer.learn_task(task);
+
+    let tgt_feats = features_of(&trainer, &task.target_train, 0);
+    let tgt_probs = til_probs_of(&trainer, &task.target_train, 0);
+    let centroids = weighted_centroids(&tgt_probs, &tgt_feats);
+    let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+    let truth: Vec<usize> = task.target_train.iter().map(|s| s.label).collect();
+    let acc = pseudo_label_accuracy(&pseudo, &truth);
+    // 2 classes -> chance 0.5 (nearest-centroid can also be anti-correlated;
+    // after CDCL training it must be solidly correlated).
+    assert!(acc > 0.7, "pseudo-label accuracy only {acc}");
+}
+
+#[test]
+fn matched_pairs_are_mostly_correct() {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let task = &stream.tasks[0];
+    let mut trainer = CdclTrainer::new(CdclConfig::smoke());
+    trainer.learn_task(task);
+
+    let src_feats = features_of(&trainer, &task.source_train, 0);
+    let src_labels: Vec<usize> = task.source_train.iter().map(|s| s.label).collect();
+    let tgt_feats = features_of(&trainer, &task.target_train, 0);
+    let tgt_probs = til_probs_of(&trainer, &task.target_train, 0);
+    let centroids = weighted_centroids(&tgt_probs, &tgt_feats);
+    let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+    let pairs = build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo);
+    assert!(!pairs.is_empty());
+
+    // A pair is "correct" when the paired source label matches the hidden
+    // target truth — Eq. 19's noise filter should make most pairs correct.
+    let correct = pairs
+        .iter()
+        .filter(|p| task.target_train[p.target].label == p.label)
+        .count();
+    let frac = correct as f64 / pairs.len() as f64;
+    assert!(frac > 0.7, "only {frac} of pairs are truth-consistent");
+    // And every pair's invariant holds by construction:
+    for p in &pairs {
+        assert_eq!(task.source_train[p.source].label, p.label);
+    }
+}
