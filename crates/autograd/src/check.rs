@@ -14,7 +14,7 @@ pub fn finite_diff_grad(param: &Param, mut loss: impl FnMut() -> f32, eps: f32) 
     let base = param.value();
     let n = base.len();
     let mut grad = vec![0.0; n];
-    for i in 0..n {
+    for (i, slot) in grad.iter_mut().enumerate() {
         let mut plus = base.clone();
         plus.data_mut()[i] += eps;
         param.set_value(plus);
@@ -25,7 +25,7 @@ pub fn finite_diff_grad(param: &Param, mut loss: impl FnMut() -> f32, eps: f32) 
         param.set_value(minus);
         let lm = loss();
 
-        grad[i] = (lp - lm) / (2.0 * eps);
+        *slot = (lp - lm) / (2.0 * eps);
     }
     param.set_value(base.clone());
     Tensor::from_vec(grad, base.shape())

@@ -14,7 +14,7 @@ use crate::Param;
 pub struct Var(pub(crate) usize);
 
 /// GELU tanh-approximation constants.
-const GELU_C: f32 = 0.797_884_56; // sqrt(2/pi)
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_A: f32 = 0.044_715;
 
 enum Op {
@@ -28,6 +28,8 @@ enum Op {
     Scale(Var, f32),
     AddScalar(Var),
     Matmul(Var, Var),
+    /// Fused `a · bᵀ` (`b` read in stored layout; no transposed copy).
+    MatmulNT(Var, Var),
     TransposeLast2(Var),
     Reshape(Var),
     Concat0(Vec<Var>),
@@ -172,6 +174,16 @@ impl Graph {
         self.push(v, Op::Matmul(a, b))
     }
 
+    /// Fused `a · bᵀ`; supports the rank combinations of
+    /// [`Tensor::matmul_nt`]. Forward and backward both read `b` in its
+    /// stored layout, so no transposed tensor is ever materialised (use
+    /// this for attention scores `Q·Kᵀ` instead of
+    /// `matmul(q, transpose_last2(k))`).
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.push(v, Op::MatmulNT(a, b))
+    }
+
     /// Swaps the last two axes.
     pub fn transpose_last2(&mut self, a: Var) -> Var {
         let v = self.value(a).transpose_last2();
@@ -306,7 +318,13 @@ impl Graph {
     /// Max pooling over `x: [b,c,h,w]`.
     pub fn maxpool2d(&mut self, x: Var, spec: Pool2dSpec) -> Var {
         let r = self.value(x).maxpool2d(spec);
-        self.push(r.out, Op::MaxPool2d { x, argmax: r.argmax })
+        self.push(
+            r.out,
+            Op::MaxPool2d {
+                x,
+                argmax: r.argmax,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -444,6 +462,14 @@ impl Graph {
                     accum(&mut grads, a, ga);
                     accum(&mut grads, b, gb);
                 }
+                Op::MatmulNT(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = &self.nodes[a.0].value;
+                    let bv = &self.nodes[b.0].value;
+                    let (ga, gb) = matmul_nt_backward(av, bv, &g);
+                    accum(&mut grads, a, ga);
+                    accum(&mut grads, b, gb);
+                }
                 Op::TransposeLast2(a) => {
                     let a = *a;
                     accum(&mut grads, a, g.transpose_last2());
@@ -465,7 +491,9 @@ impl Graph {
                 }
                 Op::Relu(a) => {
                     let a = *a;
-                    let mask = self.nodes[a.0].value.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    let mask = self.nodes[a.0]
+                        .value
+                        .map(|v| if v > 0.0 { 1.0 } else { 0.0 });
                     accum(&mut grads, a, g.mul(&mask));
                 }
                 Op::Gelu(a) => {
@@ -537,12 +565,11 @@ impl Graph {
                         let dxh = &dxhat.data()[r * d..(r + 1) * d];
                         let xh = &xhat.data()[r * d..(r + 1) * d];
                         let sum_dxh: f32 = dxh.iter().sum();
-                        let sum_dxh_xh: f32 =
-                            dxh.iter().zip(xh.iter()).map(|(a, b)| a * b).sum();
+                        let sum_dxh_xh: f32 = dxh.iter().zip(xh.iter()).map(|(a, b)| a * b).sum();
                         let inv = inv_std.data()[r];
                         for j in 0..d {
-                            dx[r * d + j] = inv / d as f32
-                                * (d as f32 * dxh[j] - sum_dxh - xh[j] * sum_dxh_xh);
+                            dx[r * d + j] =
+                                inv / d as f32 * (d as f32 * dxh[j] - sum_dxh - xh[j] * sum_dxh_xh);
                         }
                     }
                     let dx = Tensor::from_vec(dx, xhat.shape());
@@ -558,20 +585,20 @@ impl Graph {
                     let (oh, ow) = inner.out_hw;
                     let b = inner.batch;
                     let w2 = wv.reshape(&[c_out, c_in * k * k]);
-                    let w2t = w2.transpose_last2();
                     let mut dw = Tensor::zeros(&[c_out, c_in * k * k]);
                     let mut dcols = Tensor::zeros(inner.cols.shape());
                     let col_rows = c_in * k * k;
                     let col_cols = oh * ow;
                     for bi in 0..b {
                         let gy = g.row(bi).reshape(&[c_out, oh * ow]);
-                        // dW += gy × cols_iᵀ
+                        // dW += gy × cols_iᵀ — fused nt, cols stay in place.
+                        // The per-image accumulation order is fixed (bi
+                        // ascending), keeping dW bitwise deterministic.
                         let cols_i = inner.cols.row(bi);
-                        dw.add_assign_scaled(&gy.matmul(&cols_i.transpose_last2()), 1.0);
-                        // dcols_i = W2ᵀ × gy
-                        let dc = w2t.matmul(&gy);
-                        dcols.data_mut()
-                            [bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols]
+                        dw.add_assign_scaled(&gy.matmul_nt(&cols_i), 1.0);
+                        // dcols_i = W2ᵀ × gy — fused tn, no transposed W2.
+                        let dc = w2.matmul_tn(&gy);
+                        dcols.data_mut()[bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols]
                             .copy_from_slice(dc.data());
                     }
                     let dx = col2im(&dcols, inner);
@@ -582,9 +609,9 @@ impl Graph {
                         let mut db = vec![0.0; c_out];
                         let gd = g.data();
                         for bi in 0..b {
-                            for c in 0..c_out {
+                            for (c, slot) in db.iter_mut().enumerate() {
                                 let base = (bi * c_out + c) * oh * ow;
-                                db[c] += gd[base..base + oh * ow].iter().sum::<f32>();
+                                *slot += gd[base..base + oh * ow].iter().sum::<f32>();
                             }
                         }
                         accum(&mut grads, bias, Tensor::from_vec(db, &[c_out]));
@@ -643,24 +670,38 @@ fn accum(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
     }
 }
 
-/// Gradients of `c = a @ b` for the three supported rank combinations.
+/// Gradients of `c = a @ b` for the three supported rank combinations:
+/// `da = g·bᵀ` and `db = aᵀ·g`, both through the fused `nt`/`tn` kernels so
+/// no transposed tensor is materialised.
 fn matmul_backward(a: &Tensor, b: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
     match (a.ndim(), b.ndim()) {
-        (2, 2) => (
-            g.matmul(&b.transpose_last2()),
-            a.transpose_last2().matmul(g),
-        ),
-        (3, 3) => (
-            g.matmul(&b.transpose_last2()),
-            a.transpose_last2().matmul(g),
-        ),
+        (2, 2) | (3, 3) => (g.matmul_nt(b), a.matmul_tn(g)),
         (3, 2) => {
             let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
             let n = b.shape()[1];
-            let ga = g.matmul(&b.transpose_last2());
+            let ga = g.matmul_nt(b);
             let a2 = a.reshape(&[bs * m, k]);
             let g2 = g.reshape(&[bs * m, n]);
-            let gb = a2.transpose_last2().matmul(&g2);
+            let gb = a2.matmul_tn(&g2);
+            (ga, gb)
+        }
+        _ => unreachable!("ranks validated at forward time"),
+    }
+}
+
+/// Gradients of `c = a · bᵀ`: `da = g·b` (plain `nn` — `b` is already in the
+/// layout the product needs) and `db = gᵀ·a` via the fused `tn` kernel.
+fn matmul_nt_backward(a: &Tensor, b: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
+    match (a.ndim(), b.ndim()) {
+        (2, 2) | (3, 3) => (g.matmul(b), g.matmul_tn(a)),
+        (3, 2) => {
+            // Shared right operand: flatten batch into rows for db.
+            let (bs, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let n = b.shape()[0];
+            let ga = g.matmul(b);
+            let a2 = a.reshape(&[bs * m, k]);
+            let g2 = g.reshape(&[bs * m, n]);
+            let gb = g2.matmul_tn(&a2);
             (ga, gb)
         }
         _ => unreachable!("ranks validated at forward time"),

@@ -1,8 +1,7 @@
 //! Trainable parameter cells shared between modules, graphs, and optimizers.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 use cdcl_tensor::Tensor;
 
@@ -17,13 +16,14 @@ struct ParamInner {
 /// A named, reference-counted trainable tensor with an accumulated gradient.
 ///
 /// Cloning a `Param` is cheap and aliases the same storage — modules hand
-/// clones to optimizers and graphs. Interior mutability is single-threaded
-/// (`Rc<RefCell>`): training in this workspace is deliberately
-/// single-threaded per model (the experiment binaries parallelize across
-/// *runs*, not within a step).
+/// clones to optimizers and graphs. Storage is `Arc<RwLock>`, so a model is
+/// `Send + Sync` and read-only passes (evaluation, feature extraction) can
+/// run on the worker threads of `cdcl_tensor::kernels::pool`. Training
+/// steps remain sequential; the lock is uncontended there and its overhead
+/// is noise next to the GEMMs.
 #[derive(Clone)]
 pub struct Param {
-    inner: Rc<RefCell<ParamInner>>,
+    inner: Arc<RwLock<ParamInner>>,
 }
 
 impl Param {
@@ -31,7 +31,7 @@ impl Param {
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape());
         Self {
-            inner: Rc::new(RefCell::new(ParamInner {
+            inner: Arc::new(RwLock::new(ParamInner {
                 name: name.into(),
                 value,
                 grad,
@@ -43,32 +43,41 @@ impl Param {
 
     /// Parameter name (for diagnostics).
     pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+        self.inner.read().expect("param lock poisoned").name.clone()
     }
 
     /// Snapshot of the current value.
     pub fn value(&self) -> Tensor {
-        self.inner.borrow().value.clone()
+        self.inner
+            .read()
+            .expect("param lock poisoned")
+            .value
+            .clone()
     }
 
     /// Snapshot of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
-        self.inner.borrow().grad.clone()
+        self.inner.read().expect("param lock poisoned").grad.clone()
     }
 
     /// Shape of the parameter.
     pub fn shape(&self) -> Vec<usize> {
-        self.inner.borrow().value.shape().to_vec()
+        self.inner
+            .read()
+            .expect("param lock poisoned")
+            .value
+            .shape()
+            .to_vec()
     }
 
     /// Number of scalar entries.
     pub fn num_elements(&self) -> usize {
-        self.inner.borrow().value.len()
+        self.inner.read().expect("param lock poisoned").value.len()
     }
 
     /// Overwrites the value (e.g. when loading a checkpoint).
     pub fn set_value(&self, value: Tensor) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.write().expect("param lock poisoned");
         assert_eq!(
             inner.value.shape(),
             value.shape(),
@@ -82,18 +91,18 @@ impl Param {
     /// task-specific projections use a boost so they can adapt within a
     /// small per-task epoch budget.
     pub fn lr_scale(&self) -> f32 {
-        self.inner.borrow().lr_scale
+        self.inner.read().expect("param lock poisoned").lr_scale
     }
 
     /// Sets the per-parameter learning-rate multiplier.
     pub fn set_lr_scale(&self, scale: f32) {
         assert!(scale > 0.0, "lr_scale must be positive");
-        self.inner.borrow_mut().lr_scale = scale;
+        self.inner.write().expect("param lock poisoned").lr_scale = scale;
     }
 
     /// Whether the optimizer and backward pass may touch this parameter.
     pub fn trainable(&self) -> bool {
-        self.inner.borrow().trainable
+        self.inner.read().expect("param lock poisoned").trainable
     }
 
     /// Freezes (`false`) or unfreezes (`true`) the parameter. Frozen
@@ -101,12 +110,12 @@ impl Param {
     /// paper's task-specific `K_i`/`b_i` projections of past tasks are kept
     /// intact (§IV-A: "previously learned K and b are frozen").
     pub fn set_trainable(&self, trainable: bool) {
-        self.inner.borrow_mut().trainable = trainable;
+        self.inner.write().expect("param lock poisoned").trainable = trainable;
     }
 
     /// Adds `g` into the stored gradient (no-op when frozen).
     pub fn accumulate_grad(&self, g: &Tensor) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.write().expect("param lock poisoned");
         if !inner.trainable {
             return;
         }
@@ -121,30 +130,34 @@ impl Param {
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.inner.borrow_mut().grad.fill(0.0);
+        self.inner
+            .write()
+            .expect("param lock poisoned")
+            .grad
+            .fill(0.0);
     }
 
     /// Runs `f(value, grad)` with mutable access to the value — the hook
     /// optimizers use to apply an update in place.
     pub fn apply_update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
-        let inner = &mut *self.inner.borrow_mut();
+        let inner = &mut *self.inner.write().expect("param lock poisoned");
         f(&mut inner.value, &inner.grad);
     }
 
     /// Identity key: two clones of the same parameter compare equal.
     pub fn key(&self) -> usize {
-        Rc::as_ptr(&self.inner) as usize
+        Arc::as_ptr(&self.inner) as *const () as usize
     }
 
     /// True when `other` aliases the same storage.
     pub fn same(&self, other: &Param) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.inner.read().expect("param lock poisoned");
         write!(
             f,
             "Param({} {:?} trainable={})",

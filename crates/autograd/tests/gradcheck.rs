@@ -280,7 +280,11 @@ fn grad_layer_norm_all_three_inputs() {
 #[test]
 fn grad_conv2d_weight_bias_and_input() {
     let mut rng = SmallRng::seed_from_u64(13);
-    let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    let spec = Conv2dSpec {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     let x = Param::new("x", Tensor::randn(&mut rng, &[1, 2, 5, 5], 1.0));
     let w = Param::new("w", Tensor::randn(&mut rng, &[3, 2, 3, 3], 0.5));
     let b = Param::new("b", Tensor::randn(&mut rng, &[3], 0.5));
@@ -305,7 +309,11 @@ fn grad_conv2d_weight_bias_and_input() {
 #[test]
 fn grad_conv2d_strided() {
     let mut rng = SmallRng::seed_from_u64(14);
-    let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+    let spec = Conv2dSpec {
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
     let x = Tensor::randn(&mut rng, &[2, 1, 6, 6], 1.0);
     let w = Param::new("w", Tensor::randn(&mut rng, &[2, 1, 3, 3], 0.5));
     check_op(&w, || {
@@ -330,7 +338,13 @@ fn grad_maxpool2d_routes_to_argmax() {
     check_op(&p, || {
         let mut g = Graph::new();
         let xv = g.param(&p);
-        let y = g.maxpool2d(xv, Pool2dSpec { kernel: 2, stride: 2 });
+        let y = g.maxpool2d(
+            xv,
+            Pool2dSpec {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         let y = g.mul(y, y);
         let l = g.sum_all(y);
         g.backward(l);
@@ -431,7 +445,11 @@ fn deep_composite_graph_gradcheck() {
     // A miniature of the real model: conv → relu → pool → flatten → linear →
     // layernorm → log-softmax → nll.
     let mut rng = SmallRng::seed_from_u64(19);
-    let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    let spec = Conv2dSpec {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     let x = Tensor::randn(&mut rng, &[2, 1, 4, 4], 1.0);
     let wc = Param::new("wc", Tensor::randn(&mut rng, &[2, 1, 3, 3], 0.5));
     let wl = Param::new("wl", Tensor::randn(&mut rng, &[8, 3], 0.5));
@@ -444,7 +462,13 @@ fn deep_composite_graph_gradcheck() {
         let wcv = g.param(&wc);
         let c = g.conv2d(xv, wcv, None, spec);
         let c = g.relu(c);
-        let c = g.maxpool2d(c, Pool2dSpec { kernel: 2, stride: 2 });
+        let c = g.maxpool2d(
+            c,
+            Pool2dSpec {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         let c = g.reshape(c, &[2, 8]);
         let wlv = g.param(&wl);
         let h = g.matmul(c, wlv);

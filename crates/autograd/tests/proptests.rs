@@ -15,7 +15,10 @@ fn small_matrix() -> impl Strategy<Value = Tensor> {
 
 /// Runs `build` on a fresh graph and returns the gradient it produces on
 /// `p` (zeroing first).
-fn grad_of(p: &Param, build: impl Fn(&mut Graph, cdcl_autograd::Var) -> cdcl_autograd::Var) -> Tensor {
+fn grad_of(
+    p: &Param,
+    build: impl Fn(&mut Graph, cdcl_autograd::Var) -> cdcl_autograd::Var,
+) -> Tensor {
     p.zero_grad();
     let mut g = Graph::new();
     let pv = g.param(p);

@@ -104,7 +104,8 @@ impl DerTrainer {
             let picks: Vec<usize> = (0..self.config.replay_batch.min(self.memory.len()))
                 .map(|_| self.rng.random_range(0..self.memory.len()))
                 .collect();
-            let mut widths: Vec<usize> = picks.iter().map(|&i| self.memory[i].logits.len()).collect();
+            let mut widths: Vec<usize> =
+                picks.iter().map(|&i| self.memory[i].logits.len()).collect();
             widths.sort_unstable();
             widths.dedup();
             for width in widths {

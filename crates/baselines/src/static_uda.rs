@@ -162,10 +162,14 @@ pub fn run_static_uda(stream: &CrossDomainStream, config: BaselineConfig) -> Sta
             };
             let mut pb = Batcher::new(pairs.len(), config.batch_size, config.seed ^ epoch as u64);
             for batch in pb.epoch() {
-                let src_refs: Vec<&Sample> =
-                    batch.iter().map(|&i| &pool.source[pairs[i].source]).collect();
-                let tgt_refs: Vec<&Sample> =
-                    batch.iter().map(|&i| &pool.target[pairs[i].target]).collect();
+                let src_refs: Vec<&Sample> = batch
+                    .iter()
+                    .map(|&i| &pool.source[pairs[i].source])
+                    .collect();
+                let tgt_refs: Vec<&Sample> = batch
+                    .iter()
+                    .map(|&i| &pool.target[pairs[i].target])
+                    .collect();
                 let labels: Vec<usize> = batch.iter().map(|&i| pairs[i].label).collect();
                 let (src_imgs, _) = stack(&src_refs);
                 let (tgt_imgs, _) = stack(&tgt_refs);
@@ -265,7 +269,11 @@ mod tests {
         assert_eq!(max_label, 9);
         assert_eq!(
             pool.source.len(),
-            stream.tasks.iter().map(|t| t.source_train.len()).sum::<usize>()
+            stream
+                .tasks
+                .iter()
+                .map(|t| t.source_train.len())
+                .sum::<usize>()
         );
     }
 }

@@ -124,7 +124,11 @@ fn bench_kernels(c: &mut Criterion) {
     });
     let img = Tensor::randn(&mut rng, &[4, 8, 16, 16], 1.0);
     let w = Tensor::randn(&mut rng, &[16, 8, 3, 3], 0.5);
-    let spec = cdcl_tensor::Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+    let spec = cdcl_tensor::Conv2dSpec {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     c.bench_function("conv2d_16x16x8to16", |bench| {
         bench.iter(|| black_box(img.conv2d(&w, None, spec).0.sum()))
     });

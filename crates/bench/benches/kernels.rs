@@ -1,0 +1,177 @@
+//! GEMM kernel throughput: serial vs threaded, at the attention shapes.
+//!
+//! Benchmarks the three transpose-aware kernels of `cdcl_tensor::kernels`
+//! on the shapes the model's attention layers actually multiply — scores
+//! `Q·Kᵀ` (`nt`), `attn·V` (`nn`), and the `Aᵀ·g` backward (`tn`) — for
+//! token counts `n ∈ {16, 64, 256}`, and writes `BENCH_kernels.json` at
+//! the workspace root with ops/sec for 1 thread vs all available cores.
+//!
+//! On a single-core runner (the CI container this grew up in has
+//! `nproc = 1`) serial and threaded throughput coincide; the JSON records
+//! the core count so downstream tooling can tell "no speedup possible"
+//! from "no speedup achieved".
+
+use std::time::{Duration, Instant};
+
+use cdcl_tensor::kernels;
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use serde::Serialize;
+
+/// Batch and head dimension of the attention shapes (`[b, n, d]` tokens).
+const BATCH: usize = 8;
+const DIM: usize = 64;
+/// Token counts swept by both the criterion benches and the JSON emitter.
+const SIZES: [usize; 3] = [16, 64, 256];
+
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let mut z = seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            z ^= z >> 27;
+            ((z % 2000) as f32 - 1000.0) / 250.0
+        })
+        .collect()
+}
+
+/// One timed kernel invocation at token count `n`; returns the FMA count.
+fn run_kernel(which: &str, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) -> usize {
+    match which {
+        // scores = Q·Kᵀ: [b,n,d] × [b,n,d] -> [b,n,n]
+        "gemm_nt" => {
+            kernels::gemm_nt_batched(out, a, b, BATCH, n, DIM, n);
+            BATCH * n * DIM * n
+        }
+        // out = attn·V: [b,n,n] × [b,n,d] -> [b,n,d]
+        "gemm_nn" => {
+            kernels::gemm_nn_batched(out, a, b, BATCH, n, n, DIM);
+            BATCH * n * n * DIM
+        }
+        // dV = attnᵀ·g: [b,n,n] × [b,n,d] -> [b,n,d]
+        "gemm_tn" => {
+            kernels::gemm_tn_batched(out, a, b, BATCH, n, n, DIM);
+            BATCH * n * n * DIM
+        }
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+/// Buffer lengths `(a, b, out)` for [`run_kernel`] at token count `n`.
+fn buffer_lens(which: &str, n: usize) -> (usize, usize, usize) {
+    match which {
+        "gemm_nt" => (BATCH * n * DIM, BATCH * n * DIM, BATCH * n * n),
+        "gemm_nn" | "gemm_tn" => (BATCH * n * n, BATCH * n * DIM, BATCH * n * DIM),
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for which in ["gemm_nn", "gemm_nt", "gemm_tn"] {
+        let mut group = c.benchmark_group(format!("kernels/{which}"));
+        for &n in &SIZES {
+            let (la, lb, lo) = buffer_lens(which, n);
+            let a = fill(1, la);
+            let b = fill(2, lb);
+            let mut out = vec![0.0f32; lo];
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    run_kernel(which, n, black_box(&a), black_box(&b), &mut out);
+                    black_box(out[0])
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+#[derive(Serialize)]
+struct SizeResult {
+    kernel: String,
+    n: usize,
+    batch: usize,
+    d: usize,
+    serial_ops_per_sec: f64,
+    threaded_ops_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    cores: usize,
+    threads_used: usize,
+    note: String,
+    results: Vec<SizeResult>,
+}
+
+/// Mean ops/sec over repeated timed runs at a fixed thread count.
+fn ops_per_sec(which: &str, n: usize, threads: usize) -> f64 {
+    kernels::set_num_threads(threads);
+    let (la, lb, lo) = buffer_lens(which, n);
+    let a = fill(1, la);
+    let b = fill(2, lb);
+    let mut out = vec![0.0f32; lo];
+    // Warm up, then time for a fixed budget.
+    let mut ops = 0usize;
+    run_kernel(which, n, &a, &b, &mut out);
+    let budget = Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        out.fill(0.0);
+        ops = run_kernel(which, n, black_box(&a), black_box(&b), &mut out);
+        black_box(out[0]);
+        iters += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    kernels::set_num_threads(0);
+    (ops as f64 * iters as f64) / elapsed
+}
+
+fn emit_json() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+    for which in ["gemm_nn", "gemm_nt", "gemm_tn"] {
+        for &n in &SIZES {
+            let serial = ops_per_sec(which, n, 1);
+            let threaded = ops_per_sec(which, n, cores);
+            results.push(SizeResult {
+                kernel: which.to_string(),
+                n,
+                batch: BATCH,
+                d: DIM,
+                serial_ops_per_sec: serial,
+                threaded_ops_per_sec: threaded,
+                speedup: threaded / serial,
+            });
+        }
+    }
+    let report = Report {
+        bench: "kernels".to_string(),
+        cores,
+        threads_used: cores,
+        note: "ops = fused multiply-adds; speedup ~1.0 expected when cores = 1".to_string(),
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(path, json).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
+    targets = bench_kernels
+}
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -6,8 +6,12 @@
 //! cargo run --release -p cdcl-bench --bin table1 -- --scale standard
 //! ```
 
-use cdcl_bench::{maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell};
-use cdcl_data::{mnist_usps, office31, visda, CrossDomainStream, MnistUspsDirection, Office31Domain};
+use cdcl_bench::{
+    maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell,
+};
+use cdcl_data::{
+    mnist_usps, office31, visda, CrossDomainStream, MnistUspsDirection, Office31Domain,
+};
 use cdcl_metrics::{format_table, TableRow};
 
 fn streams(cfg: &ExperimentConfig) -> Vec<(&'static str, CrossDomainStream)> {

@@ -9,7 +9,9 @@
 //! cargo run --release -p cdcl-bench --bin table2 -- --scale standard --full
 //! ```
 
-use cdcl_bench::{maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell};
+use cdcl_bench::{
+    maybe_write_json, run_method, run_upper_bound, ExperimentConfig, Method, ResultCell,
+};
 use cdcl_data::{office_home, OfficeHomeDomain};
 use cdcl_metrics::{format_table, TableRow};
 
@@ -78,11 +80,21 @@ fn main() {
     let competing: Vec<usize> = (0..cfg.methods.len()).collect();
     println!(
         "{}",
-        format_table("Table II (TIL): ACC on Office-Home", &column_refs, &til_rows, &competing)
+        format_table(
+            "Table II (TIL): ACC on Office-Home",
+            &column_refs,
+            &til_rows,
+            &competing
+        )
     );
     println!(
         "{}",
-        format_table("Table II (CIL): ACC on Office-Home", &column_refs, &cil_rows, &competing)
+        format_table(
+            "Table II (CIL): ACC on Office-Home",
+            &column_refs,
+            &cil_rows,
+            &competing
+        )
     );
     maybe_write_json(&cfg.out, &cells);
 }

@@ -21,7 +21,10 @@ struct Variant {
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let variants: Vec<Variant> = vec![
-        Variant { label: "Full CDCL", configure: |_| {} },
+        Variant {
+            label: "Full CDCL",
+            configure: |_| {},
+        },
         Variant {
             label: "A: no L_CIL",
             configure: |c| c.losses.cil = false,

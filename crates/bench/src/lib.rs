@@ -191,7 +191,11 @@ impl ExperimentConfig {
 }
 
 /// Runs one method over one stream, printing a progress line.
-pub fn run_method(method: Method, stream: &CrossDomainStream, cfg: &ExperimentConfig) -> StreamResult {
+pub fn run_method(
+    method: Method,
+    stream: &CrossDomainStream,
+    cfg: &ExperimentConfig,
+) -> StreamResult {
     let start = std::time::Instant::now();
     let result = match method {
         Method::Der => run_stream(

@@ -89,10 +89,15 @@ impl Default for CdclConfig {
 
 impl CdclConfig {
     /// Fast configuration for unit/integration tests.
+    ///
+    /// Warm-up must be long enough that source-side supervision converges
+    /// before the adaptation phase starts trusting pseudo-labels; with fewer
+    /// than ~4 warm-up epochs the pairing step can lock in wrong labels and
+    /// the task never recovers.
     pub fn smoke() -> Self {
         Self {
             epochs: 10,
-            warmup_epochs: 3,
+            warmup_epochs: 5,
             batch_size: 16,
             memory_size: 60,
             ..Self::default()

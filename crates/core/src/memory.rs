@@ -159,8 +159,14 @@ mod tests {
     #[test]
     fn keeps_highest_confidence_of_old_tasks_when_shrinking() {
         let mut m = RehearsalMemory::new(4);
-        m.finish_task(0, vec![record(0, 0.1, 0), record(0, 0.9, 1), record(0, 0.5, 2)]);
-        m.finish_task(1, vec![record(1, 0.3, 0), record(1, 0.7, 1), record(1, 0.2, 2)]);
+        m.finish_task(
+            0,
+            vec![record(0, 0.1, 0), record(0, 0.9, 1), record(0, 0.5, 2)],
+        );
+        m.finish_task(
+            1,
+            vec![record(1, 0.3, 0), record(1, 0.7, 1), record(1, 0.2, 2)],
+        );
         // quota 2 each
         let t0: Vec<f32> = m.task_records(0).map(|r| r.confidence).collect();
         assert!(t0.contains(&0.9) && t0.contains(&0.5));

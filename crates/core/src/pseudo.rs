@@ -35,8 +35,8 @@ pub fn weighted_centroids(probs: &Tensor, features: &Tensor) -> Tensor {
     // Global mean fallback for empty classes.
     let mut mean = vec![0.0; d];
     for i in 0..n {
-        for j in 0..d {
-            mean[j] += features.data()[i * d + j];
+        for (j, m) in mean.iter_mut().enumerate() {
+            *m += features.data()[i * d + j];
         }
     }
     for m in &mut mean {
@@ -99,7 +99,7 @@ pub fn build_pairs(
             if sl != pl {
                 continue;
             }
-            if best.map_or(true, |(_, bv)| row[s] > bv) {
+            if best.is_none_or(|(_, bv)| row[s] > bv) {
                 best = Some((s, row[s]));
             }
         }

@@ -10,7 +10,7 @@ use cdcl_autograd::{Graph, Var};
 use cdcl_data::{stack, Batcher, Sample, TaskData};
 use cdcl_nn::Module;
 use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
-use cdcl_tensor::Tensor;
+use cdcl_tensor::{kernels, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -22,6 +22,11 @@ use crate::CdclConfig;
 
 /// Inference chunk size (bounds peak memory during evaluation).
 const EVAL_CHUNK: usize = 32;
+
+/// Work estimate handed to the thread pool per evaluation chunk. A forward
+/// pass over `EVAL_CHUNK` images is millions of FLOPs — far above the pool's
+/// splitting threshold — so any multi-chunk evaluation parallelizes.
+const EVAL_CHUNK_WORK: usize = 1 << 20;
 
 /// The CDCL learner: model + memory + optimizer + Algorithm 1.
 pub struct CdclTrainer {
@@ -77,22 +82,39 @@ impl CdclTrainer {
         stack(&refs)
     }
 
+    /// Runs `body` on each `EVAL_CHUNK`-sized sub-range of `0..len`, spread
+    /// across the kernel thread pool. Chunk results come back in ascending
+    /// chunk order regardless of thread count, and each chunk is produced
+    /// entirely by one thread, so concatenating them is bitwise identical
+    /// to the serial loop.
+    fn eval_chunks<T: Send>(
+        &self,
+        len: usize,
+        body: impl Fn(std::ops::Range<usize>) -> T + Sync,
+    ) -> Vec<T> {
+        kernels::par_map_ranges(len.div_ceil(EVAL_CHUNK), EVAL_CHUNK_WORK, |chunks| {
+            chunks
+                .map(|c| body(c * EVAL_CHUNK..((c + 1) * EVAL_CHUNK).min(len)))
+                .collect()
+        })
+    }
+
     fn extract_features(&self, samples: &[Sample], task: usize) -> Tensor {
-        let mut parts = Vec::new();
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
-            let (imgs, _) = Self::stack_batch(samples, chunk);
-            parts.push(self.model.extract_features(&imgs, task));
-        }
+        let parts = self.eval_chunks(samples.len(), |range| {
+            let idx: Vec<usize> = range.collect();
+            let (imgs, _) = Self::stack_batch(samples, &idx);
+            self.model.extract_features(&imgs, task)
+        });
         let refs: Vec<&Tensor> = parts.iter().collect();
         Tensor::concat0(&refs)
     }
 
     fn til_probabilities(&self, samples: &[Sample], task: usize) -> Tensor {
-        let mut parts = Vec::new();
-        for chunk in (0..samples.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
-            let (imgs, _) = Self::stack_batch(samples, chunk);
-            parts.push(self.model.predict_til(&imgs, task));
-        }
+        let parts = self.eval_chunks(samples.len(), |range| {
+            let idx: Vec<usize> = range.collect();
+            let (imgs, _) = Self::stack_batch(samples, &idx);
+            self.model.predict_til(&imgs, task)
+        });
         let refs: Vec<&Tensor> = parts.iter().collect();
         Tensor::concat0(&refs)
     }
@@ -370,8 +392,9 @@ impl CdclTrainer {
     /// current CIL probabilities for logit replay.
     fn memory_candidates(&self, task: &TaskData) -> Vec<MemoryRecord> {
         let t = task.task_id;
-        let mut out = Vec::with_capacity(self.last_pairs.len());
-        for chunk in self.last_pairs.chunks(EVAL_CHUNK) {
+        let pairs = &self.last_pairs;
+        self.eval_chunks(pairs.len(), |range| {
+            let chunk = &pairs[range];
             let src_refs: Vec<&Sample> =
                 chunk.iter().map(|p| &task.source_train[p.source]).collect();
             let tgt_refs: Vec<&Sample> =
@@ -384,6 +407,7 @@ impl CdclTrainer {
             let cil_t = self.model.predict_cil(&tgt_imgs);
             let u = til_s.shape()[1];
             let total = cil_s.shape()[1];
+            let mut out = Vec::with_capacity(chunk.len());
             for (i, p) in chunk.iter().enumerate() {
                 let conf_s = til_s.data()[i * u..(i + 1) * u]
                     .iter()
@@ -404,8 +428,11 @@ impl CdclTrainer {
                     confidence: conf_s.max(conf_t),
                 });
             }
-        }
-        out
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -488,26 +515,32 @@ impl ContinualLearner for CdclTrainer {
     }
 
     fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
-        let mut predictions = Vec::with_capacity(test.len());
-        for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
-            let (imgs, _) = Self::stack_batch(test, chunk);
-            predictions.extend(self.model.predict_til(&imgs, task_id).argmax_last());
-        }
+        let predictions: Vec<usize> = self
+            .eval_chunks(test.len(), |range| {
+                let idx: Vec<usize> = range.collect();
+                let (imgs, _) = Self::stack_batch(test, &idx);
+                self.model.predict_til(&imgs, task_id).argmax_last()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         accuracy_from_predictions(&predictions, test)
     }
 
     fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
         let offset = self.model.class_offset(task_id);
-        let mut hits = 0usize;
-        for chunk in (0..test.len()).collect::<Vec<_>>().chunks(EVAL_CHUNK) {
-            let (imgs, labels) = Self::stack_batch(test, chunk);
-            let pred = self.model.predict_cil(&imgs).argmax_last();
-            for (p, l) in pred.iter().zip(labels.iter()) {
-                if *p == offset + l {
-                    hits += 1;
-                }
-            }
-        }
+        let hits: usize = self
+            .eval_chunks(test.len(), |range| {
+                let idx: Vec<usize> = range.collect();
+                let (imgs, labels) = Self::stack_batch(test, &idx);
+                let pred = self.model.predict_cil(&imgs).argmax_last();
+                pred.iter()
+                    .zip(labels.iter())
+                    .filter(|&(p, l)| *p == offset + l)
+                    .count()
+            })
+            .into_iter()
+            .sum();
         if test.is_empty() {
             0.0
         } else {

@@ -42,6 +42,7 @@ impl Scale {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn config(
     name: String,
     num_classes: usize,
@@ -308,11 +309,7 @@ impl DomainNetDomain {
 /// `Scale::Standard` we keep the 15-task structure with 2 classes per task
 /// (30 classes) so the continual-learning stress is preserved at CPU cost,
 /// and `Scale::Paper` restores the full 345.
-pub fn domain_net(
-    src: DomainNetDomain,
-    tgt: DomainNetDomain,
-    scale: Scale,
-) -> CrossDomainStream {
+pub fn domain_net(src: DomainNetDomain, tgt: DomainNetDomain, scale: Scale) -> CrossDomainStream {
     assert_ne!(src, tgt, "source and target domains must differ");
     let (ax, ay) = src.coord();
     let (bx, by) = tgt.coord();
@@ -376,11 +373,7 @@ mod tests {
 
     #[test]
     fn domain_net_scales() {
-        let s = domain_net(
-            DomainNetDomain::Real,
-            DomainNetDomain::Sketch,
-            Scale::Smoke,
-        );
+        let s = domain_net(DomainNetDomain::Real, DomainNetDomain::Sketch, Scale::Smoke);
         assert_eq!(s.num_tasks(), 5);
         let s = domain_net(
             DomainNetDomain::Real,

@@ -102,7 +102,7 @@ impl DomainPairConfig {
     /// Classes per task.
     pub fn classes_per_task(&self) -> usize {
         assert!(
-            self.num_classes % self.tasks == 0,
+            self.num_classes.is_multiple_of(self.tasks),
             "{}: {} classes not divisible into {} tasks",
             self.name,
             self.num_classes,
@@ -142,10 +142,7 @@ impl DomainPairConfig {
         // Per-domain photometric parameters (contrast/brightness), mimicking
         // e.g. DSLR vs Webcam exposure differences.
         let source_photo = (1.0, 0.0);
-        let target_photo = (
-            1.0 - 0.3 * self.domain_gap,
-            0.2 * self.domain_gap,
-        );
+        let target_photo = (1.0 - 0.3 * self.domain_gap, 0.2 * self.domain_gap);
 
         let mut tasks = Vec::with_capacity(self.tasks);
         for t in 0..self.tasks {
@@ -227,7 +224,11 @@ impl DomainPairConfig {
         noise_std: f32,
         label: usize,
     ) -> Sample {
-        let latent = proto.add(&Tensor::randn(rng, &[self.latent_dim], self.within_class_std));
+        let latent = proto.add(&Tensor::randn(
+            rng,
+            &[self.latent_dim],
+            self.within_class_std,
+        ));
         let flat = latent.reshape(&[1, self.latent_dim]).matmul(w).scale(scale);
         let mut img = flat.map(|v| v.tanh() * contrast + brightness);
         if noise_std > 0.0 {

@@ -66,11 +66,11 @@ impl RMatrix {
         }
         let last = &self.rows[t - 1];
         let mut total = 0.0;
-        for j in 0..t - 1 {
+        for (j, &lj) in last.iter().enumerate().take(t - 1) {
             let best = (j..t - 1)
                 .map(|i| self.rows[i][j])
                 .fold(f64::NEG_INFINITY, f64::max);
-            total += best - last[j];
+            total += best - lj;
         }
         total / (t - 1) as f64
     }

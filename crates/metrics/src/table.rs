@@ -39,12 +39,7 @@ pub fn format_table(
         .max()
         .unwrap_or(6)
         .max(6);
-    let col_w = columns
-        .iter()
-        .map(|c| c.len())
-        .max()
-        .unwrap_or(6)
-        .max(7);
+    let col_w = columns.iter().map(|c| c.len()).max().unwrap_or(6).max(7);
 
     // Per-column winner among the highlighted rows.
     let mut best: Vec<Option<usize>> = vec![None; columns.len()];

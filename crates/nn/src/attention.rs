@@ -198,8 +198,10 @@ impl InterIntraAttention {
         let v = self.wv.forward(g, kv_tokens); // [b, n, d]
         let k = self.bank.project_keys(g, kv_tokens, task); // [b, n, d]
         let bias = self.bank.project_bias(g, kv_tokens, task); // [b, 1, n]
-        let kt = g.transpose_last2(k); // [b, d, n]
-        let scores = g.matmul(q, kt); // [b, n, n]
+
+        // Fused Q·Kᵀ: reads K in its stored [b, n, d] layout instead of
+        // materialising a [b, d, n] copy (see cdcl_tensor::kernels).
+        let scores = g.matmul_nt(q, k); // [b, n, n]
         let scores = g.scale(scores, 1.0 / (self.d as f32).sqrt());
         let scores = g.add(scores, bias);
         let attn = if self.softmax {
@@ -313,7 +315,12 @@ mod tests {
         let l = g.sum_all(y2);
         g.backward(l);
         for p in frozen {
-            assert_eq!(p.grad().sq_norm(), 0.0, "frozen param {} got grads", p.name());
+            assert_eq!(
+                p.grad().sq_norm(),
+                0.0,
+                "frozen param {} got grads",
+                p.name()
+            );
         }
     }
 
@@ -342,8 +349,7 @@ mod tests {
     #[test]
     fn no_softmax_variant_runs() {
         let mut rng = SmallRng::seed_from_u64(8);
-        let mut attn =
-            InterIntraAttention::new(&mut rng, "a", 4, AttentionMode::TaskKeyed, false);
+        let mut attn = InterIntraAttention::new(&mut rng, "a", 4, AttentionMode::TaskKeyed, false);
         attn.add_task(&mut rng);
         let mut g = Graph::new();
         let x = g.input(tokens(&mut rng, 1, 3, 4));

@@ -269,7 +269,11 @@ mod tests {
             }
         }
         let mut g = Graph::new();
-        let x = g.input(Tensor::randn(&mut SmallRng::seed_from_u64(5), &[1, 1, 16, 16], 1.0));
+        let x = g.input(Tensor::randn(
+            &mut SmallRng::seed_from_u64(5),
+            &[1, 1, 16, 16],
+            1.0,
+        ));
         let z0b = b.features_self(&mut g, x, 0);
         let z1b = b.features_self(&mut g, x, 1);
         assert_ne!(g.value(z0b).data(), g.value(z1b).data());

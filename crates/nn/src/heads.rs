@@ -19,7 +19,10 @@ pub struct TilHeads {
 impl TilHeads {
     /// Empty multi-head output.
     pub fn new(d: usize) -> Self {
-        Self { heads: Vec::new(), d }
+        Self {
+            heads: Vec::new(),
+            d,
+        }
     }
 
     /// Number of task heads.
@@ -35,8 +38,13 @@ impl TilHeads {
     /// Appends a head for a new task with `classes` outputs.
     pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R, classes: usize) {
         let i = self.heads.len();
-        self.heads
-            .push(Linear::new(rng, &format!("til.head{i}"), self.d, classes, true));
+        self.heads.push(Linear::new(
+            rng,
+            &format!("til.head{i}"),
+            self.d,
+            classes,
+            true,
+        ));
     }
 
     /// Logits of task `task` for features `z: [b, d]`.

@@ -31,7 +31,12 @@ impl Linear {
             xavier_uniform(rng, &[in_dim, out_dim], in_dim, out_dim),
         );
         let b = bias.then(|| Param::new(format!("{name}.b"), Tensor::zeros(&[out_dim])));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.
@@ -183,8 +188,15 @@ impl ConvTokenizer {
         kernel: usize,
     ) -> Self {
         assert!(stages >= 1, "tokenizer needs at least one stage");
-        let pool = Pool2dSpec { kernel: 2, stride: 2 };
-        let conv_spec = Conv2dSpec { kernel, stride: 1, padding: kernel / 2 };
+        let pool = Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        };
+        let conv_spec = Conv2dSpec {
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+        };
         let mut convs = Vec::with_capacity(stages);
         let mut c_in = in_channels;
         let (mut h, mut w) = in_hw;
@@ -374,7 +386,11 @@ mod tests {
     #[test]
     fn conv_layer_preserves_spatial_with_padding() {
         let mut rng = SmallRng::seed_from_u64(6);
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let conv = Conv2dLayer::new(&mut rng, "c", 2, 5, spec);
         let mut g = Graph::new();
         let x = g.input(Tensor::zeros(&[1, 2, 7, 7]));

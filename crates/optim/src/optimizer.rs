@@ -32,10 +32,7 @@ pub struct Sgd {
 impl Sgd {
     /// New SGD over `params` with `momentum` (0 disables it).
     pub fn new(params: Vec<Param>, momentum: f32) -> Self {
-        let velocity = params
-            .iter()
-            .map(|p| Tensor::zeros(&p.shape()))
-            .collect();
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         Self {
             params,
             momentum,

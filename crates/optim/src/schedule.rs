@@ -82,7 +82,10 @@ mod tests {
         let s = WarmupCosine::paper(25, 125);
         assert!((s.lr(25) - 5e-5).abs() < 1e-9, "start {}", s.lr(25));
         assert!((s.lr(125) - 1e-6).abs() < 1e-9, "end {}", s.lr(125));
-        assert!((s.lr(10_000) - 1e-6).abs() < 1e-9, "past end clamps to floor");
+        assert!(
+            (s.lr(10_000) - 1e-6).abs() < 1e-9,
+            "past end clamps to floor"
+        );
     }
 
     #[test]

@@ -3,7 +3,13 @@
 //! `conv2d` is implemented by `im2col` + GEMM — the standard CPU strategy —
 //! and the [`Im2col`] buffer is exposed so the autograd layer can reuse it in
 //! the backward pass instead of recomputing it.
+//!
+//! The unroll, the per-image GEMM, and the scatter-back adjoint are all
+//! parallelised per image through [`crate::kernels::pool`]: each image's
+//! slice of the output is written by exactly one thread, so results are
+//! bitwise identical at every thread count.
 
+use crate::kernels;
 use crate::Tensor;
 
 /// Static parameters of a 2-D convolution.
@@ -52,7 +58,10 @@ impl Pool2dSpec {
             "pool kernel {} larger than input {h}x{w}",
             self.kernel
         );
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
@@ -95,30 +104,35 @@ pub fn im2col(x: &Tensor, spec: Conv2dSpec) -> Im2col {
     let col_cols = oh * ow;
     let mut cols = vec![0.0; b * col_rows * col_cols];
     let xd = x.data();
-    for bi in 0..b {
-        let img = &xd[bi * c * h * w..(bi + 1) * c * h * w];
-        let dst = &mut cols[bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols];
-        for ci in 0..c {
-            for ki in 0..k {
-                for kj in 0..k {
-                    let row = (ci * k + ki) * k + kj;
-                    for oi in 0..oh {
-                        let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
-                        for oj in 0..ow {
-                            let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
-                            let v = if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w
-                            {
-                                img[ci * h * w + ii as usize * w + jj as usize]
-                            } else {
-                                0.0
-                            };
-                            dst[row * col_cols + oi * ow + oj] = v;
+    kernels::par_chunks_mut(
+        &mut cols,
+        col_rows * col_cols,
+        col_rows * col_cols,
+        |bi, dst| {
+            let img = &xd[bi * c * h * w..(bi + 1) * c * h * w];
+            for ci in 0..c {
+                for ki in 0..k {
+                    for kj in 0..k {
+                        let row = (ci * k + ki) * k + kj;
+                        for oi in 0..oh {
+                            let ii = (oi * spec.stride + ki) as isize - spec.padding as isize;
+                            for oj in 0..ow {
+                                let jj = (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                let v =
+                                    if ii >= 0 && jj >= 0 && (ii as usize) < h && (jj as usize) < w
+                                    {
+                                        img[ci * h * w + ii as usize * w + jj as usize]
+                                    } else {
+                                        0.0
+                                    };
+                                dst[row * col_cols + oi * ow + oj] = v;
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Im2col {
         cols: Tensor::from_vec(cols, &[b, col_rows, col_cols]),
         batch: b,
@@ -141,9 +155,8 @@ pub fn col2im(cols_grad: &Tensor, info: &Im2col) -> Tensor {
     assert_eq!(cols_grad.shape(), &[b, col_rows, col_cols]);
     let mut out = vec![0.0; b * c * h * w];
     let gd = cols_grad.data();
-    for bi in 0..b {
+    kernels::par_chunks_mut(&mut out, c * h * w, col_rows * col_cols, |bi, img| {
         let src = &gd[bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols];
-        let img = &mut out[bi * c * h * w..(bi + 1) * c * h * w];
         for ci in 0..c {
             for ki in 0..k {
                 for kj in 0..k {
@@ -166,7 +179,7 @@ pub fn col2im(cols_grad: &Tensor, info: &Im2col) -> Tensor {
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[b, c, h, w])
 }
 
@@ -181,8 +194,12 @@ impl Tensor {
         spec: Conv2dSpec,
     ) -> (Tensor, Im2col) {
         assert_eq!(weight.ndim(), 4, "conv2d weight must be [co,ci,k,k]");
-        let (c_out, c_in, kh, kw) =
-            (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+        let (c_out, c_in, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
         assert_eq!(kh, spec.kernel, "weight kernel mismatch");
         assert_eq!(kw, spec.kernel, "weight kernel mismatch");
         assert_eq!(
@@ -194,24 +211,31 @@ impl Tensor {
         let info = im2col(self, spec);
         let (oh, ow) = info.out_hw;
         let b = info.batch;
-        // weight as [c_out, c_in*k*k] × cols [b, c_in*k*k, oh*ow]
-        let w2 = weight.reshape(&[c_out, c_in * spec.kernel * spec.kernel]);
+        // weight as [c_out, c_in*k*k] × cols [b, c_in*k*k, oh*ow], written
+        // straight into each image's output slice (no per-image allocation).
+        let kk = c_in * spec.kernel * spec.kernel;
+        let w2 = weight.reshape(&[c_out, kk]);
         let mut out = Tensor::zeros(&[b, c_out, oh * ow]);
-        for bi in 0..b {
-            let prod = w2.matmul(&info.cols.row(bi));
-            out.data_mut()[bi * c_out * oh * ow..(bi + 1) * c_out * oh * ow]
-                .copy_from_slice(prod.data());
-        }
+        let cols = info.cols.data();
+        kernels::par_chunks_mut(
+            out.data_mut(),
+            c_out * oh * ow,
+            c_out * kk * oh * ow,
+            |bi, dst| {
+                let cols_i = &cols[bi * kk * oh * ow..(bi + 1) * kk * oh * ow];
+                kernels::gemm_nn(dst, w2.data(), cols_i, c_out, kk, oh * ow);
+            },
+        );
         let mut out = out.reshape(&[b, c_out, oh, ow]);
         if let Some(bias) = bias {
             assert_eq!(bias.shape(), &[c_out], "conv2d bias must be [c_out]");
             let bd = bias.data();
             let od = out.data_mut();
             for bi in 0..b {
-                for co in 0..c_out {
+                for (co, &bv) in bd.iter().enumerate() {
                     let base = (bi * c_out + co) * oh * ow;
                     for v in &mut od[base..base + oh * ow] {
-                        *v += bd[co];
+                        *v += bv;
                     }
                 }
             }
@@ -222,7 +246,12 @@ impl Tensor {
     /// Max pooling over `self: [b, c, h, w]`.
     pub fn maxpool2d(&self, spec: Pool2dSpec) -> MaxPoolResult {
         assert_eq!(self.ndim(), 4, "maxpool2d expects NCHW");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let (oh, ow) = spec.out_hw(h, w);
         let mut out = vec![0.0; b * c * oh * ow];
         let mut argmax = vec![0usize; b * c * oh * ow];
@@ -280,15 +309,11 @@ mod tests {
                         for ci in 0..c_in {
                             for ki in 0..spec.kernel {
                                 for kj in 0..spec.kernel {
-                                    let ii = (oi * spec.stride + ki) as isize
-                                        - spec.padding as isize;
-                                    let jj = (oj * spec.stride + kj) as isize
-                                        - spec.padding as isize;
-                                    if ii < 0
-                                        || jj < 0
-                                        || ii as usize >= h
-                                        || jj as usize >= wd
-                                    {
+                                    let ii =
+                                        (oi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj =
+                                        (oj * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ii < 0 || jj < 0 || ii as usize >= h || jj as usize >= wd {
                                         continue;
                                     }
                                     acc += x.at(&[bi, ci, ii as usize, jj as usize])
@@ -309,7 +334,11 @@ mod tests {
     fn conv2d_matches_naive_reference() {
         let mut rng = SmallRng::seed_from_u64(21);
         for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1)] {
-            let spec = Conv2dSpec { kernel: 3, stride, padding };
+            let spec = Conv2dSpec {
+                kernel: 3,
+                stride,
+                padding,
+            };
             let x = Tensor::randn(&mut rng, &[2, 3, 8, 8], 1.0);
             let w = Tensor::randn(&mut rng, &[4, 3, 3, 3], 0.5);
             let b = Tensor::randn(&mut rng, &[4], 0.5);
@@ -325,15 +354,31 @@ mod tests {
         // 1x1 kernel with weight 1 on a single channel copies the image.
         let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
         let w = Tensor::ones(&[1, 1, 1, 1]);
-        let (y, _) = x.conv2d(&w, None, Conv2dSpec { kernel: 1, stride: 1, padding: 0 });
+        let (y, _) = x.conv2d(
+            &w,
+            None,
+            Conv2dSpec {
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+            },
+        );
         assert_eq!(y.data(), x.data());
     }
 
     #[test]
     fn conv2d_output_shape() {
-        let spec = Conv2dSpec { kernel: 7, stride: 2, padding: 3 };
+        let spec = Conv2dSpec {
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        };
         assert_eq!(spec.out_hw(28, 28), (14, 14));
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         assert_eq!(spec.out_hw(16, 16), (16, 16));
     }
 
@@ -341,7 +386,11 @@ mod tests {
     fn col2im_adjoint_of_im2col() {
         // <im2col(x), g> == <x, col2im(g)> — the defining adjoint property.
         let mut rng = SmallRng::seed_from_u64(22);
-        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let x = Tensor::randn(&mut rng, &[2, 2, 6, 6], 1.0);
         let info = im2col(&x, spec);
         let g = Tensor::randn(&mut rng, info.cols.shape(), 1.0);
@@ -353,7 +402,12 @@ mod tests {
             .map(|(a, b)| a * b)
             .sum();
         let back = col2im(&g, &info);
-        let rhs: f32 = x.data().iter().zip(back.data().iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(back.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
     }
 
@@ -368,7 +422,10 @@ mod tests {
             ],
             &[1, 1, 4, 4],
         );
-        let r = x.maxpool2d(Pool2dSpec { kernel: 2, stride: 2 });
+        let r = x.maxpool2d(Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        });
         assert_eq!(r.out.shape(), &[1, 1, 2, 2]);
         assert_eq!(r.out.data(), &[4.0, 8.0, 12.0, 16.0]);
         assert_eq!(r.argmax, vec![5, 7, 13, 15]);
@@ -377,7 +434,10 @@ mod tests {
     #[test]
     fn maxpool_overlapping_windows() {
         let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
-        let r = x.maxpool2d(Pool2dSpec { kernel: 2, stride: 1 });
+        let r = x.maxpool2d(Pool2dSpec {
+            kernel: 2,
+            stride: 1,
+        });
         assert_eq!(r.out.shape(), &[1, 1, 2, 2]);
         assert_eq!(r.out.data(), &[4.0, 5.0, 7.0, 8.0]);
     }
@@ -387,6 +447,14 @@ mod tests {
     fn conv2d_channel_mismatch_panics() {
         let x = Tensor::zeros(&[1, 2, 4, 4]);
         let w = Tensor::zeros(&[1, 3, 3, 3]);
-        x.conv2d(&w, None, Conv2dSpec { kernel: 3, stride: 1, padding: 1 });
+        x.conv2d(
+            &w,
+            None,
+            Conv2dSpec {
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+        );
     }
 }

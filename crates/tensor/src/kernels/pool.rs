@@ -1,0 +1,236 @@
+//! Dependency-free data-parallel execution built on [`std::thread::scope`].
+//!
+//! There is no persistent pool object: each parallel region spawns scoped
+//! worker threads, which lets borrowed slices cross into workers without
+//! `Arc` or lifetime erasure and keeps the module free of unsafe code and
+//! external crates.
+//!
+//! # Thread-count policy
+//!
+//! The worker count is resolved once per process, in this order:
+//!
+//! 1. [`set_num_threads`] (a test/benchmark override),
+//! 2. the `CDCL_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `CDCL_THREADS=1` (or `set_num_threads(1)`) runs every region inline on
+//! the calling thread — byte-for-byte the single-threaded code path, with no
+//! threads spawned at all.
+//!
+//! # Determinism
+//!
+//! Work is always split into **contiguous, disjoint index ranges**, one per
+//! worker, and every output element is written by exactly one worker using
+//! the same loop body the serial path uses. No reduction is ever split
+//! across threads, so results are bitwise identical at every thread count.
+//!
+//! # Nesting
+//!
+//! Parallel regions started from inside a worker run inline: the outer
+//! region already owns all the cores, and serialising the inner one keeps
+//! the thread count bounded and the execution order fixed.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved default (env var, then hardware parallelism).
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+std::thread_local! {
+    /// True on threads spawned by a parallel region; used to run nested
+    /// regions inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The number of worker threads parallel regions may use.
+///
+/// Resolution order: [`set_num_threads`] override → `CDCL_THREADS` → the
+/// machine's available parallelism. Always at least 1.
+pub fn num_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CDCL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Overrides [`num_threads`] process-wide (tests and benchmarks compare
+/// thread counts within one process). Pass 0 to clear the override.
+pub fn set_num_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Minimum amount of per-thread work (in fused multiply-add units) below
+/// which spawning a thread costs more than it saves.
+const MIN_WORK_PER_THREAD: usize = 1 << 15;
+
+/// How many workers a region of `units` chunks, each costing `work_per_unit`
+/// FMA-units, should use. Returns 1 inside a worker (nested region), under
+/// `CDCL_THREADS=1`, or when the region is too small to amortise a spawn.
+fn effective_threads(units: usize, work_per_unit: usize) -> usize {
+    if IN_WORKER.with(|w| w.get()) {
+        return 1;
+    }
+    let by_work = (units.saturating_mul(work_per_unit) / MIN_WORK_PER_THREAD).max(1);
+    num_threads().min(units.max(1)).min(by_work)
+}
+
+/// Splits `0..units` into at most `threads` contiguous ranges of
+/// near-equal length.
+fn split_ranges(units: usize, threads: usize) -> Vec<Range<usize>> {
+    let per = units.div_ceil(threads.max(1));
+    (0..threads)
+        .map(|t| (t * per).min(units)..((t + 1) * per).min(units))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Runs `body(chunk_index, chunk)` for every `chunk_len`-sized piece of
+/// `out`, distributing contiguous runs of chunks across worker threads.
+///
+/// `work_per_chunk` is the approximate FMA count per chunk, used to decide
+/// how many threads the region deserves. Chunk `i` is always processed by
+/// exactly one thread, and chunks assigned to a thread run in ascending
+/// order, so the writes (and their rounding) match the serial loop exactly.
+pub fn par_chunks_mut<F>(out: &mut [f32], chunk_len: usize, work_per_chunk: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(
+        chunk_len > 0 && out.len().is_multiple_of(chunk_len),
+        "uneven chunking"
+    );
+    let units = out.len() / chunk_len;
+    let threads = effective_threads(units, work_per_chunk);
+    if threads <= 1 {
+        for (i, c) in out.chunks_mut(chunk_len).enumerate() {
+            body(i, c);
+        }
+        return;
+    }
+    let ranges = split_ranges(units, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let body = &body;
+        for range in ranges {
+            let (head, tail) = rest.split_at_mut(range.len() * chunk_len);
+            rest = tail;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (off, c) in head.chunks_mut(chunk_len).enumerate() {
+                    body(range.start + off, c);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `body` over contiguous sub-ranges of `0..units` on worker threads
+/// and concatenates the per-range outputs in range order, so the result is
+/// identical to `body(0..units)` run serially.
+///
+/// `work_per_unit` is the approximate FMA count per unit (see
+/// [`par_chunks_mut`]).
+pub fn par_map_ranges<T, F>(units: usize, work_per_unit: usize, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = effective_threads(units, work_per_unit);
+    if threads <= 1 {
+        return body(0..units);
+    }
+    let ranges = split_ranges(units, threads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    body(range)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_exactly() {
+        for units in [0usize, 1, 5, 16, 17] {
+            for threads in [1usize, 2, 3, 8] {
+                let ranges = split_ranges(units, threads);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    covered.extend(r.clone());
+                }
+                assert_eq!(covered, (0..units).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_at_any_thread_count() {
+        let serial: Vec<f32> = (0..64).map(|i| (i * 3 % 7) as f32).collect();
+        for threads in [1usize, 2, 5, 8] {
+            set_num_threads(threads);
+            let mut out = vec![0.0f32; 64];
+            // Force parallelism despite the small size via a huge work hint.
+            par_chunks_mut(&mut out, 4, usize::MAX / 64, |i, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = ((i * 4 + j) * 3 % 7) as f32;
+                }
+            });
+            assert_eq!(out, serial);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        set_num_threads(4);
+        let got = par_map_ranges(100, usize::MAX / 100, |r| r.collect::<Vec<_>>());
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        set_num_threads(4);
+        let got = par_map_ranges(8, usize::MAX / 8, |outer| {
+            outer
+                .flat_map(|o| {
+                    // A nested region must not deadlock or reorder anything.
+                    let inner = par_map_ranges(4, usize::MAX / 4, |r| r.collect::<Vec<_>>());
+                    inner.into_iter().map(move |i| (o, i))
+                })
+                .collect()
+        });
+        let expected: Vec<(usize, usize)> =
+            (0..8).flat_map(|o| (0..4).map(move |i| (o, i))).collect();
+        assert_eq!(got, expected);
+        set_num_threads(0);
+    }
+}

@@ -3,16 +3,24 @@
 //! This crate is the numeric substrate underneath everything else in the
 //! workspace: it provides a contiguous, row-major, CPU-only tensor type with
 //! exactly the operator set the paper's model needs — broadcasting
-//! element-wise arithmetic, 2-D and batched matrix multiplication, `conv2d`
-//! and `maxpool2d` (via `im2col`), numerically-stable softmax family
-//! reductions, and seeded random initialisation.
+//! element-wise arithmetic, 2-D and batched matrix multiplication (plain and
+//! transpose-fused), `conv2d` and `maxpool2d` (via `im2col`),
+//! numerically-stable softmax family reductions, and seeded random
+//! initialisation.
 //!
 //! Design notes (see `DESIGN.md` at the workspace root):
 //!
-//! * Tensors are **always contiguous**. Transposes and permutations copy.
-//!   For the model sizes used in the experiments this is far cheaper than the
-//!   complexity of a stride/view system, and keeps every kernel a simple loop
-//!   the compiler can vectorise.
+//! * Tensors are **always contiguous**. General permutations copy, but the
+//!   hot transpose patterns never do: `A·Bᵀ` and `Aᵀ·B` go through the
+//!   fused [`Tensor::matmul_nt`] / [`Tensor::matmul_tn`] kernels, which
+//!   read the transposed operand in its stored layout. Only genuinely
+//!   layout-changing permutations (e.g. `[b,d,n] -> [b,n,d]` after the
+//!   tokenizer) still materialise a copy.
+//! * Heavy kernels (GEMM, `im2col` convolution) are **multi-threaded** via
+//!   the scoped pool in [`kernels::pool`], sized from `CDCL_THREADS` or the
+//!   machine's available parallelism. Every output row is reduced by
+//!   exactly one thread in a fixed order, so results are bitwise identical
+//!   at every thread count; `CDCL_THREADS=1` runs fully inline.
 //! * Shapes are checked eagerly and violations panic with a descriptive
 //!   message. Shape errors in a training loop are programming bugs, not
 //!   recoverable conditions, mirroring the convention of mainstream numeric
@@ -34,6 +42,7 @@
 //! ```
 
 mod conv;
+pub mod kernels;
 mod matmul;
 mod reduce;
 mod shape;
@@ -57,9 +66,6 @@ pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
         expected.len()
     );
     for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
-        assert!(
-            (a - e).abs() <= tol,
-            "element {i}: {a} vs {e} (tol {tol})"
-        );
+        assert!((a - e).abs() <= tol, "element {i}: {a} vs {e} (tol {tol})");
     }
 }

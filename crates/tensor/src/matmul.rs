@@ -1,28 +1,10 @@
-//! Matrix multiplication kernels: plain 2-D GEMM and the batched variants
-//! attention needs (`[b,m,k] × [b,k,n]` and `[b,m,k] × [k,n]`).
+//! Matrix products on tensors: plain 2-D GEMM, the batched variants
+//! attention needs (`[b,m,k] × [b,k,n]` and `[b,m,k] × [k,n]`), and the
+//! transpose-aware fused forms `A·Bᵀ` / `Aᵀ·B` that read the transposed
+//! operand in place. All of them dispatch to [`crate::kernels`].
 
+use crate::kernels;
 use crate::Tensor;
-
-/// Naive but cache-friendly (ikj-ordered) single-threaded GEMM:
-/// `out[m,n] += a[m,k] * b[k,n]`.
-fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_ip * b_pj;
-            }
-        }
-    }
-}
 
 impl Tensor {
     /// Matrix/batched-matrix product. Supported rank combinations:
@@ -40,7 +22,7 @@ impl Tensor {
                 let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; m * n];
-                gemm_into(&mut out, self.data(), rhs.data(), m, k, n);
+                kernels::gemm_nn(&mut out, self.data(), rhs.data(), m, k, n);
                 Tensor::from_vec(out, &[m, n])
             }
             (3, 3) => {
@@ -49,16 +31,7 @@ impl Tensor {
                 assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; b * m * n];
-                for i in 0..b {
-                    gemm_into(
-                        &mut out[i * m * n..(i + 1) * m * n],
-                        &self.data()[i * m * k..(i + 1) * m * k],
-                        &rhs.data()[i * k * n..(i + 1) * k * n],
-                        m,
-                        k,
-                        n,
-                    );
-                }
+                kernels::gemm_nn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
                 Tensor::from_vec(out, &[b, m, n])
             }
             (3, 2) => {
@@ -67,10 +40,75 @@ impl Tensor {
                 let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; b * m * n];
-                gemm_into(&mut out, self.data(), rhs.data(), b * m, k, n);
+                kernels::gemm_nn(&mut out, self.data(), rhs.data(), b * m, k, n);
                 Tensor::from_vec(out, &[b, m, n])
             }
             (a, b) => panic!("unsupported matmul ranks: {a} x {b}"),
+        }
+    }
+
+    /// Fused `self · rhsᵀ`: `rhs` is read in its stored layout, so the
+    /// transposed operand is never materialised. Supported combinations:
+    ///
+    /// * `[m,k] × [n,k] -> [m,n]`
+    /// * `[b,m,k] × [b,n,k] -> [b,m,n]` (attention scores `Q·Kᵀ`)
+    /// * `[b,m,k] × [n,k] -> [b,m,n]` (shared right operand)
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        match (self.ndim(), rhs.ndim()) {
+            (2, 2) => {
+                let (m, k) = (self.shape()[0], self.shape()[1]);
+                let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; m * n];
+                kernels::gemm_nt(&mut out, self.data(), rhs.data(), m, k, n);
+                Tensor::from_vec(out, &[m, n])
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (b2, n, k2) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+                assert_eq!(b, b2, "matmul_nt batch dims: {b} vs {b2}");
+                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                kernels::gemm_nt_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (3, 2) => {
+                let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                kernels::gemm_nt(&mut out, self.data(), rhs.data(), b * m, k, n);
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (a, b) => panic!("unsupported matmul_nt ranks: {a} x {b}"),
+        }
+    }
+
+    /// Fused `selfᵀ · rhs`: `self` is read in its stored layout, so the
+    /// transposed operand is never materialised. Supported combinations:
+    ///
+    /// * `[k,m] × [k,n] -> [m,n]` (weight gradients `xᵀ·g`)
+    /// * `[b,k,m] × [b,k,n] -> [b,m,n]`
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        match (self.ndim(), rhs.ndim()) {
+            (2, 2) => {
+                let (k, m) = (self.shape()[0], self.shape()[1]);
+                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+                assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; m * n];
+                kernels::gemm_tn(&mut out, self.data(), rhs.data(), m, k, n);
+                Tensor::from_vec(out, &[m, n])
+            }
+            (3, 3) => {
+                let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+                let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
+                assert_eq!(b, b2, "matmul_tn batch dims: {b} vs {b2}");
+                assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                kernels::gemm_tn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (a, b) => panic!("unsupported matmul_tn ranks: {a} x {b}"),
         }
     }
 }
@@ -152,5 +190,60 @@ mod tests {
         let lhs = a.matmul(&b).transpose_last2();
         let rhs = b.transpose_last2().matmul(&a.transpose_last2());
         assert_close(lhs.data(), rhs.data(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let a = Tensor::randn(&mut rng, &[4, 7], 1.0);
+        let b = Tensor::randn(&mut rng, &[5, 7], 1.0);
+        let fused = a.matmul_nt(&b);
+        let copied = a.matmul(&b.transpose_last2());
+        assert_eq!(fused.shape(), &[4, 5]);
+        assert_eq!(fused.data(), copied.data(), "nt must be bitwise identical");
+    }
+
+    #[test]
+    fn matmul_nt_batched_matches_explicit_transpose() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let q = Tensor::randn(&mut rng, &[2, 6, 5], 1.0);
+        let key = Tensor::randn(&mut rng, &[2, 3, 5], 1.0);
+        let fused = q.matmul_nt(&key);
+        let copied = q.matmul(&key.transpose_last2());
+        assert_eq!(fused.shape(), &[2, 6, 3]);
+        assert_eq!(fused.data(), copied.data());
+    }
+
+    #[test]
+    fn matmul_nt_shared_rhs() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let a = Tensor::randn(&mut rng, &[2, 4, 5], 1.0);
+        let b = Tensor::randn(&mut rng, &[3, 5], 1.0);
+        let fused = a.matmul_nt(&b);
+        let copied = a.matmul(&b.transpose_last2());
+        assert_eq!(fused.shape(), &[2, 4, 3]);
+        assert_eq!(fused.data(), copied.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let a = Tensor::randn(&mut rng, &[7, 4], 1.0);
+        let b = Tensor::randn(&mut rng, &[7, 3], 1.0);
+        let fused = a.matmul_tn(&b);
+        let copied = a.transpose_last2().matmul(&b);
+        assert_eq!(fused.shape(), &[4, 3]);
+        assert_eq!(fused.data(), copied.data(), "tn must be bitwise identical");
+    }
+
+    #[test]
+    fn matmul_tn_batched_matches_explicit_transpose() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let a = Tensor::randn(&mut rng, &[3, 6, 2], 1.0);
+        let b = Tensor::randn(&mut rng, &[3, 6, 4], 1.0);
+        let fused = a.matmul_tn(&b);
+        let copied = a.transpose_last2().matmul(&b);
+        assert_eq!(fused.shape(), &[3, 2, 4]);
+        assert_eq!(fused.data(), copied.data());
     }
 }

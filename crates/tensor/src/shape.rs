@@ -29,10 +29,10 @@ pub fn strides_for(shape: &[usize]) -> Vec<usize> {
 pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Shape {
     let ndim = a.len().max(b.len());
     let mut out = vec![0; ndim];
-    for i in 0..ndim {
+    for (i, o) in out.iter_mut().enumerate() {
         let da = dim_from_end(a, ndim - 1 - i);
         let db = dim_from_end(b, ndim - 1 - i);
-        out[i] = match (da, db) {
+        *o = match (da, db) {
             (x, y) if x == y => x,
             (1, y) => y,
             (x, 1) => x,
@@ -58,11 +58,11 @@ pub(crate) fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usi
     let strides = strides_for(shape);
     let ndim = out_shape.len();
     let mut out = vec![0; ndim];
-    for i in 0..ndim {
+    for (i, o) in out.iter_mut().enumerate() {
         let from_end = ndim - 1 - i;
         if from_end < shape.len() {
             let j = shape.len() - 1 - from_end;
-            out[i] = if shape[j] == 1 { 0 } else { strides[j] };
+            *o = if shape[j] == 1 { 0 } else { strides[j] };
         }
     }
     out

@@ -243,10 +243,7 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Self {
         assert!(self.ndim() >= 1 && i < self.shape[0], "row out of range");
         let row = self.len() / self.shape[0];
-        Self::from_vec(
-            self.data[i * row..(i + 1) * row].to_vec(),
-            &self.shape[1..],
-        )
+        Self::from_vec(self.data[i * row..(i + 1) * row].to_vec(), &self.shape[1..])
     }
 
     // ---------------------------------------------------------------------

@@ -11,8 +11,7 @@ fn small_shape() -> impl Strategy<Value = Vec<usize>> {
 /// Strategy: a tensor with the given shape and bounded values.
 fn tensor_with_shape(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
-    prop::collection::vec(-10.0f32..10.0, n)
-        .prop_map(move |data| Tensor::from_vec(data, &shape))
+    prop::collection::vec(-10.0f32..10.0, n).prop_map(move |data| Tensor::from_vec(data, &shape))
 }
 
 fn small_tensor() -> impl Strategy<Value = Tensor> {

@@ -10,13 +10,24 @@ use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
 use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
 use cdcl::nn::AttentionMode;
 
+type Variant<'a> = (&'a str, Box<dyn Fn(&mut CdclConfig)>);
+
 fn main() {
     let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Standard);
-    let variants: Vec<(&str, Box<dyn Fn(&mut CdclConfig)>)> = vec![
+    let variants: Vec<Variant> = vec![
         ("full CDCL", Box::new(|_: &mut CdclConfig| {})),
-        ("without L_CIL (inter-task losses)", Box::new(|c: &mut CdclConfig| c.losses.cil = false)),
-        ("without L_TIL (intra-task losses)", Box::new(|c: &mut CdclConfig| c.losses.til = false)),
-        ("without L_R (rehearsal)", Box::new(|c: &mut CdclConfig| c.losses.rehearsal = false)),
+        (
+            "without L_CIL (inter-task losses)",
+            Box::new(|c: &mut CdclConfig| c.losses.cil = false),
+        ),
+        (
+            "without L_TIL (intra-task losses)",
+            Box::new(|c: &mut CdclConfig| c.losses.til = false),
+        ),
+        (
+            "without L_R (rehearsal)",
+            Box::new(|c: &mut CdclConfig| c.losses.rehearsal = false),
+        ),
         (
             "simple attention (no task keys, no cross-attention)",
             Box::new(|c: &mut CdclConfig| {
@@ -26,8 +37,15 @@ fn main() {
         ),
     ];
 
-    println!("ablation on `{}` ({} tasks):\n", stream.name, stream.num_tasks());
-    println!("{:38} {:>8} {:>8} {:>8}", "variant", "TIL ACC", "TIL FGT", "CIL ACC");
+    println!(
+        "ablation on `{}` ({} tasks):\n",
+        stream.name,
+        stream.num_tasks()
+    );
+    println!(
+        "{:38} {:>8} {:>8} {:>8}",
+        "variant", "TIL ACC", "TIL FGT", "CIL ACC"
+    );
     for (label, mutate) in variants {
         let mut config = CdclConfig::default();
         mutate(&mut config);

@@ -15,7 +15,11 @@ use cdcl::core::{run_stream, CdclConfig, CdclTrainer};
 use cdcl::data::{office31, Office31Domain, Scale};
 
 fn main() {
-    let stream = office31(Office31Domain::Dslr, Office31Domain::Webcam, Scale::Standard);
+    let stream = office31(
+        Office31Domain::Dslr,
+        Office31Domain::Webcam,
+        Scale::Standard,
+    );
     println!(
         "benchmark `{}`: {} tasks x {} classes\n",
         stream.name,
@@ -37,7 +41,10 @@ fn main() {
         Box::new(CdclTrainer::new(cdcl_cfg)),
     ];
 
-    println!("{:12} {:>8} {:>8} {:>8} {:>8}", "method", "TIL ACC", "TIL FGT", "CIL ACC", "CIL FGT");
+    println!(
+        "{:12} {:>8} {:>8} {:>8} {:>8}",
+        "method", "TIL ACC", "TIL FGT", "CIL ACC", "CIL FGT"
+    );
     for learner in &mut learners {
         let r = run_stream(learner.as_mut(), &stream);
         println!(

@@ -74,7 +74,12 @@ fn til_beats_cil_and_metrics_are_bounded() {
     let mut trainer = CdclTrainer::new(CdclConfig::smoke());
     let r = run_stream(&mut trainer, &stream);
     // With task identity, accuracy must beat the task-agnostic scenario.
-    assert!(r.til.acc() >= r.cil.acc(), "TIL {} < CIL {}", r.til.acc(), r.cil.acc());
+    assert!(
+        r.til.acc() >= r.cil.acc(),
+        "TIL {} < CIL {}",
+        r.til.acc(),
+        r.cil.acc()
+    );
     assert!(r.til.acc() > 0.0 && r.til.acc() <= 1.0);
     assert!(r.til.fgt() >= -1.0 && r.til.fgt() <= 1.0);
     assert_eq!(r.til.num_tasks(), 5);

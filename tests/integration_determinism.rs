@@ -1,0 +1,57 @@
+//! End-to-end determinism: training and evaluating the CDCL learner must be
+//! **bitwise identical** at every thread count. This is the contract of the
+//! `cdcl_tensor::kernels` pool (each output element is reduced by exactly
+//! one thread in a fixed order), checked here through the full stack —
+//! tokenizer convs, attention GEMMs, autograd backward, optimizer updates,
+//! pseudo-labelling, and the chunked parallel evaluation loops.
+
+use cdcl::core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
+use cdcl::nn::Module;
+use cdcl::tensor::kernels;
+
+/// Trains two tasks at the given thread count and returns the final
+/// parameter tensors plus both TIL accuracies.
+fn train_at(threads: usize) -> (Vec<(String, Vec<f32>)>, f64, f64) {
+    kernels::set_num_threads(threads);
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    for task in stream.tasks.iter().take(2) {
+        trainer.learn_task(task);
+    }
+    let acc0 = trainer.eval_til(0, &stream.tasks[0].target_test);
+    let acc1 = trainer.eval_til(1, &stream.tasks[1].target_test);
+    let params = trainer
+        .model()
+        .params()
+        .into_iter()
+        .map(|p| (p.name(), p.value().data().to_vec()))
+        .collect();
+    kernels::set_num_threads(0);
+    (params, acc0, acc1)
+}
+
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let (base_params, base_acc0, base_acc1) = train_at(1);
+    assert!(!base_params.is_empty());
+    for threads in [2usize, 8] {
+        let (params, acc0, acc1) = train_at(threads);
+        assert_eq!(acc0, base_acc0, "eval_til(0) diverged at {threads} threads");
+        assert_eq!(acc1, base_acc1, "eval_til(1) diverged at {threads} threads");
+        assert_eq!(params.len(), base_params.len());
+        for ((name, value), (base_name, base_value)) in params.iter().zip(base_params.iter()) {
+            assert_eq!(name, base_name);
+            // Bitwise equality on the raw f32 data — no tolerance. Any
+            // thread-count-dependent reduction order anywhere in the stack
+            // shows up here.
+            assert_eq!(
+                value, base_value,
+                "param {name} diverged at {threads} threads"
+            );
+        }
+    }
+}

@@ -88,7 +88,10 @@ fn all_warmup_no_adaptation_epochs() {
     config.warmup_epochs = 2;
     let mut trainer = CdclTrainer::new(config);
     let r = run_stream(&mut trainer, &stream);
-    assert!(trainer.memory().len() > 0, "fallback pairing must fill memory");
+    assert!(
+        !trainer.memory().is_empty(),
+        "fallback pairing must fill memory"
+    );
     assert!(r.til.acc() >= 0.0);
 }
 
@@ -110,7 +113,13 @@ fn handcrafted_task_with_uneven_sets_trains() {
     let task = TaskData {
         task_id: 0,
         global_classes: vec![0, 1],
-        source_train: vec![mk(0, 0.1), mk(1, 0.9), mk(0, 0.15), mk(1, 0.85), mk(0, 0.12)],
+        source_train: vec![
+            mk(0, 0.1),
+            mk(1, 0.9),
+            mk(0, 0.15),
+            mk(1, 0.85),
+            mk(0, 0.12),
+        ],
         target_train: vec![mk(0, 0.2), mk(1, 0.8), mk(1, 0.78)],
         target_test: vec![mk(0, 0.18), mk(1, 0.82)],
     };

@@ -1,0 +1,142 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors the *exact* API surface it consumes: seeded
+//! [`rngs::SmallRng`], the [`Rng`] extension methods `random` /
+//! `random_range`, [`SeedableRng::seed_from_u64`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — the same algorithm family real `rand 0.9` uses for
+//! `SmallRng` on 64-bit targets.
+//!
+//! The stream is *not* bit-compatible with upstream `rand`; the workspace's
+//! reproducibility contract is "same seed + same binary ⇒ same results",
+//! which this crate preserves deterministically across platforms.
+
+pub mod rngs;
+pub mod seq;
+
+/// Types that can be sampled uniformly from an RNG's raw output.
+///
+/// Mirrors the role of `rand::distr::StandardUniform` for the types the
+/// workspace draws: floats in `[0, 1)` and full-range integers.
+pub trait FromRng: Sized {
+    /// Draws one value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1) with full f32 mantissa resolution.
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for u64 {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on an empty range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, width)` by rejection-free multiply-shift
+/// (Lemire); bias is negligible for the widths used here, and the mapping
+/// is deterministic, which is all the workspace requires.
+fn sample_u64_below<R: Rng + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(sample_u64_below(rng, width) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_u64_below(rng, width as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f32 = f32::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = f64::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// The random-number-generator interface.
+///
+/// Unlike upstream `rand` there is no `RngCore`/`Rng` split: every generator
+/// implements [`Rng::next_u64`] and inherits the sampling helpers.
+pub trait Rng {
+    /// The next 64 raw bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` (floats uniform in `[0, 1)`).
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}

@@ -1,0 +1,45 @@
+//! Sequence helpers (`shuffle`).
+
+use crate::Rng;
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut SmallRng::seed_from_u64(3));
+        b.shuffle(&mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}
