@@ -128,6 +128,22 @@ impl Param {
         inner.grad.add_assign_scaled(g, 1.0);
     }
 
+    /// Sum of squared entries of the accumulated gradient, computed in
+    /// place under the read lock (no tensor clone). Telemetry sums this
+    /// across parameters and feeds `sqrt` of the total to the NaN/Inf
+    /// watchdog; a non-finite gradient anywhere makes the result
+    /// non-finite, so a single scalar check covers the whole model.
+    pub fn grad_norm_sq(&self) -> f64 {
+        self.inner
+            .read()
+            .expect("param lock poisoned")
+            .grad
+            .data()
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum()
+    }
+
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
         self.inner
@@ -191,6 +207,17 @@ mod tests {
         assert_eq!(p.grad().data(), &[2.0, -2.0]);
         p.zero_grad();
         assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_norm_sq_reflects_accumulated_grads() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        assert_eq!(p.grad_norm_sq(), 0.0);
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert!((p.grad_norm_sq() - 25.0).abs() < 1e-9);
+        // A poisoned gradient makes the norm non-finite (watchdog-visible).
+        p.accumulate_grad(&Tensor::from_vec(vec![f32::NAN, 0.0], &[2]));
+        assert!(p.grad_norm_sq().is_nan());
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Folds a `CDCL_TRACE` JSONL trace into a per-task summary table.
+//!
+//! Reads the event stream produced by `cdcl-telemetry` (one JSON object per
+//! line), aggregates it per task — phase wall-clock, step counts, first/last
+//! losses, pair agreement, pseudo-label flip rate, memory occupancy, and
+//! kernel counters — and prints a Markdown table. `--out <path>` also dumps
+//! the full per-task aggregates as JSON.
+//!
+//! ```text
+//! CDCL_TRACE=trace.jsonl cargo run --release -p cdcl-bench --bin table1 -- --scale smoke
+//! cargo run --release -p cdcl-bench --bin trace-summary -- trace.jsonl --out summary.json
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Serialize, Value};
+
+/// Aggregated view of one task's events.
+#[derive(Debug, Default, Clone, Serialize)]
+struct TaskAgg {
+    task: usize,
+    /// Wall-clock per phase name, summed over all spans (milliseconds).
+    phase_ms: Vec<(String, f64)>,
+    /// Number of optimizer steps observed (`loss_warmup` + `loss_total`).
+    steps: usize,
+    /// First and last observed training loss (`loss_warmup`, then
+    /// `loss_total` once adaptation starts). `None` when the trace has no
+    /// loss scalars for the task.
+    loss_first: Option<f64>,
+    loss_last: Option<f64>,
+    /// Last Eq. 19 pair-agreement rate.
+    pair_agreement: Option<f64>,
+    /// Last pseudo-label flip rate between the two centroid rounds.
+    pseudo_flip_rate: Option<f64>,
+    /// Memory records held by this task after the latest rebalance.
+    memory_occupancy: Option<f64>,
+    /// Kernel counters attributed to learning this task.
+    gemm_calls: u64,
+    gemm_fmas: u64,
+    pool_spawns: u64,
+    /// Watchdog trips and warnings recorded against this task.
+    watchdogs: usize,
+    warnings: usize,
+}
+
+/// The whole summary: tasks in order plus trace-level tallies.
+#[derive(Debug, Default, Serialize)]
+struct Summary {
+    tasks: Vec<TaskAgg>,
+    events: usize,
+    /// Lines that failed to parse as JSON (a healthy trace has zero).
+    malformed: usize,
+}
+
+/// Numeric field accessor tolerating the telemetry encoding of non-finite
+/// floats as the strings `"NaN"` / `"inf"` / `"-inf"`.
+fn num(v: &Value, key: &str) -> Option<f64> {
+    match v.field(key)? {
+        Value::Num(n) => Some(*n),
+        Value::Str(s) => match s.as_str() {
+            "NaN" => Some(f64::NAN),
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
+    match v.field(key)? {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Folds trace lines into the per-task summary.
+fn fold(lines: impl Iterator<Item = String>) -> Summary {
+    let mut by_task: BTreeMap<usize, TaskAgg> = BTreeMap::new();
+    let mut phase_ms: BTreeMap<usize, BTreeMap<String, f64>> = BTreeMap::new();
+    let mut summary = Summary::default();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<Value>(&line) else {
+            summary.malformed += 1;
+            continue;
+        };
+        summary.events += 1;
+        let Some(task) = num(&v, "task").map(|t| t as usize) else {
+            continue; // task-less events don't join the per-task table
+        };
+        let agg = by_task.entry(task).or_insert_with(|| TaskAgg {
+            task,
+            ..TaskAgg::default()
+        });
+        match str_field(&v, "ev") {
+            Some("phase") => {
+                if let (Some(name), Some(ms)) = (str_field(&v, "name"), num(&v, "dur_ms")) {
+                    *phase_ms
+                        .entry(task)
+                        .or_default()
+                        .entry(name.to_string())
+                        .or_insert(0.0) += ms;
+                }
+            }
+            Some("scalar") => {
+                let value = num(&v, "value");
+                match str_field(&v, "name") {
+                    Some("loss_warmup" | "loss_total") => {
+                        agg.steps += 1;
+                        if agg.loss_first.is_none() {
+                            agg.loss_first = value;
+                        }
+                        agg.loss_last = value;
+                    }
+                    Some("pair_agreement") => agg.pair_agreement = value,
+                    Some("pseudo_flip_rate") => agg.pseudo_flip_rate = value,
+                    Some("memory_occupancy") => agg.memory_occupancy = value,
+                    _ => {}
+                }
+            }
+            Some("counters") => {
+                agg.gemm_calls += num(&v, "gemm_calls").unwrap_or(0.0) as u64;
+                agg.gemm_fmas += num(&v, "gemm_fmas").unwrap_or(0.0) as u64;
+                agg.pool_spawns += num(&v, "pool_spawns").unwrap_or(0.0) as u64;
+            }
+            Some("watchdog") => agg.watchdogs += 1,
+            Some("warn") => agg.warnings += 1,
+            _ => {}
+        }
+    }
+    for (task, phases) in phase_ms {
+        if let Some(agg) = by_task.get_mut(&task) {
+            agg.phase_ms = phases.into_iter().collect();
+        }
+    }
+    summary.tasks = by_task.into_values().collect();
+    summary
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.4}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Renders the per-task Markdown table plus a per-phase breakdown.
+fn render_markdown(s: &Summary) -> String {
+    let mut out = String::new();
+    out.push_str("# CDCL trace summary\n\n");
+    out.push_str(&format!(
+        "{} events ({} malformed lines), {} tasks\n\n",
+        s.events,
+        s.malformed,
+        s.tasks.len()
+    ));
+    out.push_str(
+        "| task | steps | loss first | loss last | pair agree | flip rate \
+         | mem occ | GEMM calls | GEMM FMAs | spawns | watchdog | warn |\n",
+    );
+    out.push_str(
+        "|-----:|------:|-----------:|----------:|-----------:|----------:\
+         |--------:|-----------:|----------:|-------:|---------:|-----:|\n",
+    );
+    for t in &s.tasks {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            t.task,
+            t.steps,
+            fmt_opt(t.loss_first),
+            fmt_opt(t.loss_last),
+            fmt_opt(t.pair_agreement),
+            fmt_opt(t.pseudo_flip_rate),
+            t.memory_occupancy.map_or(0, |v| v as usize),
+            t.gemm_calls,
+            t.gemm_fmas,
+            t.pool_spawns,
+            t.watchdogs,
+            t.warnings,
+        ));
+    }
+    out.push_str("\n## Phase wall-clock (ms)\n\n");
+    let mut names: Vec<&str> = Vec::new();
+    for t in &s.tasks {
+        for (n, _) in &t.phase_ms {
+            if !names.contains(&n.as_str()) {
+                names.push(n);
+            }
+        }
+    }
+    names.sort_unstable();
+    out.push_str(&format!("| task | {} |\n", names.join(" | ")));
+    out.push_str(&format!("|-----:|{}\n", "------:|".repeat(names.len())));
+    for t in &s.tasks {
+        let cells: Vec<String> = names
+            .iter()
+            .map(|n| {
+                t.phase_ms
+                    .iter()
+                    .find(|(pn, _)| pn == n)
+                    .map_or("—".to_string(), |(_, ms)| format!("{ms:.1}"))
+            })
+            .collect();
+        out.push_str(&format!("| {} | {} |\n", t.task, cells.join(" | ")));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace: Option<String> = None;
+    let mut out_json: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_json = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trace-summary <trace.jsonl> [--out summary.json]");
+                return;
+            }
+            a => {
+                trace = Some(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(trace) = trace else {
+        eprintln!("usage: trace-summary <trace.jsonl> [--out summary.json]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&trace)
+        .unwrap_or_else(|e| panic!("cannot read trace {trace}: {e}"));
+    let summary = fold(text.lines().map(str::to_string));
+    print!("{}", render_markdown(&summary));
+    if let Some(path) = out_json {
+        let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if summary.malformed > 0 {
+        eprintln!("warning: {} malformed trace lines", summary.malformed);
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines<'a>(raw: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        raw.iter().map(|s| (*s).to_string())
+    }
+
+    #[test]
+    fn folds_phases_scalars_and_counters_per_task() {
+        let s = fold(lines(&[
+            r#"{"seq":0,"ms":0.1,"ev":"phase","name":"warmup","task":0,"epoch":0,"dur_ms":10.0}"#,
+            r#"{"seq":1,"ms":1.0,"ev":"phase","name":"warmup","task":0,"epoch":1,"dur_ms":5.0}"#,
+            r#"{"seq":2,"ms":2.0,"ev":"scalar","name":"loss_warmup","task":0,"epoch":0,"step":0,"value":2.5}"#,
+            r#"{"seq":3,"ms":3.0,"ev":"scalar","name":"loss_total","task":0,"epoch":2,"step":0,"value":1.25}"#,
+            r#"{"seq":4,"ms":4.0,"ev":"scalar","name":"pair_agreement","task":0,"epoch":2,"value":0.75}"#,
+            r#"{"seq":5,"ms":5.0,"ev":"counters","task":0,"gemm_calls":10,"gemm_fmas":1000,"pool_spawns":4}"#,
+            r#"{"seq":6,"ms":6.0,"ev":"scalar","name":"memory_occupancy","task":1,"value":30}"#,
+        ]));
+        assert_eq!(s.events, 7);
+        assert_eq!(s.malformed, 0);
+        assert_eq!(s.tasks.len(), 2);
+        let t0 = &s.tasks[0];
+        assert_eq!(t0.task, 0);
+        assert_eq!(t0.steps, 2);
+        assert_eq!(t0.loss_first, Some(2.5));
+        assert_eq!(t0.loss_last, Some(1.25));
+        assert_eq!(t0.pair_agreement, Some(0.75));
+        assert_eq!(t0.gemm_calls, 10);
+        assert_eq!(t0.gemm_fmas, 1000);
+        assert_eq!(t0.pool_spawns, 4);
+        assert_eq!(t0.phase_ms, vec![("warmup".to_string(), 15.0)]);
+        assert_eq!(s.tasks[1].memory_occupancy, Some(30.0));
+    }
+
+    #[test]
+    fn non_finite_strings_and_garbage_lines_are_handled() {
+        let s = fold(lines(&[
+            r#"{"seq":0,"ms":0.1,"ev":"watchdog","name":"loss_total","phase":"adaptation","task":0,"epoch":1,"step":2,"value":"NaN"}"#,
+            "not json at all",
+        ]));
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.tasks[0].watchdogs, 1);
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_task() {
+        let s = fold(lines(&[
+            r#"{"seq":0,"ms":0.1,"ev":"scalar","name":"loss_total","task":0,"value":1.0}"#,
+            r#"{"seq":1,"ms":0.2,"ev":"scalar","name":"loss_total","task":1,"value":2.0}"#,
+        ]));
+        let md = render_markdown(&s);
+        assert!(md.contains("| 0 | 1 | 1.0000 |"), "{md}");
+        assert!(md.contains("| 1 | 1 | 2.0000 |"), "{md}");
+    }
+}

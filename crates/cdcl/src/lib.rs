@@ -46,4 +46,5 @@ pub use cdcl_data as data;
 pub use cdcl_metrics as metrics;
 pub use cdcl_nn as nn;
 pub use cdcl_optim as optim;
+pub use cdcl_telemetry as telemetry;
 pub use cdcl_tensor as tensor;

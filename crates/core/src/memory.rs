@@ -2,10 +2,12 @@
 //!
 //! Each record is the paper's tuple `(x_S, x_T, y_S, y^CIL_S, y^CIL_T)` plus
 //! its origin task. At the end of task `t`, the memory is rebalanced so
-//! every task keeps `⌊|M|/t⌋` records, and the incoming task contributes its
-//! records with the highest intra-task confidence
-//! `max(y^TIL_S) ∨ max(y^TIL_T)`.
+//! every task keeps `⌊|M|/t⌋` records — with the `|M| mod t` remainder going
+//! to the earliest tasks so the full capacity stays in use — and the
+//! incoming task contributes its records with the highest intra-task
+//! confidence `max(y^TIL_S) ∨ max(y^TIL_T)`.
 
+use cdcl_telemetry as telemetry;
 use cdcl_tensor::Tensor;
 
 /// One rehearsal record.
@@ -70,18 +72,33 @@ impl RehearsalMemory {
         self.records.iter().filter(move |r| r.task == task)
     }
 
-    /// Finishes task `task` (0-based): keeps the top-confidence
-    /// `⌊capacity/(task+1)⌋` records of every previous task and admits the
-    /// same number from `candidates` (sorted by confidence, descending).
+    /// Per-task record quota after `tasks` tasks: every task gets
+    /// `⌊capacity/tasks⌋`, and the `capacity % tasks` remainder goes to the
+    /// earliest tasks (one extra record each), so no capacity is leaked.
+    /// When `tasks > capacity` the base is 0 and the remainder rule
+    /// degrades gracefully: the earliest `capacity` tasks keep one record
+    /// each instead of the whole memory being emptied.
+    fn quota(&self, tasks: usize, t: usize) -> usize {
+        self.capacity / tasks + usize::from(t < self.capacity % tasks)
+    }
+
+    /// Finishes task `task` (0-based): keeps the top-confidence quota of
+    /// every previous task and admits `candidates` (sorted by confidence,
+    /// descending) up to the incoming task's quota. Candidates tagged with
+    /// the wrong task are skipped with a telemetry warning rather than
+    /// aborting the run.
     pub fn finish_task(&mut self, task: usize, mut candidates: Vec<MemoryRecord>) {
-        let quota = if self.capacity == 0 {
-            0
-        } else {
-            self.capacity / (task + 1)
-        };
-        for c in &candidates {
-            assert_eq!(c.task, task, "candidate tagged with wrong task");
+        let _span = telemetry::span("memory_rebalance").task(task);
+        let before = candidates.len();
+        candidates.retain(|c| c.task == task);
+        if candidates.len() != before {
+            telemetry::Event::new("warn")
+                .name("mistagged_candidate")
+                .task(task)
+                .u64_field("skipped", (before - candidates.len()) as u64)
+                .emit();
         }
+        let tasks = task + 1;
         let mut kept: Vec<MemoryRecord> = Vec::with_capacity(self.capacity);
         for t in 0..task {
             let mut old: Vec<MemoryRecord> = self
@@ -91,13 +108,27 @@ impl RehearsalMemory {
                 .cloned()
                 .collect();
             old.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
-            old.truncate(quota);
+            old.truncate(self.quota(tasks, t));
             kept.extend(old);
         }
         candidates.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
-        candidates.truncate(quota);
+        candidates.truncate(self.quota(tasks, task));
         kept.extend(candidates);
         self.records = kept;
+        if telemetry::enabled() {
+            for t in 0..tasks {
+                telemetry::Event::new("scalar")
+                    .name("memory_occupancy")
+                    .task(t)
+                    .value(self.task_records(t).count() as f64)
+                    .emit();
+            }
+            telemetry::Event::new("scalar")
+                .name("memory_total")
+                .task(task)
+                .value(self.records.len() as f64)
+                .emit();
+        }
     }
 
     /// Deterministic rotating mini-batches for replay: returns up to
@@ -200,9 +231,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wrong task")]
-    fn mistagged_candidate_panics() {
+    fn mistagged_candidates_are_skipped_not_fatal() {
         let mut m = RehearsalMemory::new(5);
-        m.finish_task(1, vec![record(0, 1.0, 0)]);
+        // A malformed candidate (wrong task tag) must not abort the run —
+        // it is dropped; well-formed candidates in the same batch survive.
+        m.finish_task(0, vec![record(0, 1.0, 0)]);
+        m.finish_task(1, vec![record(0, 1.0, 0), record(1, 0.5, 1)]);
+        assert_eq!(m.task_records(1).count(), 1);
+        assert_eq!(m.task_records(1).next().unwrap().confidence, 0.5);
+        // Task 0's stock is untouched by the mistagged record.
+        assert_eq!(m.task_records(0).count(), 1);
+    }
+
+    #[test]
+    fn remainder_goes_to_earliest_tasks_without_leak() {
+        // capacity 10 over 3 tasks: ⌊10/3⌋ = 3 each with remainder 1 to the
+        // earliest task — 4 + 3 + 3 = 10, nothing leaked.
+        let mut m = RehearsalMemory::new(10);
+        for task in 0..3 {
+            m.finish_task(task, (0..20).map(|i| record(task, i as f32, 0)).collect());
+        }
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.task_records(0).count(), 4);
+        assert_eq!(m.task_records(1).count(), 3);
+        assert_eq!(m.task_records(2).count(), 3);
+    }
+
+    #[test]
+    fn paper_capacity_keeps_all_1000_records_at_7_tasks() {
+        // The regression the old ⌊capacity/t⌋-only rule hit: 1000/7 = 142,
+        // 142·7 = 994 — six records leaked every rebalance.
+        let mut m = RehearsalMemory::new(1000);
+        for task in 0..7 {
+            m.finish_task(task, (0..200).map(|i| record(task, i as f32, 0)).collect());
+        }
+        assert_eq!(m.len(), 1000, "capacity must not leak via the remainder");
+        for t in 0..6 {
+            assert_eq!(m.task_records(t).count(), 143);
+        }
+        assert_eq!(m.task_records(6).count(), 142);
+    }
+
+    #[test]
+    fn more_tasks_than_capacity_keeps_one_record_per_earliest_task() {
+        // The headline regression: with tasks > capacity the old quota was
+        // 0 and finish_task discarded the entire memory. Now the earliest
+        // `capacity` tasks retain one record each.
+        let mut m = RehearsalMemory::new(3);
+        for task in 0..6 {
+            m.finish_task(task, (0..5).map(|i| record(task, i as f32, 0)).collect());
+        }
+        assert!(!m.is_empty(), "memory must never be emptied by rebalance");
+        assert_eq!(m.len(), 3);
+        for t in 0..3 {
+            assert_eq!(m.task_records(t).count(), 1, "task {t}");
+        }
+        for t in 3..6 {
+            assert_eq!(m.task_records(t).count(), 0, "task {t}");
+        }
     }
 }

@@ -114,6 +114,19 @@ pub fn build_pairs(
     pairs
 }
 
+/// Fraction of samples whose pseudo-label changed between two assignment
+/// rounds. The trainer's two-round center-aware fit emits this as the
+/// `pseudo_flip_rate` telemetry scalar: a high flip rate means the
+/// centroids have not stabilised and the pseudo-labels are still noisy.
+pub fn label_flip_rate(prev: &[usize], next: &[usize]) -> f64 {
+    assert_eq!(prev.len(), next.len(), "flip rate needs aligned rounds");
+    if prev.is_empty() {
+        return 0.0;
+    }
+    let flips = prev.iter().zip(next).filter(|(a, b)| a != b).count();
+    flips as f64 / prev.len() as f64
+}
+
 /// Fraction of pseudo-labels matching the (hidden) ground truth — used by
 /// tests and diagnostics only; the learner itself never sees target labels.
 pub fn pseudo_label_accuracy(pseudo: &[usize], truth: &[usize]) -> f64 {
@@ -209,6 +222,19 @@ mod tests {
     fn pseudo_accuracy_counts_hits() {
         assert_eq!(pseudo_label_accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
         assert_eq!(pseudo_label_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn flip_rate_counts_changed_labels() {
+        assert_eq!(label_flip_rate(&[0, 1, 2, 1], &[0, 2, 2, 0]), 0.5);
+        assert_eq!(label_flip_rate(&[1, 1], &[1, 1]), 0.0);
+        assert_eq!(label_flip_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned rounds")]
+    fn flip_rate_rejects_misaligned_rounds() {
+        label_flip_rate(&[0], &[0, 1]);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use cdcl_autograd::{Graph, Var};
 use cdcl_data::{stack, Batcher, Sample, TaskData};
 use cdcl_nn::Module;
 use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
+use cdcl_telemetry as telemetry;
 use cdcl_tensor::{kernels, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -17,7 +18,9 @@ use rand::SeedableRng;
 use crate::memory::{MemoryRecord, RehearsalMemory};
 use crate::model::CdclModel;
 use crate::protocol::{accuracy_from_predictions, ContinualLearner};
-use crate::pseudo::{build_pairs, nearest_centroid_labels, weighted_centroids, Pair};
+use crate::pseudo::{
+    build_pairs, label_flip_rate, nearest_centroid_labels, weighted_centroids, Pair,
+};
 use crate::CdclConfig;
 
 /// Inference chunk size (bounds peak memory during evaluation).
@@ -80,6 +83,36 @@ impl CdclTrainer {
     fn stack_batch(samples: &[Sample], idx: &[usize]) -> (Tensor, Vec<usize>) {
         let refs: Vec<&Sample> = idx.iter().map(|&i| &samples[i]).collect();
         stack(&refs)
+    }
+
+    /// `√(Σ_θ ‖∇θ‖²)` over all model parameters. Telemetry-only work —
+    /// call sites gate it on [`telemetry::enabled`], so untraced runs never
+    /// touch the gradients outside the optimizer.
+    fn grad_norm(&self) -> f64 {
+        self.model
+            .params()
+            .iter()
+            .map(cdcl_autograd::Param::grad_norm_sq)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Emits the per-step `grad_norm` scalar and runs the NaN/Inf watchdog
+    /// on both `loss` and the gradient norm (tracing enabled only).
+    fn trace_step(&self, loss_name: &'static str, loss: f64, ctx: telemetry::WatchdogCtx) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::check_finite(loss_name, loss, ctx);
+        let gn = self.grad_norm();
+        telemetry::Event::new("scalar")
+            .name("grad_norm")
+            .task(ctx.task)
+            .epoch(ctx.epoch)
+            .step(ctx.step)
+            .value(gn)
+            .emit();
+        telemetry::check_finite("grad_norm", gn, ctx);
     }
 
     /// Runs `body` on each `EVAL_CHUNK`-sized sub-range of `0..len`, spread
@@ -256,7 +289,7 @@ impl CdclTrainer {
     }
 
     /// One warm-up step: source-only supervised training of both heads.
-    fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32) {
+    fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32, epoch: usize, step: usize) {
         let t = task.task_id;
         let (imgs, labels) = Self::stack_batch(&task.source_train, idx);
         let globals: Vec<usize> = labels
@@ -285,11 +318,38 @@ impl CdclTrainer {
         let Some(loss) = loss else { return };
         self.optimizer.zero_grad();
         g.backward(loss);
+        if telemetry::enabled() {
+            let lv = f64::from(g.value(loss).item());
+            telemetry::Event::new("scalar")
+                .name("loss_warmup")
+                .task(t)
+                .epoch(epoch)
+                .step(step)
+                .value(lv)
+                .emit();
+            self.trace_step(
+                "loss_warmup",
+                lv,
+                telemetry::WatchdogCtx {
+                    phase: "warmup",
+                    task: t,
+                    epoch,
+                    step,
+                },
+            );
+        }
         self.optimizer.step(lr);
     }
 
     /// One adaptation step on a batch of matched pairs (+ rehearsal).
-    fn adaptation_step(&mut self, task: &TaskData, pairs: &[Pair], lr: f32) {
+    fn adaptation_step(
+        &mut self,
+        task: &TaskData,
+        pairs: &[Pair],
+        lr: f32,
+        epoch: usize,
+        step: usize,
+    ) {
         let t = task.task_id;
         let src_refs: Vec<&Sample> = pairs.iter().map(|p| &task.source_train[p.source]).collect();
         let tgt_refs: Vec<&Sample> = pairs.iter().map(|p| &task.target_train[p.target]).collect();
@@ -321,15 +381,24 @@ impl CdclTrainer {
                 None => l,
             });
         };
+        // Per-term loss vars retained for telemetry; the aggregation into
+        // `loss` is unchanged, so the graph (and its rounding) is identical
+        // whether or not tracing is on.
+        let mut l_til: Option<Var> = None;
+        let mut l_cil: Option<Var> = None;
+        let mut l_reh: Vec<Var> = Vec::new();
         if self.config.losses.til {
             let l = self.loss_triple(&mut g, zs, zt, zm, &labels, Some(t));
+            l_til = Some(l);
             add(&mut g, &mut loss, l);
         }
         if self.config.losses.cil {
             let l = self.loss_triple(&mut g, zs, zt, zm, &globals, None);
+            l_cil = Some(l);
             add(&mut g, &mut loss, l);
         }
         if self.config.losses.rehearsal && !self.memory.is_empty() {
+            let _replay = telemetry::span("replay").task(t).epoch(epoch);
             let idx = self
                 .memory
                 .replay_indices(self.replay_cursor, self.config.rehearsal_batch);
@@ -345,6 +414,7 @@ impl CdclTrainer {
             }
             for (_, group) in &by_task {
                 if let Some(l) = self.rehearsal_loss(&mut g, group) {
+                    l_reh.push(l);
                     add(&mut g, &mut loss, l);
                 }
             }
@@ -352,6 +422,39 @@ impl CdclTrainer {
         let Some(loss) = loss else { return };
         self.optimizer.zero_grad();
         g.backward(loss);
+        if telemetry::enabled() {
+            let scalar = |name: &str, v: f64| {
+                telemetry::Event::new("scalar")
+                    .name(name)
+                    .task(t)
+                    .epoch(epoch)
+                    .step(step)
+                    .value(v)
+                    .emit();
+            };
+            if let Some(l) = l_til {
+                scalar("loss_til", f64::from(g.value(l).item()));
+            }
+            if let Some(l) = l_cil {
+                scalar("loss_cil", f64::from(g.value(l).item()));
+            }
+            if !l_reh.is_empty() {
+                let v: f64 = l_reh.iter().map(|&l| f64::from(g.value(l).item())).sum();
+                scalar("loss_rehearsal", v);
+            }
+            let total = f64::from(g.value(loss).item());
+            scalar("loss_total", total);
+            self.trace_step(
+                "loss_total",
+                total,
+                telemetry::WatchdogCtx {
+                    phase: "adaptation",
+                    task: t,
+                    epoch,
+                    step,
+                },
+            );
+        }
         self.optimizer.step(lr);
     }
 
@@ -359,21 +462,52 @@ impl CdclTrainer {
     /// (Eqs. 17–19). Falls back to index-aligned pairing when no pair
     /// survives the label filter (never returns an empty set for non-empty
     /// data).
-    fn refresh_pairs(&mut self, task: &TaskData) -> Vec<Pair> {
+    fn refresh_pairs(&mut self, task: &TaskData, epoch: usize) -> Vec<Pair> {
         let t = task.task_id;
         let src_feats = self.extract_features(&task.source_train, t);
         let src_labels: Vec<usize> = task.source_train.iter().map(|s| s.label).collect();
         let tgt_feats = self.extract_features(&task.target_train, t);
         let tgt_probs = self.til_probabilities(&task.target_train, t);
-        let centroids = weighted_centroids(&tgt_probs, &tgt_feats);
-        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
+        let (centroids, first) = {
+            let _s = telemetry::span("centroid_fit").task(t).epoch(epoch);
+            let c = weighted_centroids(&tgt_probs, &tgt_feats);
+            let p = nearest_centroid_labels(&tgt_feats, &c);
+            (c, p)
+        };
         // Second center-aware round (as in SHOT [26], which §IV-B extends):
         // rebuild the centroids from the hard assignments and re-assign —
         // stabilises the labels when the warm-up classifier is weak.
-        let hard = cdcl_tensor::Tensor::one_hot(&pseudo, centroids.shape()[0]);
-        let centroids = weighted_centroids(&hard, &tgt_feats);
-        let pseudo = nearest_centroid_labels(&tgt_feats, &centroids);
-        let pairs = build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo);
+        let pseudo = {
+            let _s = telemetry::span("pseudo_assign").task(t).epoch(epoch);
+            let hard = cdcl_tensor::Tensor::one_hot(&first, centroids.shape()[0]);
+            let centroids = weighted_centroids(&hard, &tgt_feats);
+            nearest_centroid_labels(&tgt_feats, &centroids)
+        };
+        if telemetry::enabled() {
+            // How much the assignments moved between the two rounds: high
+            // flip rates flag unstable centroids / noisy pseudo-labels.
+            telemetry::Event::new("scalar")
+                .name("pseudo_flip_rate")
+                .task(t)
+                .epoch(epoch)
+                .value(label_flip_rate(&first, &pseudo))
+                .emit();
+        }
+        let pairs = {
+            let _s = telemetry::span("pair_filter").task(t).epoch(epoch);
+            build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo)
+        };
+        if telemetry::enabled() {
+            // Eq. 19 agreement: the fraction of target samples whose
+            // pseudo-label found a matching source sample.
+            let denom = task.target_train.len().max(1) as f64;
+            telemetry::Event::new("scalar")
+                .name("pair_agreement")
+                .task(t)
+                .epoch(epoch)
+                .value(pairs.len() as f64 / denom)
+                .emit();
+        }
         if !pairs.is_empty() {
             return pairs;
         }
@@ -464,6 +598,7 @@ impl ContinualLearner for CdclTrainer {
         self.model.add_task(&mut self.rng, task.num_classes());
         self.optimizer.rebind(self.model.params());
         self.last_pairs.clear();
+        let counters_before = telemetry::enabled().then(kernels::counter_snapshot);
 
         let schedule = WarmupCosine {
             warmup_lr: self.config.warmup_lr,
@@ -481,20 +616,24 @@ impl ContinualLearner for CdclTrainer {
         for epoch in 0..self.config.epochs {
             let lr = schedule.lr(epoch);
             if epoch < self.config.warmup_epochs {
-                for batch in src_batcher.epoch() {
-                    self.warmup_step(task, &batch, lr);
+                let _s = telemetry::span("warmup").task(task.task_id).epoch(epoch);
+                for (step, batch) in src_batcher.epoch().into_iter().enumerate() {
+                    self.warmup_step(task, &batch, lr, epoch, step);
                 }
             } else {
                 // Eqs. 17–19: rebuild centroids/pseudo-labels every epoch.
-                let pairs = self.refresh_pairs(task);
+                let pairs = self.refresh_pairs(task, epoch);
+                let _s = telemetry::span("adaptation")
+                    .task(task.task_id)
+                    .epoch(epoch);
                 let mut pair_batcher = Batcher::new(
                     pairs.len(),
                     self.config.batch_size,
                     self.config.seed ^ ((task.task_id as u64) << 16 | epoch as u64),
                 );
-                for batch in pair_batcher.epoch() {
+                for (step, batch) in pair_batcher.epoch().into_iter().enumerate() {
                     let subset: Vec<Pair> = batch.iter().map(|&i| pairs[i]).collect();
-                    self.adaptation_step(task, &subset, lr);
+                    self.adaptation_step(task, &subset, lr, epoch, step);
                 }
                 self.last_pairs = pairs;
             }
@@ -510,11 +649,24 @@ impl ContinualLearner for CdclTrainer {
                 })
                 .collect();
         }
-        let candidates = self.memory_candidates(task);
+        let candidates = {
+            let _s = telemetry::span("memory_select").task(task.task_id);
+            self.memory_candidates(task)
+        };
         self.memory.finish_task(task.task_id, candidates);
+        if let Some(before) = counters_before {
+            let d = kernels::counter_snapshot().delta_since(&before);
+            telemetry::Event::new("counters")
+                .task(task.task_id)
+                .u64_field("gemm_calls", d.gemm_calls)
+                .u64_field("gemm_fmas", d.gemm_fmas)
+                .u64_field("pool_spawns", d.pool_spawns)
+                .emit();
+        }
     }
 
     fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {
+        let _s = telemetry::span("eval_til").task(task_id);
         let predictions: Vec<usize> = self
             .eval_chunks(test.len(), |range| {
                 let idx: Vec<usize> = range.collect();
@@ -528,6 +680,7 @@ impl ContinualLearner for CdclTrainer {
     }
 
     fn eval_cil(&self, task_id: usize, test: &[Sample]) -> f64 {
+        let _s = telemetry::span("eval_cil").task(task_id);
         let offset = self.model.class_offset(task_id);
         let hits: usize = self
             .eval_chunks(test.len(), |range| {

@@ -1,0 +1,72 @@
+//! Property tests for the rehearsal-memory rebalance (§IV-C).
+//!
+//! The quota rule under test: after `k` tasks, task `t` may keep
+//! `⌊capacity/k⌋ + (t < capacity mod k)` records — remainder to the
+//! earliest tasks — and quotas only shrink as `k` grows, so a task's stock
+//! after any sequence is exactly `min(contributed, current quota)`.
+
+use cdcl_core::{MemoryRecord, RehearsalMemory};
+use cdcl_tensor::Tensor;
+use proptest::collection::vec;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+fn record(task: usize, confidence: f32) -> MemoryRecord {
+    MemoryRecord {
+        task,
+        x_source: Tensor::zeros(&[1, 2, 2]),
+        x_target: Tensor::zeros(&[1, 2, 2]),
+        label: 0,
+        global_label: 0,
+        cil_probs_source: vec![1.0],
+        cil_probs_target: vec![1.0],
+        confidence,
+    }
+}
+
+/// The documented quota for task `t` once `tasks` tasks have finished.
+fn quota(capacity: usize, tasks: usize, t: usize) -> usize {
+    capacity / tasks + usize::from(t < capacity % tasks)
+}
+
+proptest! {
+    /// After any task sequence: total ≤ capacity; every task that
+    /// contributed keeps ≥ 1 record whenever `tasks ≤ capacity`; nothing is
+    /// leaked when the capacity does not divide evenly (stock is *exactly*
+    /// `min(contributed, quota)` — full-capacity usage follows).
+    #[test]
+    fn rebalance_invariants_hold_for_any_sequence(
+        capacity in 0usize..40,
+        counts in vec(0usize..30, 1..9),
+    ) {
+        let mut m = RehearsalMemory::new(capacity);
+        for (task, &n) in counts.iter().enumerate() {
+            let cands = (0..n).map(|i| record(task, i as f32)).collect();
+            m.finish_task(task, cands);
+
+            let tasks = task + 1;
+            prop_assert!(m.len() <= capacity, "total {} > capacity {capacity}", m.len());
+            let mut expected_total = 0;
+            for (t, &contributed) in counts.iter().enumerate().take(tasks) {
+                let stock = m.task_records(t).count();
+                let expect = contributed.min(quota(capacity, tasks, t));
+                prop_assert!(
+                    stock == expect,
+                    "task {t} stock {stock} != min(contributed {contributed}, quota {q}) at {tasks} tasks",
+                    q = quota(capacity, tasks, t)
+                );
+                if tasks <= capacity && contributed > 0 {
+                    prop_assert!(stock >= 1, "contributing task {} starved", t);
+                }
+                expected_total += expect;
+            }
+            prop_assert_eq!(m.len(), expected_total);
+            // No leaked capacity: the quotas sum to exactly `capacity`, so
+            // when every task can fill its quota the memory is full — even
+            // when `capacity % tasks != 0` (the old rule leaked the
+            // remainder).
+            if counts.iter().take(tasks).all(|&n| n >= quota(capacity, tasks, 0)) {
+                prop_assert_eq!(m.len(), capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Structured JSONL tracing for the CDCL training loop.
+//!
+//! The whole layer is **off by default** and costs one relaxed atomic load
+//! per call site when disabled. Setting the `CDCL_TRACE=<path>` environment
+//! variable (or calling [`set_trace_file`] from tests) opens `<path>` and
+//! every event becomes one JSON object per line:
+//!
+//! ```text
+//! {"seq":0,"ms":0.01,"ev":"phase","name":"warmup","task":0,"epoch":0,"dur_ms":12.4}
+//! {"seq":1,"ms":12.5,"ev":"scalar","name":"loss_total","task":0,"epoch":1,"step":3,"value":1.25}
+//! {"seq":2,"ms":30.1,"ev":"counters","task":0,"gemm_calls":812,"gemm_fmas":91234567,"pool_spawns":14}
+//! {"seq":3,"ms":30.2,"ev":"watchdog","name":"loss_total","phase":"adaptation","task":0,"epoch":2,"step":0,"value":"NaN"}
+//! ```
+//!
+//! Common fields: `seq` (monotone per process), `ms` (milliseconds since the
+//! first event), `ev` (event kind), `name`. Context fields (`task`, `epoch`,
+//! `step`) and payload fields (`value`, `dur_ms`, counter names) appear when
+//! the producer supplies them.
+//!
+//! The crate is deliberately dependency-free (not even the vendored `serde`):
+//! it writes its own JSON, so it can sit below every other crate in the
+//! workspace without cycles.
+//!
+//! # Watchdog
+//!
+//! [`check_finite`] is the NaN/Inf watchdog: when tracing is enabled and the
+//! observed value is non-finite it emits a final `watchdog` event, flushes
+//! the sink, and panics with the offending phase/task/epoch/step in the
+//! message, so a long run dies at the first poisoned step instead of
+//! silently training on garbage. With tracing disabled the producers skip
+//! the check entirely (gate on [`enabled`]), keeping untraced runs bitwise
+//! identical to builds without this crate.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Fast-path flag: true iff a sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One-shot resolution of the `CDCL_TRACE` environment variable.
+static ENV_INIT: Once = Once::new();
+
+/// The active sink, when tracing is enabled.
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Monotone event sequence number (process-wide).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Timestamp origin: the moment the first event was emitted.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The environment variable that activates tracing.
+pub const TRACE_ENV: &str = "CDCL_TRACE";
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(path) = std::env::var(TRACE_ENV) {
+            if !path.is_empty() {
+                install_sink(Path::new(&path));
+            }
+        }
+    });
+}
+
+fn install_sink(path: &Path) {
+    let file = File::create(path)
+        .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {path:?}: {e}"));
+    *SINK.lock().expect("telemetry sink poisoned") = Some(BufWriter::new(file));
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// True when a trace sink is active. Producers should gate any work that
+/// exists only to feed telemetry (loss `item()` reads, gradient-norm
+/// reductions, counter snapshots) behind this, so an untraced run does no
+/// extra work at all.
+#[inline]
+pub fn enabled() -> bool {
+    if ENABLED.load(Ordering::Relaxed) {
+        return true;
+    }
+    ensure_env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs (`Some(path)`) or removes (`None`) the trace sink explicitly,
+/// overriding whatever `CDCL_TRACE` resolved to. Intended for tests, which
+/// cannot rely on per-process environment state; flushes and closes any
+/// previous sink.
+pub fn set_trace_file(path: Option<&Path>) {
+    ensure_env_init();
+    let mut sink = SINK.lock().expect("telemetry sink poisoned");
+    if let Some(old) = sink.as_mut() {
+        let _ = old.flush();
+    }
+    match path {
+        Some(p) => {
+            let file = File::create(p)
+                .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {p:?}: {e}"));
+            *sink = Some(BufWriter::new(file));
+            ENABLED.store(true, Ordering::Release);
+        }
+        None => {
+            *sink = None;
+            ENABLED.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Flushes the sink (tests read the file back; the writer is buffered).
+pub fn flush() {
+    if let Some(sink) = SINK.lock().expect("telemetry sink poisoned").as_mut() {
+        let _ = sink.flush();
+    }
+}
+
+/// Appends a JSON-escaped string literal (with quotes) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for one trace event (one JSONL line). When tracing is disabled
+/// every method is a no-op on a `None` buffer, so stray un-gated call sites
+/// cost a branch and nothing else.
+#[must_use = "call .emit() to write the event"]
+pub struct Event {
+    /// JSON object body under construction (without `seq`/`ms`, which are
+    /// assigned under the sink lock at emit time). `None` when disabled.
+    buf: Option<String>,
+}
+
+impl Event {
+    /// Starts an event of kind `ev` (e.g. `"phase"`, `"scalar"`).
+    pub fn new(ev: &str) -> Self {
+        if !enabled() {
+            return Self { buf: None };
+        }
+        let mut buf = String::with_capacity(128);
+        buf.push_str(",\"ev\":");
+        push_json_str(&mut buf, ev);
+        Self { buf: Some(buf) }
+    }
+
+    /// The event's `name` field.
+    pub fn name(self, name: &str) -> Self {
+        self.str_field("name", name)
+    }
+
+    /// Task context.
+    pub fn task(self, task: usize) -> Self {
+        self.u64_field("task", task as u64)
+    }
+
+    /// Epoch context.
+    pub fn epoch(self, epoch: usize) -> Self {
+        self.u64_field("epoch", epoch as u64)
+    }
+
+    /// Step (mini-batch) context.
+    pub fn step(self, step: usize) -> Self {
+        self.u64_field("step", step as u64)
+    }
+
+    /// The scalar payload field `value`.
+    pub fn value(self, value: f64) -> Self {
+        self.f64_field("value", value)
+    }
+
+    /// An arbitrary unsigned integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push(',');
+            push_json_str(buf, key);
+            buf.push(':');
+            buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// An arbitrary float field. JSON has no NaN/Inf: non-finite values are
+    /// written as strings (`"NaN"`, `"inf"`, `"-inf"`) so the offending
+    /// value survives into the trace instead of degrading to `null`.
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push(',');
+            push_json_str(buf, key);
+            buf.push(':');
+            if value.is_finite() {
+                buf.push_str(&format!("{value}"));
+            } else if value.is_nan() {
+                buf.push_str("\"NaN\"");
+            } else if value > 0.0 {
+                buf.push_str("\"inf\"");
+            } else {
+                buf.push_str("\"-inf\"");
+            }
+        }
+        self
+    }
+
+    /// An arbitrary string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push(',');
+            push_json_str(buf, key);
+            buf.push(':');
+            push_json_str(buf, value);
+        }
+        self
+    }
+
+    /// Writes the event as one line to the sink (no-op when disabled).
+    pub fn emit(self) {
+        let Some(body) = self.buf else { return };
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        let ms = epoch.elapsed().as_secs_f64() * 1e3;
+        let mut sink = SINK.lock().expect("telemetry sink poisoned");
+        let Some(out) = sink.as_mut() else { return };
+        // seq is assigned under the lock so file order == seq order.
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let _ = writeln!(out, "{{\"seq\":{seq},\"ms\":{ms:.3}{body}}}");
+        // One flush per event keeps the trace complete even when the
+        // process dies mid-run (the watchdog's whole point). Event volume
+        // is a handful per epoch, so this is not a hot path.
+        let _ = out.flush();
+    }
+}
+
+/// A scoped phase timer: emits a `phase` event with `dur_ms` when dropped.
+/// Create via [`span`]; context attaches with [`Span::task`]/[`Span::epoch`].
+pub struct Span {
+    /// `None` when tracing is disabled — drop does nothing.
+    start: Option<Instant>,
+    name: &'static str,
+    task: Option<usize>,
+    epoch: Option<usize>,
+}
+
+/// Starts a phase timer named `name`.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        start: enabled().then(Instant::now),
+        name,
+        task: None,
+        epoch: None,
+    }
+}
+
+impl Span {
+    /// Attaches task context.
+    pub fn task(mut self, task: usize) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attaches epoch context.
+    pub fn epoch(mut self, epoch: usize) -> Self {
+        self.epoch = Some(epoch);
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let mut ev = Event::new("phase").name(self.name);
+        if let Some(t) = self.task {
+            ev = ev.task(t);
+        }
+        if let Some(e) = self.epoch {
+            ev = ev.epoch(e);
+        }
+        ev.f64_field("dur_ms", start.elapsed().as_secs_f64() * 1e3)
+            .emit();
+    }
+}
+
+/// Location context for the watchdog: which phase/task/epoch/step produced
+/// the value under scrutiny.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogCtx {
+    /// Training phase (`"warmup"`, `"adaptation"`, ...).
+    pub phase: &'static str,
+    /// Task index.
+    pub task: usize,
+    /// Epoch within the task.
+    pub epoch: usize,
+    /// Mini-batch step within the epoch.
+    pub step: usize,
+}
+
+/// NaN/Inf watchdog: panics (after emitting and flushing a `watchdog`
+/// event) when `value` is non-finite, identifying the offending
+/// phase/task/epoch/step. Inert when tracing is disabled — the watchdog is
+/// part of the tracing layer, not of untraced training (callers should
+/// still gate the *computation* of watched values on [`enabled`]).
+pub fn check_finite(name: &str, value: f64, ctx: WatchdogCtx) {
+    if !enabled() || value.is_finite() {
+        return;
+    }
+    Event::new("watchdog")
+        .name(name)
+        .str_field("phase", ctx.phase)
+        .task(ctx.task)
+        .epoch(ctx.epoch)
+        .step(ctx.step)
+        .value(value)
+        .emit();
+    flush();
+    panic!(
+        "cdcl-telemetry watchdog: non-finite {name} ({value}) in phase `{}` \
+         at task {} epoch {} step {}",
+        ctx.phase, ctx.task, ctx.epoch, ctx.step
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::Mutex as StdMutex;
+
+    /// The sink is process-global; tests that install one must not overlap.
+    static TEST_GUARD: StdMutex<()> = StdMutex::new(());
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cdcl-telemetry-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn read_lines(path: &Path) -> Vec<String> {
+        flush();
+        std::fs::read_to_string(path)
+            .expect("trace file readable")
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn disabled_emits_nothing_and_builders_are_noops() {
+        let _g = TEST_GUARD.lock().unwrap();
+        set_trace_file(None);
+        assert!(!enabled());
+        // None of these may panic or allocate a sink — including the
+        // watchdog on a NaN, which is inert while tracing is off.
+        Event::new("scalar").name("x").task(1).value(1.0).emit();
+        drop(span("phase").task(0).epoch(0));
+        check_finite(
+            "loss",
+            f64::NAN,
+            WatchdogCtx {
+                phase: "warmup",
+                task: 0,
+                epoch: 0,
+                step: 0,
+            },
+        );
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn events_render_one_json_object_per_line() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("events");
+        set_trace_file(Some(&path));
+        Event::new("scalar")
+            .name("loss \"q\"\n")
+            .task(3)
+            .epoch(1)
+            .step(2)
+            .value(0.5)
+            .emit();
+        Event::new("counters")
+            .task(0)
+            .u64_field("gemm_calls", 7)
+            .emit();
+        {
+            let _s = span("warmup").task(3).epoch(0);
+        }
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"ev\":\"scalar\""));
+        assert!(lines[0].contains("\"name\":\"loss \\\"q\\\"\\n\""));
+        assert!(lines[0].contains("\"task\":3"));
+        assert!(lines[0].contains("\"value\":0.5"));
+        assert!(lines[1].contains("\"gemm_calls\":7"));
+        assert!(lines[2].contains("\"ev\":\"phase\""));
+        assert!(lines[2].contains("\"dur_ms\":"));
+        for l in &lines {
+            assert!(l.starts_with("{\"seq\":") && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_strings() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("nonfinite");
+        set_trace_file(Some(&path));
+        Event::new("scalar").name("a").value(f64::NAN).emit();
+        Event::new("scalar").name("b").value(f64::INFINITY).emit();
+        Event::new("scalar")
+            .name("c")
+            .value(f64::NEG_INFINITY)
+            .emit();
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+        assert!(lines[0].contains("\"value\":\"NaN\""));
+        assert!(lines[1].contains("\"value\":\"inf\""));
+        assert!(lines[2].contains("\"value\":\"-inf\""));
+    }
+
+    #[test]
+    fn watchdog_trips_on_nan_with_context_in_message() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("watchdog");
+        set_trace_file(Some(&path));
+        let result = std::panic::catch_unwind(|| {
+            check_finite(
+                "loss_total",
+                f64::NAN,
+                WatchdogCtx {
+                    phase: "adaptation",
+                    task: 2,
+                    epoch: 5,
+                    step: 7,
+                },
+            );
+        });
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+
+        let err = result.expect_err("watchdog must panic on NaN");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("loss_total"), "message: {msg}");
+        assert!(msg.contains("`adaptation`"), "message: {msg}");
+        assert!(msg.contains("task 2 epoch 5 step 7"), "message: {msg}");
+        // The trace also recorded the trip before dying.
+        assert!(lines.iter().any(|l| l.contains("\"ev\":\"watchdog\"")));
+    }
+
+    #[test]
+    fn finite_values_pass_the_watchdog() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("watchdog-ok");
+        set_trace_file(Some(&path));
+        check_finite(
+            "grad_norm",
+            1.25,
+            WatchdogCtx {
+                phase: "warmup",
+                task: 0,
+                epoch: 0,
+                step: 0,
+            },
+        );
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+        assert!(lines.is_empty(), "no event for a healthy value");
+    }
+}

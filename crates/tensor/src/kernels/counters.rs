@@ -1,0 +1,96 @@
+//! Always-on kernel-layer counters.
+//!
+//! Three process-wide relaxed atomics track where the math goes: GEMM call
+//! count, total fused-multiply-add volume, and how many worker threads the
+//! pool has spawned. One `fetch_add` per GEMM call (or per spawned thread)
+//! is noise next to the kernel itself, so the counters stay on even when
+//! telemetry is not — they never touch the data path, so results are
+//! unaffected.
+//!
+//! `cdcl-telemetry` producers read [`counter_snapshot`] at phase boundaries
+//! and emit the deltas; benchmarks use [`reset_counters`] between cases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+static GEMM_FMAS: AtomicU64 = AtomicU64::new(0);
+static POOL_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the kernel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// GEMM kernel invocations (one per `gemm_*` call; a batched call
+    /// counts once).
+    pub gemm_calls: u64,
+    /// Fused multiply-add volume: Σ `m·k·n` (× batch) over all GEMM calls.
+    pub gemm_fmas: u64,
+    /// Worker threads spawned by parallel regions (inline/serial regions
+    /// spawn none).
+    pub pool_spawns: u64,
+}
+
+impl KernelCounters {
+    /// Counter increments since `earlier` (saturating, in case a benchmark
+    /// reset the globals in between).
+    pub fn delta_since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            gemm_calls: self.gemm_calls.saturating_sub(earlier.gemm_calls),
+            gemm_fmas: self.gemm_fmas.saturating_sub(earlier.gemm_fmas),
+            pool_spawns: self.pool_spawns.saturating_sub(earlier.pool_spawns),
+        }
+    }
+}
+
+/// Reads all counters (relaxed; values from concurrently running kernels
+/// may or may not be included, which is fine for telemetry).
+pub fn counter_snapshot() -> KernelCounters {
+    KernelCounters {
+        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
+        gemm_fmas: GEMM_FMAS.load(Ordering::Relaxed),
+        pool_spawns: POOL_SPAWNS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all counters (benchmark hygiene; telemetry uses deltas instead).
+pub fn reset_counters() {
+    GEMM_CALLS.store(0, Ordering::Relaxed);
+    GEMM_FMAS.store(0, Ordering::Relaxed);
+    POOL_SPAWNS.store(0, Ordering::Relaxed);
+}
+
+/// Records one GEMM invocation of `fmas` fused multiply-adds.
+#[inline]
+pub(crate) fn record_gemm(fmas: u64) {
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+    GEMM_FMAS.fetch_add(fmas, Ordering::Relaxed);
+}
+
+/// Records `n` worker-thread spawns in a parallel region.
+#[inline]
+pub(crate) fn record_spawns(n: u64) {
+    POOL_SPAWNS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_track_gemm_volume() {
+        let before = counter_snapshot();
+        crate::kernels::gemm_nn(&mut [0.0; 4], &[1.0; 6], &[1.0; 6], 2, 3, 2);
+        crate::kernels::gemm_nt(&mut [0.0; 4], &[1.0; 6], &[1.0; 6], 2, 3, 2);
+        let delta = counter_snapshot().delta_since(&before);
+        assert_eq!(delta.gemm_calls, 2);
+        assert_eq!(delta.gemm_fmas, (2 * 3 * 2) + (2 * 3 * 2));
+    }
+
+    #[test]
+    fn batched_calls_count_once_with_full_volume() {
+        let before = counter_snapshot();
+        crate::kernels::gemm_nn_batched(&mut [0.0; 8], &[1.0; 8], &[1.0; 8], 2, 2, 2, 2);
+        let delta = counter_snapshot().delta_since(&before);
+        assert_eq!(delta.gemm_calls, 1);
+        assert_eq!(delta.gemm_fmas, 2 * 2 * 2 * 2);
+    }
+}

@@ -30,8 +30,10 @@
 //! * `nt` is a row-by-row dot product; `B` rows are blocked by [`JB`] = 64
 //!   so a `JB×k` panel of `B` is reused across consecutive output rows.
 
+pub mod counters;
 pub mod pool;
 
+pub use counters::{counter_snapshot, reset_counters, KernelCounters};
 pub use pool::{num_threads, par_chunks_mut, par_map_ranges, set_num_threads};
 
 /// Inner-dimension (`p`) block size for the streaming kernels.
@@ -45,6 +47,7 @@ pub fn gemm_nn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    counters::record_gemm((m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |i, row| {
         gemm_nn_row(row, &a[i * k..(i + 1) * k], b, k, n);
     });
@@ -70,6 +73,7 @@ pub fn gemm_nt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    counters::record_gemm((m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |i, row| {
         gemm_nt_row(row, &a[i * k..(i + 1) * k], b, k);
     });
@@ -136,6 +140,7 @@ pub fn gemm_tn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usi
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    counters::record_gemm((m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |i, row| {
         gemm_tn_row(row, a, b, i, k, m, n);
     });
@@ -168,6 +173,7 @@ pub fn gemm_nn_batched(
     debug_assert_eq!(a.len(), batch * m * k);
     debug_assert_eq!(b.len(), batch * k * n);
     debug_assert_eq!(out.len(), batch * m * n);
+    counters::record_gemm((batch * m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |r, row| {
         let (bi, i) = (r / m, r % m);
         let a_row = &a[(bi * m + i) * k..(bi * m + i + 1) * k];
@@ -188,6 +194,7 @@ pub fn gemm_nt_batched(
     debug_assert_eq!(a.len(), batch * m * k);
     debug_assert_eq!(b.len(), batch * n * k);
     debug_assert_eq!(out.len(), batch * m * n);
+    counters::record_gemm((batch * m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |r, row| {
         let (bi, i) = (r / m, r % m);
         let a_row = &a[(bi * m + i) * k..(bi * m + i + 1) * k];
@@ -208,6 +215,7 @@ pub fn gemm_tn_batched(
     debug_assert_eq!(a.len(), batch * k * m);
     debug_assert_eq!(b.len(), batch * k * n);
     debug_assert_eq!(out.len(), batch * m * n);
+    counters::record_gemm((batch * m * k * n) as u64);
     par_chunks_mut(out, n.max(1), k.saturating_mul(n), |r, row| {
         let (bi, i) = (r / m, r % m);
         gemm_tn_row(

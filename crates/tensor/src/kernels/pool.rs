@@ -123,6 +123,7 @@ where
         return;
     }
     let ranges = split_ranges(units, threads);
+    super::counters::record_spawns(ranges.len() as u64);
     std::thread::scope(|scope| {
         let mut rest = out;
         let body = &body;
@@ -155,6 +156,7 @@ where
         return body(0..units);
     }
     let ranges = split_ranges(units, threads);
+    super::counters::record_spawns(ranges.len() as u64);
     std::thread::scope(|scope| {
         let body = &body;
         let handles: Vec<_> = ranges
