@@ -17,7 +17,7 @@ pub struct Var(pub(crate) usize);
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_A: f32 = 0.044_715;
 
-enum Op {
+pub(crate) enum Op {
     /// Constant input (no gradient flows out of the graph).
     Input,
     /// Leaf bound to an external parameter cell.
@@ -57,6 +57,8 @@ enum Op {
     MaxPool2d {
         x: Var,
         argmax: Vec<usize>,
+        /// Pool geometry, kept so the verifier can re-infer the output shape.
+        spec: Pool2dSpec,
     },
     /// Negative log-likelihood of integer targets given log-probabilities.
     Nll {
@@ -76,15 +78,15 @@ enum Op {
     Mse(Var, Var),
 }
 
-struct Node {
-    value: Tensor,
-    op: Op,
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) op: Op,
 }
 
 /// A single forward pass's computation tape.
 #[derive(Default)]
 pub struct Graph {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 impl Graph {
@@ -106,6 +108,15 @@ impl Graph {
     /// The forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
+    }
+
+    /// Overwrites a node's forward value in place, bypassing every kernel
+    /// check. Exists solely so negative tests can present the verifier with
+    /// an inconsistent tape — the eager forward pass would otherwise fail
+    /// inside a tensor kernel before [`Graph::check_shapes`] ever runs.
+    #[doc(hidden)]
+    pub fn corrupt_node_for_tests(&mut self, v: Var, value: Tensor) {
+        self.nodes[v.0].value = value;
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -264,7 +275,8 @@ impl Graph {
     /// `gamma`, `beta` of shape `[d]`.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
         let xv = self.value(x);
-        let d = *xv.shape().last().expect("layer_norm needs rank >= 1");
+        assert!(xv.ndim() >= 1, "layer_norm needs rank >= 1");
+        let d = xv.shape()[xv.ndim() - 1];
         let rows = xv.len() / d;
         let mut xhat = vec![0.0; xv.len()];
         let mut inv_std = vec![0.0; rows];
@@ -323,6 +335,7 @@ impl Graph {
             Op::MaxPool2d {
                 x,
                 argmax: r.argmax,
+                spec,
             },
         )
     }
@@ -406,7 +419,18 @@ impl Graph {
 
     /// Reverse pass from scalar `loss`: accumulates gradients into every
     /// [`Param`] leaf reachable from it. May be called once per graph.
+    ///
+    /// Debug builds run the pre-execution shape verifier
+    /// ([`Graph::check_shapes`]) over the whole tape first, so a structural
+    /// bug surfaces as a typed report with op provenance instead of an
+    /// index error deep in a kernel.
     pub fn backward(&mut self, loss: Var) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_shapes() {
+            // lint-allow: verifier escalation — a failed graph check is a
+            // programming bug and must fail fast (see lint-allow.txt).
+            panic!("{e}");
+        }
         assert_eq!(
             self.value(loss).len(),
             1,
@@ -512,7 +536,9 @@ impl Graph {
                     // dx = (g - sum(g*y, last)) * y
                     let gy = g.mul(y);
                     let mut s_shape = y.shape().to_vec();
-                    *s_shape.last_mut().expect("rank >= 1") = 1;
+                    if let Some(last) = s_shape.last_mut() {
+                        *last = 1;
+                    }
                     let s = gy.sum_last().reshape(&s_shape);
                     accum(&mut grads, a, g.sub(&s).mul(y));
                 }
@@ -521,7 +547,9 @@ impl Graph {
                     let y = &self.nodes[i].value;
                     let soft = y.map(f32::exp);
                     let mut s_shape = y.shape().to_vec();
-                    *s_shape.last_mut().expect("rank >= 1") = 1;
+                    if let Some(last) = s_shape.last_mut() {
+                        *last = 1;
+                    }
                     let s = g.sum_last().reshape(&s_shape);
                     accum(&mut grads, a, g.sub(&soft.mul(&s)));
                 }
@@ -529,7 +557,9 @@ impl Graph {
                     let a = *a;
                     let x_shape = self.nodes[a.0].value.shape().to_vec();
                     let mut g_shape = x_shape.clone();
-                    *g_shape.last_mut().expect("rank >= 1") = 1;
+                    if let Some(last) = g_shape.last_mut() {
+                        *last = 1;
+                    }
                     let expanded = g.reshape(&g_shape).add(&Tensor::zeros(&x_shape));
                     accum(&mut grads, a, expanded);
                 }
@@ -553,7 +583,7 @@ impl Graph {
                 } => {
                     let (x, gamma, beta) = (*x, *gamma, *beta);
                     let gamma_v = &self.nodes[gamma.0].value;
-                    let d = *xhat.shape().last().expect("rank >= 1");
+                    let d = xhat.shape()[xhat.ndim() - 1];
                     let rows = xhat.len() / d;
                     // dbeta / dgamma reduce over rows.
                     let dgamma = g.mul(xhat).reduce_to_shape(gamma_v.shape());
@@ -617,7 +647,7 @@ impl Graph {
                         accum(&mut grads, bias, Tensor::from_vec(db, &[c_out]));
                     }
                 }
-                Op::MaxPool2d { x, argmax } => {
+                Op::MaxPool2d { x, argmax, .. } => {
                     let x = *x;
                     let x_shape = self.nodes[x.0].value.shape().to_vec();
                     let mut dx = Tensor::zeros(&x_shape);
@@ -710,7 +740,7 @@ fn matmul_nt_backward(a: &Tensor, b: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
 
 /// Saved forward state of a conv2d node: the image's tape index plus the
 /// im2col buffer produced during the forward pass.
-struct ConvSaved {
-    x: Var,
-    inner: Im2col,
+pub(crate) struct ConvSaved {
+    pub(crate) x: Var,
+    pub(crate) inner: Im2col,
 }

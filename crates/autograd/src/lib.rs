@@ -33,7 +33,9 @@
 mod check;
 mod graph;
 mod param;
+mod verify;
 
 pub use check::finite_diff_grad;
 pub use graph::{Graph, Var};
 pub use param::Param;
+pub use verify::{CheckError, GraphReport};

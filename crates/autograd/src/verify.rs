@@ -1,0 +1,720 @@
+//! Pre-execution graph verification: shape inference over the whole tape
+//! and a gradient-flow audit (frozen parameters, reachability, dead nodes).
+//!
+//! The verifier re-derives every node's shape from its inputs' shapes using
+//! the same inference rules the tensor kernels enforce at dispatch time
+//! (`cdcl_tensor::check`), so a static report and a runtime panic read
+//! identically. On top of that it audits the structural invariants CDCL
+//! depends on (PAPER §IV-A): old-task `K_i`/`b_i` must be frozen and must
+//! not accumulate gradient, while every trainable parameter registered on
+//! the tape must be reachable from the loss.
+//!
+//! Debug builds run [`Graph::check_shapes`] automatically from
+//! [`Graph::backward`]; the trainer additionally calls [`Graph::verify`]
+//! once per task on the first training graph (telemetry span `graph_check`).
+
+use std::fmt;
+
+use cdcl_tensor::check as shape_check;
+use cdcl_tensor::{num_elements, Shape, ShapeError};
+
+use crate::graph::{Graph, Node, Op};
+use crate::{Param, Var};
+
+/// A structural violation found by the graph verifier, with op provenance
+/// (op kind, var ids, shapes / parameter names).
+#[derive(Debug, Clone)]
+pub enum CheckError {
+    /// A node's stored forward value disagrees with the shape inferred from
+    /// its inputs.
+    ShapeMismatch {
+        /// Op kind of the offending node.
+        op: &'static str,
+        /// Tape index of the offending node.
+        var: usize,
+        /// Tape indices of the node's inputs.
+        inputs: Vec<usize>,
+        /// Shape inferred from the inputs.
+        expected: Shape,
+        /// Shape the node actually holds.
+        actual: Shape,
+    },
+    /// A node's inputs violate the op's shape rule (the same rule the
+    /// kernel would enforce at dispatch time).
+    InvalidOp {
+        /// Op kind of the offending node.
+        op: &'static str,
+        /// Tape index of the offending node.
+        var: usize,
+        /// Tape indices of the node's inputs.
+        inputs: Vec<usize>,
+        /// The underlying shape-rule violation.
+        source: ShapeError,
+    },
+    /// A node references an input that does not precede it on the tape
+    /// (e.g. a [`Var`] from a different graph).
+    ForwardReference {
+        /// Op kind of the offending node.
+        op: &'static str,
+        /// Tape index of the offending node.
+        var: usize,
+        /// The out-of-range input index.
+        input: usize,
+    },
+    /// A parameter that the caller requires frozen is marked trainable.
+    FrozenParamTrainable {
+        /// Tape index of the parameter's leaf, when it is on the tape.
+        var: Option<usize>,
+        /// Parameter name.
+        name: String,
+    },
+    /// A parameter that the caller requires frozen holds a non-zero
+    /// accumulated gradient.
+    FrozenParamReceivesGrad {
+        /// Tape index of the parameter's leaf, when it is on the tape.
+        var: Option<usize>,
+        /// Parameter name.
+        name: String,
+        /// Squared norm of the offending gradient.
+        grad_norm_sq: f64,
+    },
+    /// A trainable parameter registered on the tape is not reachable from
+    /// the loss: the optimizer would silently never update it.
+    TrainableParamUnreachable {
+        /// Tape index of (one of) the parameter's leaf nodes.
+        var: usize,
+        /// Parameter name.
+        name: String,
+    },
+}
+
+fn fmt_var(var: Option<usize>) -> String {
+    match var {
+        Some(v) => format!("var %{v}"),
+        None => "not on the tape".to_string(),
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch {
+                op,
+                var,
+                inputs,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "graph check: var %{var} (op {op}, inputs {inputs:?}): \
+                 inferred shape {expected:?} but node holds {actual:?}"
+            ),
+            Self::InvalidOp {
+                op,
+                var,
+                inputs,
+                source,
+            } => write!(
+                f,
+                "graph check: var %{var} (op {op}, inputs {inputs:?}): {source}"
+            ),
+            Self::ForwardReference { op, var, input } => write!(
+                f,
+                "graph check: var %{var} (op {op}): input %{input} does not precede the node"
+            ),
+            Self::FrozenParamTrainable { var, name } => write!(
+                f,
+                "graph check: frozen param '{name}' ({}) is marked trainable",
+                fmt_var(*var)
+            ),
+            Self::FrozenParamReceivesGrad {
+                var,
+                name,
+                grad_norm_sq,
+            } => write!(
+                f,
+                "graph check: frozen param '{name}' ({}) accumulated gradient \
+                 (|g|^2 = {grad_norm_sq})",
+                fmt_var(*var)
+            ),
+            Self::TrainableParamUnreachable { var, name } => write!(
+                f,
+                "graph check: trainable param '{name}' (var %{var}) is not reachable from the loss"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Summary of a successful [`Graph::verify`] pass.
+#[derive(Debug, Clone, Default)]
+pub struct GraphReport {
+    /// Total nodes on the tape.
+    pub nodes: usize,
+    /// Leaf nodes bound to parameters.
+    pub param_leaves: usize,
+    /// Parameters from the caller's frozen list verified zero-grad.
+    pub frozen_verified: usize,
+    /// Tape indices not reachable from the loss (dead computation).
+    pub dead_nodes: Vec<usize>,
+}
+
+/// Op kind plus input var ids — the provenance attached to every finding.
+fn op_meta(op: &Op) -> (&'static str, Vec<usize>) {
+    match op {
+        Op::Input => ("input", vec![]),
+        Op::Leaf(_) => ("leaf", vec![]),
+        Op::Add(a, b) => ("add", vec![a.0, b.0]),
+        Op::Sub(a, b) => ("sub", vec![a.0, b.0]),
+        Op::Mul(a, b) => ("mul", vec![a.0, b.0]),
+        Op::Scale(a, _) => ("scale", vec![a.0]),
+        Op::AddScalar(a) => ("add_scalar", vec![a.0]),
+        Op::Matmul(a, b) => ("matmul", vec![a.0, b.0]),
+        Op::MatmulNT(a, b) => ("matmul_nt", vec![a.0, b.0]),
+        Op::TransposeLast2(a) => ("transpose_last2", vec![a.0]),
+        Op::Reshape(a) => ("reshape", vec![a.0]),
+        Op::Concat0(parts) => ("concat0", parts.iter().map(|v| v.0).collect()),
+        Op::Relu(a) => ("relu", vec![a.0]),
+        Op::Gelu(a) => ("gelu", vec![a.0]),
+        Op::SoftmaxLast(a) => ("softmax_last", vec![a.0]),
+        Op::LogSoftmaxLast(a) => ("log_softmax_last", vec![a.0]),
+        Op::SumLast(a) => ("sum_last", vec![a.0]),
+        Op::MeanAll(a) => ("mean_all", vec![a.0]),
+        Op::SumAll(a) => ("sum_all", vec![a.0]),
+        Op::LayerNorm { x, gamma, beta, .. } => ("layer_norm", vec![x.0, gamma.0, beta.0]),
+        Op::Conv2d { w, bias, info } => {
+            let mut ins = vec![info.x.0, w.0];
+            if let Some(b) = bias {
+                ins.push(b.0);
+            }
+            ("conv2d", ins)
+        }
+        Op::MaxPool2d { x, .. } => ("maxpool2d", vec![x.0]),
+        Op::Nll { logp, .. } => ("nll_loss", vec![logp.0]),
+        Op::CeSoft { logp, .. } => ("ce_soft", vec![logp.0]),
+        Op::KlDiv { logq, .. } => ("kl_div", vec![logq.0]),
+        Op::Mse(a, b) => ("mse", vec![a.0, b.0]),
+    }
+}
+
+impl Graph {
+    /// Re-infers the shape of node `i` from its inputs' stored shapes.
+    /// `Ok(None)` means the op has no inference rule beyond its own value
+    /// (inputs, leaves).
+    fn infer_node(&self, i: usize, node: &Node) -> Result<Option<Shape>, ShapeError> {
+        let s = |v: &Var| self.nodes[v.0].value.shape();
+        match &node.op {
+            Op::Input => Ok(None),
+            Op::Leaf(p) => Ok(Some(p.shape())),
+            Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) => {
+                shape_check::try_broadcast_shapes(s(a), s(b)).map(Some)
+            }
+            Op::Scale(a, _) | Op::AddScalar(a) | Op::Relu(a) | Op::Gelu(a) => {
+                Ok(Some(s(a).to_vec()))
+            }
+            Op::Matmul(a, b) => shape_check::infer_matmul(s(a), s(b)).map(Some),
+            Op::MatmulNT(a, b) => shape_check::infer_matmul_nt(s(a), s(b)).map(Some),
+            Op::TransposeLast2(a) => shape_check::infer_transpose_last2(s(a)).map(Some),
+            Op::Reshape(a) => {
+                // The target shape is only recorded in the node itself, so
+                // inference validates the element-count invariant.
+                shape_check::infer_reshape(s(a), node.value.shape()).map(Some)
+            }
+            Op::Concat0(parts) => {
+                let shapes: Vec<&[usize]> = parts.iter().map(s).collect();
+                shape_check::infer_concat0(&shapes).map(Some)
+            }
+            Op::SoftmaxLast(a) => shape_check::infer_last_axis_map("softmax_last", s(a)).map(Some),
+            Op::LogSoftmaxLast(a) => {
+                shape_check::infer_last_axis_map("log_softmax_last", s(a)).map(Some)
+            }
+            Op::SumLast(a) => shape_check::infer_sum_last(s(a)).map(Some),
+            Op::MeanAll(_) | Op::SumAll(_) => Ok(Some(vec![])),
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                xhat,
+                ..
+            } => {
+                let xs = s(x);
+                if xs.is_empty() {
+                    return Err(ShapeError::new("layer_norm", "needs rank >= 1"));
+                }
+                let d = xs[xs.len() - 1];
+                for (which, v) in [("gamma", gamma), ("beta", beta)] {
+                    if s(v) != [d] {
+                        return Err(ShapeError::new(
+                            "layer_norm",
+                            format!("{which} must be [{d}], got {:?}", s(v)),
+                        ));
+                    }
+                }
+                if xhat.shape() != xs {
+                    return Err(ShapeError::new(
+                        "layer_norm",
+                        format!("cached xhat {:?} vs input {xs:?}", xhat.shape()),
+                    ));
+                }
+                Ok(Some(xs.to_vec()))
+            }
+            Op::Conv2d { w, bias, info } => {
+                shape_check::infer_conv2d(s(&info.x), s(w), bias.as_ref().map(&s), &info.inner.spec)
+                    .map(Some)
+            }
+            Op::MaxPool2d { x, argmax, spec } => {
+                let out = shape_check::infer_maxpool2d(s(x), spec)?;
+                if argmax.len() != num_elements(&out) {
+                    return Err(ShapeError::new(
+                        "maxpool2d",
+                        format!(
+                            "argmax holds {} indices for inferred output {out:?}",
+                            argmax.len()
+                        ),
+                    ));
+                }
+                let _ = i;
+                Ok(Some(out))
+            }
+            Op::Nll { logp, targets } => {
+                let ls = s(logp);
+                if ls.len() != 2 {
+                    return Err(ShapeError::new(
+                        "nll_loss",
+                        format!("expects [batch, classes], got {ls:?}"),
+                    ));
+                }
+                let (b, u) = (ls[0], ls[1]);
+                if targets.len() != b {
+                    return Err(ShapeError::new(
+                        "nll_loss",
+                        format!("target count {} vs batch {b}", targets.len()),
+                    ));
+                }
+                if let Some(t) = targets.iter().find(|&&t| t >= u) {
+                    return Err(ShapeError::new(
+                        "nll_loss",
+                        format!("target {t} out of range ({u} classes)"),
+                    ));
+                }
+                Ok(Some(vec![]))
+            }
+            Op::CeSoft { logp, probs } => {
+                if probs.shape() != s(logp) {
+                    return Err(ShapeError::new(
+                        "ce_soft",
+                        format!("probs {:?} vs logp {:?}", probs.shape(), s(logp)),
+                    ));
+                }
+                Ok(Some(vec![]))
+            }
+            Op::KlDiv { logq, p } => {
+                if p.shape() != s(logq) {
+                    return Err(ShapeError::new(
+                        "kl_div",
+                        format!("teacher {:?} vs logq {:?}", p.shape(), s(logq)),
+                    ));
+                }
+                Ok(Some(vec![]))
+            }
+            Op::Mse(a, b) => {
+                if s(a) != s(b) {
+                    return Err(ShapeError::new(
+                        "mse",
+                        format!("lhs {:?} vs rhs {:?}", s(a), s(b)),
+                    ));
+                }
+                Ok(Some(vec![]))
+            }
+        }
+    }
+
+    /// Full shape inference over the tape: every node's stored value must
+    /// match the shape inferred from its inputs, and every input must
+    /// precede its consumer. Read-only; the tape is not modified.
+    pub fn check_shapes(&self) -> Result<(), CheckError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let (op, inputs) = op_meta(&node.op);
+            if let Some(&bad) = inputs.iter().find(|&&v| v >= i) {
+                return Err(CheckError::ForwardReference {
+                    op,
+                    var: i,
+                    input: bad,
+                });
+            }
+            match self.infer_node(i, node) {
+                Err(source) => {
+                    return Err(CheckError::InvalidOp {
+                        op,
+                        var: i,
+                        inputs,
+                        source,
+                    })
+                }
+                Ok(Some(expected)) if expected != node.value.shape() => {
+                    return Err(CheckError::ShapeMismatch {
+                        op,
+                        var: i,
+                        inputs,
+                        expected,
+                        actual: node.value.shape().to_vec(),
+                    });
+                }
+                Ok(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Gradient-flow audit relative to scalar `loss`:
+    ///
+    /// * every parameter in `must_be_frozen` must be non-trainable and hold
+    ///   a zero accumulated gradient (meaningful right after a
+    ///   `zero_grad(); backward(loss)` sequence);
+    /// * every *trainable* parameter registered on the tape must be
+    ///   reachable from `loss` (otherwise the optimizer would silently
+    ///   never update it);
+    /// * nodes unreachable from `loss` are reported as dead in the
+    ///   [`GraphReport`].
+    ///
+    /// Read-only: parameters and the tape are not modified.
+    pub fn check_grad_flow(
+        &self,
+        loss: Var,
+        must_be_frozen: &[Param],
+    ) -> Result<GraphReport, CheckError> {
+        // Reverse reachability from the loss over op inputs.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![loss.0];
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i], true) {
+                continue;
+            }
+            stack.extend(op_meta(&self.nodes[i].op).1);
+        }
+
+        // Locate each frozen param's leaf (if present) for provenance.
+        let leaf_of = |p: &Param| -> Option<usize> {
+            self.nodes.iter().position(|n| match &n.op {
+                Op::Leaf(q) => q.same(p),
+                _ => false,
+            })
+        };
+        for p in must_be_frozen {
+            if p.trainable() {
+                return Err(CheckError::FrozenParamTrainable {
+                    var: leaf_of(p),
+                    name: p.name(),
+                });
+            }
+            let g2 = p.grad_norm_sq();
+            if g2 != 0.0 {
+                return Err(CheckError::FrozenParamReceivesGrad {
+                    var: leaf_of(p),
+                    name: p.name(),
+                    grad_norm_sq: g2,
+                });
+            }
+        }
+
+        // A trainable param is reachable when *any* of its leaves is; the
+        // same cell may be registered several times (e.g. shared projections
+        // across the source / target / mixed streams).
+        let mut param_leaves = 0usize;
+        let mut seen: Vec<(usize, bool, usize, &Param)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf(p) = &node.op {
+                param_leaves += 1;
+                match seen.iter_mut().find(|(key, ..)| *key == p.key()) {
+                    Some((_, any, ..)) => *any |= reachable[i],
+                    None => seen.push((p.key(), reachable[i], i, p)),
+                }
+            }
+        }
+        for (_, any_reachable, var, p) in &seen {
+            if p.trainable() && !any_reachable {
+                return Err(CheckError::TrainableParamUnreachable {
+                    var: *var,
+                    name: p.name(),
+                });
+            }
+        }
+
+        let frozen_verified = must_be_frozen.len();
+        let dead_nodes: Vec<usize> = (0..self.nodes.len()).filter(|&i| !reachable[i]).collect();
+        Ok(GraphReport {
+            nodes: self.nodes.len(),
+            param_leaves,
+            frozen_verified,
+            dead_nodes,
+        })
+    }
+
+    /// Both verifier layers in sequence: [`Graph::check_shapes`] then
+    /// [`Graph::check_grad_flow`]. Read-only and deterministic, so running
+    /// it cannot perturb training (the bitwise-determinism contract of
+    /// DESIGN.md §7 is preserved with the verifier compiled in).
+    pub fn verify(&self, loss: Var, must_be_frozen: &[Param]) -> Result<GraphReport, CheckError> {
+        self.check_shapes()?;
+        self.check_grad_flow(loss, must_be_frozen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcl_tensor::{Conv2dSpec, Pool2dSpec, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    /// Exercises one op builder and asserts the verifier agrees with the
+    /// executed shape.
+    fn assert_graph_consistent(g: &Graph) {
+        if let Err(e) = g.check_shapes() {
+            // lint-allow justification not needed: #[cfg(test)] module.
+            panic!("verifier rejected a valid graph: {e}");
+        }
+    }
+
+    #[test]
+    fn every_op_variant_passes_shape_inference() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let p = Param::new("w", Tensor::randn(&mut rng, &[4, 4], 1.0));
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3, 4], 1.0));
+        let w = g.param(&p);
+        let y = g.matmul(x, w); // [2,3,4] x [4,4]
+        let k = g.input(Tensor::randn(&mut rng, &[2, 5, 4], 1.0));
+        let scores = g.matmul_nt(y, k); // [2,3,5]
+        let scores = g.scale(scores, 0.5);
+        let scores = g.add_scalar(scores, 0.1);
+        let sm = g.softmax_last(scores);
+        let t = g.transpose_last2(sm); // [2,5,3]
+        let r = g.reshape(t, &[2, 15]);
+        let c = g.concat0(&[r, r]); // [4,15]
+        let relu = g.relu(c);
+        let gelu = g.gelu(relu);
+        let gamma = g.input(Tensor::ones(&[15]));
+        let beta = g.input(Tensor::zeros(&[15]));
+        let ln = g.layer_norm(gelu, gamma, beta, 1e-5);
+        let s = g.sum_last(ln); // [4]
+        let b = g.input(Tensor::randn(&mut rng, &[4], 1.0));
+        let ab = g.add(s, b);
+        let sb = g.sub(ab, b);
+        let mb = g.mul(sb, b);
+        let m = g.mean_all(mb);
+        let m2 = g.sum_all(m);
+        assert_eq!(g.value(m2).shape(), &[] as &[usize]);
+        assert_graph_consistent(&g);
+    }
+
+    #[test]
+    fn conv_pool_and_loss_ops_pass_shape_inference() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3, 8, 8], 1.0));
+        let w = g.input(Tensor::randn(&mut rng, &[4, 3, 3, 3], 0.5));
+        let b = g.input(Tensor::randn(&mut rng, &[4], 0.5));
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let y = g.conv2d(x, w, Some(b), spec); // [2,4,8,8]
+        let p = g.maxpool2d(
+            y,
+            Pool2dSpec {
+                kernel: 2,
+                stride: 2,
+            },
+        ); // [2,4,4,4]
+        let flat = g.reshape(p, &[2, 64]);
+        let logits = g.log_softmax_last(flat);
+        let nll = g.nll_loss(logits, &[3, 5]);
+        let probs = g.value(flat).softmax_last();
+        let ce = g.ce_soft(logits, probs.clone());
+        let kl = g.kl_div(logits, probs);
+        let mse = g.mse(nll, ce);
+        let total = g.add(mse, kl);
+        assert_eq!(g.value(total).len(), 1);
+        assert_graph_consistent(&g);
+    }
+
+    #[test]
+    fn corrupted_node_is_reported_with_op_provenance() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let a = g.input(Tensor::randn(&mut rng, &[2, 3], 1.0));
+        let b = g.input(Tensor::randn(&mut rng, &[3, 4], 1.0));
+        let c = g.matmul(a, b);
+        // Forge a wrong forward value: executed [2,4], pretend [2,5].
+        g.corrupt_node_for_tests(c, Tensor::zeros(&[2, 5]));
+        let err = g.check_shapes().unwrap_err();
+        match &err {
+            CheckError::ShapeMismatch {
+                op,
+                var,
+                inputs,
+                expected,
+                actual,
+            } => {
+                assert_eq!(*op, "matmul");
+                assert_eq!(*var, c.0);
+                assert_eq!(inputs, &[a.0, b.0]);
+                assert_eq!(expected, &[2, 4]);
+                assert_eq!(actual, &[2, 5]);
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"), "{msg}");
+        assert!(msg.contains(&format!("%{}", c.0)), "{msg}");
+    }
+
+    #[test]
+    fn invalid_inputs_are_reported_through_the_kernel_rule() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let a = g.input(Tensor::randn(&mut rng, &[2, 3], 1.0));
+        let b = g.input(Tensor::randn(&mut rng, &[3, 4], 1.0));
+        let c = g.matmul(a, b);
+        // Corrupt an *input* so the op rule itself fails.
+        g.corrupt_node_for_tests(a, Tensor::zeros(&[2, 9]));
+        let err = g.check_shapes().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("inner dims"), "{msg}");
+        assert!(msg.contains(&format!("%{}", c.0)), "{msg}");
+    }
+
+    #[test]
+    fn foreign_var_is_a_forward_reference() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let a = g.input(Tensor::randn(&mut rng, &[2, 2], 1.0));
+        let _ = a;
+        // The eager builders bounds-check their inputs, so a node holding a
+        // Var from another (longer) tape can only exist on a hand-built /
+        // corrupted tape; forge one directly to exercise the backstop.
+        g.nodes.push(Node {
+            value: Tensor::zeros(&[2, 2]),
+            op: Op::Relu(Var(5)),
+        });
+        assert!(matches!(
+            g.check_shapes(),
+            Err(CheckError::ForwardReference {
+                var: 1,
+                input: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn frozen_params_verify_after_backward() {
+        let mut rng = rng();
+        let frozen = Param::new("enc.bank.key0.w", Tensor::randn(&mut rng, &[3, 3], 1.0));
+        frozen.set_trainable(false);
+        let live = Param::new("enc.bank.key1.w", Tensor::randn(&mut rng, &[3, 3], 1.0));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3], 1.0));
+        let wf = g.param(&frozen);
+        let wl = g.param(&live);
+        let h = g.matmul(x, wf);
+        let y = g.matmul(h, wl);
+        let y2 = g.mul(y, y);
+        let loss = g.mean_all(y2);
+        frozen.zero_grad();
+        live.zero_grad();
+        g.backward(loss);
+        let report = g.verify(loss, std::slice::from_ref(&frozen)).unwrap();
+        assert_eq!(report.frozen_verified, 1);
+        assert_eq!(report.param_leaves, 2);
+        assert!(report.dead_nodes.is_empty());
+    }
+
+    #[test]
+    fn trainable_old_task_key_is_reported_by_name() {
+        let mut rng = rng();
+        // An old-task key that was *supposed* to be frozen but is trainable.
+        let key0 = Param::new(
+            "enc0.attn.bank.key0.w",
+            Tensor::randn(&mut rng, &[3, 3], 1.0),
+        );
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3], 1.0));
+        let w = g.param(&key0);
+        let y = g.matmul(x, w);
+        let y2 = g.mul(y, y);
+        let loss = g.mean_all(y2);
+        g.backward(loss);
+        let err = g.verify(loss, std::slice::from_ref(&key0)).unwrap_err();
+        match &err {
+            CheckError::FrozenParamTrainable { var, name } => {
+                assert_eq!(name, "enc0.attn.bank.key0.w");
+                assert_eq!(*var, Some(w.0));
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+        assert!(err.to_string().contains("enc0.attn.bank.key0.w"));
+    }
+
+    #[test]
+    fn frozen_param_with_stale_grad_is_reported() {
+        let mut rng = rng();
+        let key = Param::new("bank.key0.w", Tensor::randn(&mut rng, &[2, 2], 1.0));
+        // Gradient accumulated while trainable, then frozen without zeroing:
+        // exactly the interference bug the audit exists to catch.
+        key.accumulate_grad(&Tensor::ones(&[2, 2]));
+        key.set_trainable(false);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[1, 2], 1.0));
+        let w = g.param(&key);
+        let y = g.matmul(x, w);
+        let y2 = g.mul(y, y);
+        let loss = g.mean_all(y2);
+        let err = g
+            .check_grad_flow(loss, std::slice::from_ref(&key))
+            .unwrap_err();
+        assert!(matches!(err, CheckError::FrozenParamReceivesGrad { .. }));
+        assert!(err.to_string().contains("bank.key0.w"));
+    }
+
+    #[test]
+    fn unreachable_trainable_param_is_reported() {
+        let mut rng = rng();
+        let used = Param::new("used.w", Tensor::randn(&mut rng, &[2, 2], 1.0));
+        let orphan = Param::new("orphan.w", Tensor::randn(&mut rng, &[2, 2], 1.0));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[1, 2], 1.0));
+        let wu = g.param(&used);
+        let wo = g.param(&orphan); // registered, never consumed by the loss
+        let _dead = g.matmul(x, wo);
+        let y = g.matmul(x, wu);
+        let y2 = g.mul(y, y);
+        let loss = g.mean_all(y2);
+        let err = g.check_grad_flow(loss, &[]).unwrap_err();
+        match err {
+            CheckError::TrainableParamUnreachable { name, .. } => {
+                assert_eq!(name, "orphan.w");
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn dead_nodes_are_reported_not_fatal() {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 2], 1.0));
+        let dead = g.relu(x); // never feeds the loss
+        let y = g.mul(x, x);
+        let loss = g.mean_all(y);
+        let report = g.verify(loss, &[]).unwrap();
+        assert!(report.dead_nodes.contains(&dead.0));
+    }
+}

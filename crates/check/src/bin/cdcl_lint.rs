@@ -1,0 +1,51 @@
+//! `cdcl-lint` — the workspace invariant linter (DESIGN.md §9).
+//!
+//! Usage (from anywhere in the workspace):
+//!
+//! ```text
+//! cargo run -p cdcl-check --bin cdcl-lint
+//! ```
+//!
+//! Scans every `.rs` file under `crates/*/src`, prints each violation with
+//! file/line/rule provenance, and exits non-zero if any violation is not
+//! vetted by `lint-allow.txt` at the workspace root. Run by the CI
+//! `static-analysis` job.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cdcl_check::{lint_workspace, Allowlist};
+
+fn main() -> ExitCode {
+    // CARGO_MANIFEST_DIR = crates/check; the workspace root is two up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = manifest.parent().and_then(Path::parent) else {
+        eprintln!("cdcl-lint: cannot locate workspace root from {manifest:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let allow_path = root.join("lint-allow.txt");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+
+    let (violations, allowed) = lint_workspace(root, &allow);
+
+    for f in &violations {
+        println!("{f}");
+    }
+    for stale in allow.unused(&allowed) {
+        println!("warning: stale lint-allow entry (matched nothing): {stale}");
+    }
+    println!(
+        "cdcl-lint: {} violation(s), {} allowlisted",
+        violations.len(),
+        allowed.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

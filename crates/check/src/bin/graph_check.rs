@@ -1,0 +1,79 @@
+//! `graph-check` — the graph verifier's CI self-check (DESIGN.md §9).
+//!
+//! Builds the smoke-config CDCL model with two tasks, records a
+//! training-shaped graph (self features through the current *and* the
+//! retired task's keys, TIL + CIL losses), runs `backward`, and then the
+//! full verifier: shape inference over every node plus the gradient-flow
+//! audit against the model's expected-frozen set. Exits non-zero (with the
+//! verifier's provenance message) on any violation.
+//!
+//! ```text
+//! cargo run --release -p cdcl-check --bin graph-check
+//! ```
+
+use std::process::ExitCode;
+
+use cdcl_autograd::Graph;
+use cdcl_core::CdclModel;
+use cdcl_nn::{BackboneConfig, Module};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut model = CdclModel::new(&mut rng, BackboneConfig::default());
+    model.add_task(&mut rng, 2);
+    model.add_task(&mut rng, 2); // freezes task 0's (K_0, b_0)
+
+    for p in model.params() {
+        p.zero_grad();
+    }
+
+    let mut g = Graph::new();
+    let x = g.input(Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0));
+    let labels = [0usize, 1];
+
+    // Current task: TIL + CIL supervised losses (warm-up shape).
+    let z1 = model.features_self(&mut g, x, 1);
+    let til = model.til_logits(&mut g, z1, 1);
+    let til_lp = g.log_softmax_last(til);
+    let l_til = g.nll_loss(til_lp, &labels);
+    let cil = model.cil_logits(&mut g, z1);
+    let cil_lp = g.log_softmax_last(cil);
+    let globals: Vec<usize> = labels.iter().map(|&l| model.class_offset(1) + l).collect();
+    let l_cil = g.nll_loss(cil_lp, &globals);
+    let mut loss = g.add(l_til, l_cil);
+
+    // Retired task: rehearsal-shaped pass through the frozen (K_0, b_0),
+    // so the frozen leaves are actually on the tape being audited.
+    let z0 = model.features_self(&mut g, x, 0);
+    let til0 = model.til_logits(&mut g, z0, 0);
+    let til0_lp = g.log_softmax_last(til0);
+    let l_old = g.nll_loss(til0_lp, &labels);
+    loss = g.add(loss, l_old);
+
+    g.backward(loss);
+
+    let frozen = model.expected_frozen_params();
+    match g.verify(loss, &frozen) {
+        Ok(report) => {
+            println!(
+                "graph-check: OK — {} nodes, {} param leaves, {} frozen verified, {} dead",
+                report.nodes,
+                report.param_leaves,
+                report.frozen_verified,
+                report.dead_nodes.len()
+            );
+            if frozen.is_empty() {
+                eprintln!("graph-check: expected a non-empty frozen set after two tasks");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("graph-check: FAIL — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

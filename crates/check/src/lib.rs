@@ -1,0 +1,602 @@
+//! Workspace invariant linter (DESIGN.md §9).
+//!
+//! A line-oriented scanner over `crates/*/src` that enforces the coding
+//! contracts the workspace relies on but the compiler cannot check:
+//!
+//! * **no-panic** — no `.unwrap()` / `.expect(` / `panic!` in library code
+//!   outside `#[cfg(test)]`; shape violations must route through
+//!   `cdcl_tensor::check` and the few sanctioned escalation points are
+//!   enumerated (with justification) in `lint-allow.txt`;
+//! * **no-hashmap** — no `std::collections::HashMap` in non-test library
+//!   code: its iteration order is random-seeded per process, which silently
+//!   breaks the workspace's bitwise-determinism contract (DESIGN.md §7);
+//! * **no-raw-timing** — no `Instant::now` / `thread::spawn` outside
+//!   `crates/telemetry` and the kernel thread pool: ad-hoc timing belongs in
+//!   telemetry spans and ad-hoc threads break the deterministic reduction
+//!   order of the pool;
+//! * **phase-spans** — every trainer phase listed in DESIGN.md §8 must be
+//!   wrapped in a `telemetry::span("<name>")` somewhere in `crates/core/src`
+//!   so traced runs always observe the full Algorithm-1 breakdown.
+//!
+//! Before pattern matching, each file is *masked*: the contents of string
+//! literals, char literals, and comments are blanked out (newlines kept), so
+//! a pattern inside a doc comment or an error message never trips a rule.
+//! `#[cfg(test)]` item bodies are excluded by brace tracking. The
+//! phase-spans rule is the one exception — span names live inside string
+//! literals, so it scans the raw text.
+//!
+//! The engine is dependency-free (std only) and wholly line/char-oriented —
+//! it is not a Rust parser, and the patterns are chosen so the approximation
+//! errs on the side of flagging.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The trainer phases DESIGN.md §8 requires a telemetry span for.
+pub const REQUIRED_SPANS: [&str; 11] = [
+    "warmup",
+    "adaptation",
+    "centroid_fit",
+    "pseudo_assign",
+    "pair_filter",
+    "replay",
+    "memory_select",
+    "memory_rebalance",
+    "eval_til",
+    "eval_cil",
+    "graph_check",
+];
+
+/// One rule violation at a specific line of a specific file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-indexed line (0 for file/workspace-level findings).
+    pub line: usize,
+    /// Rule identifier (`no-panic`, `no-hashmap`, `no-raw-timing`,
+    /// `phase-spans`).
+    pub rule: &'static str,
+    /// The pattern text that matched.
+    pub needle: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] `{}` — {}",
+            self.file, self.line, self.rule, self.needle, self.excerpt
+        )
+    }
+}
+
+/// Parsed `lint-allow.txt`: each entry vets one (path prefix, needle) pair.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    path: String,
+    needle: String,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `path-prefix: needle` per line,
+    /// `#` comments (the per-entry justification) and blank lines skipped.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, needle)) = line.split_once(": ") {
+                entries.push(AllowEntry {
+                    path: path.trim().to_string(),
+                    needle: needle.trim().to_string(),
+                });
+            }
+        }
+        Self { entries }
+    }
+
+    /// Whether `f` is vetted: some entry's path is a prefix of the finding's
+    /// file and its needle appears in the offending line.
+    pub fn allows(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| f.file.starts_with(&e.path) && f.excerpt.contains(&e.needle))
+    }
+
+    /// Entries that vetted no finding in `all` — stale allowances worth
+    /// pruning (reported as warnings, not failures).
+    pub fn unused(&self, all: &[Finding]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                !all.iter()
+                    .any(|f| f.file.starts_with(&e.path) && f.excerpt.contains(&e.needle))
+            })
+            .map(|e| format!("{}: {}", e.path, e.needle))
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Source masking
+// ----------------------------------------------------------------------
+
+/// Replaces the *contents* of string literals, char literals, and comments
+/// with spaces (newlines kept), so byte offsets and line numbers survive but
+/// text inside them can never match a rule pattern.
+pub fn mask_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (also doc comments).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (optionally byte br...). Raw
+        // identifiers (r#fn) fall through: no quote after the hashes.
+        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut j = start;
+            while b.get(j) == Some(&'#') {
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                let hashes = j - start;
+                out.extend(&b[i..=j]);
+                i = j + 1;
+                // Scan to `"` followed by `hashes` times `#`.
+                'raw: while i < b.len() {
+                    if b[i] == '"' && b[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                        out.push('"');
+                        out.extend(std::iter::repeat('#').take(hashes));
+                        i += 1 + hashes;
+                        break 'raw;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string literal (also byte string b"...").
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    // `\<newline>` is a line continuation: keep the newline
+                    // so line numbers stay aligned.
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\x' is a literal; 'ident is a
+        // lifetime and passes through unmasked.
+        if c == '\'' {
+            let is_char = match b.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => {
+                    // 'a' has the closing quote right after one char;
+                    // lifetimes ('a, 'static) do not.
+                    b.get(i + 2) == Some(&'\'')
+                }
+                None => false,
+            };
+            if is_char {
+                out.push('\'');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        out.push(' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Char ranges (byte offsets into the *masked* text's char vec) covered by
+/// `#[cfg(test)]` items, found by brace tracking from each attribute.
+fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let chars: Vec<char> = masked.chars().collect();
+    let mut regions = Vec::new();
+    let mut search_from = 0;
+    while let Some(rel) = masked
+        .get(char_to_byte(masked, search_from)..)
+        .and_then(|s| s.find(ATTR))
+    {
+        let attr_byte = char_to_byte(masked, search_from) + rel;
+        let attr_char = masked[..attr_byte].chars().count();
+        // Next `{` opens the annotated item (mod/fn); skip to its match.
+        let mut i = attr_char + ATTR.chars().count();
+        while i < chars.len() && chars[i] != '{' {
+            i += 1;
+        }
+        let open = i;
+        let mut depth = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push((open, i));
+        search_from = i.max(attr_char + 1);
+    }
+    regions
+}
+
+fn char_to_byte(s: &str, char_idx: usize) -> usize {
+    s.char_indices().nth(char_idx).map_or(s.len(), |(b, _)| b)
+}
+
+// ----------------------------------------------------------------------
+// Rules
+// ----------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Occurrences of `needle` in `line` that are not part of a longer
+/// identifier (checked one char left of the match).
+fn word_hits(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let at = from + rel;
+        let prev_ok = line[..at]
+            .chars()
+            .next_back()
+            .map_or(true, |c| !is_ident_char(c));
+        if prev_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Paths exempt from the no-raw-timing rule: the telemetry crate owns
+/// timing, the kernel pool owns threads.
+fn raw_timing_exempt(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/telemetry/") || rel_path == "crates/tensor/src/kernels/pool.rs"
+}
+
+/// Scans one file's source, returning every rule violation outside
+/// `#[cfg(test)]` regions. `rel_path` is the workspace-relative path with
+/// forward slashes.
+pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let masked = mask_source(source);
+    let regions = test_regions(&masked);
+    let mut findings = Vec::new();
+
+    let mut char_pos = 0usize;
+    for (lineno, line) in masked.lines().enumerate() {
+        let line_start = char_pos;
+        char_pos += line.chars().count() + 1;
+        let in_test = regions
+            .iter()
+            .any(|&(a, b)| line_start >= a && line_start <= b);
+        if in_test {
+            continue;
+        }
+        let mut push = |rule: &'static str, needle: &str| {
+            // Excerpt from the RAW source so allowlist needles can match
+            // message text (e.g. `.expect("param lock poisoned")`).
+            let raw_line = source.lines().nth(lineno).unwrap_or(line).trim();
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno + 1,
+                rule,
+                needle: needle.to_string(),
+                excerpt: raw_line.to_string(),
+            });
+        };
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                push("no-panic", needle);
+            }
+        }
+        if word_hits(line, "panic!") {
+            push("no-panic", "panic!");
+        }
+        if word_hits(line, "HashMap") {
+            push("no-hashmap", "HashMap");
+        }
+        if !raw_timing_exempt(rel_path) {
+            for needle in ["Instant::now", "thread::spawn"] {
+                if line.contains(needle) {
+                    push("no-raw-timing", needle);
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Workspace-level rule: every [`REQUIRED_SPANS`] phase must appear as a
+/// contiguous `span("<name>")` call somewhere in `crates/core/src`. Scans
+/// the RAW text — span names live inside string literals, which masking
+/// would hide.
+pub fn check_phase_spans(core_sources: &[(String, String)]) -> Vec<Finding> {
+    REQUIRED_SPANS
+        .iter()
+        .filter(|name| {
+            let call = format!("span(\"{name}\")");
+            !core_sources.iter().any(|(_, text)| text.contains(&call))
+        })
+        .map(|name| Finding {
+            file: "crates/core/src".to_string(),
+            line: 0,
+            rule: "phase-spans",
+            needle: format!("span(\"{name}\")"),
+            excerpt: format!("DESIGN.md §8 phase `{name}` has no telemetry span"),
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// File walking
+// ----------------------------------------------------------------------
+
+/// All `.rs` files under `crates/*/src`, workspace-relative with forward
+/// slashes, in sorted (deterministic) order.
+pub fn collect_rs_files(workspace_root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = workspace_root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir);
+    crate_dirs.retain(|p| p.is_dir());
+    for krate in crate_dirs {
+        let src = krate.join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn read_dir_sorted(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd.flatten().map(|e| e.path()).collect(),
+        Err(_) => Vec::new(),
+    };
+    v.sort();
+    v
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    for p in read_dir_sorted(dir) {
+        if p.is_dir() {
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Strips `workspace_root` and normalizes to forward slashes.
+pub fn rel_path(workspace_root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(workspace_root).unwrap_or(p);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Full workspace lint: walks `crates/*/src`, applies the per-file rules
+/// plus the phase-spans rule, and splits results into (violations,
+/// allowed) under `allow`. Files that fail to read are reported as
+/// findings rather than silently skipped.
+pub fn lint_workspace(workspace_root: &Path, allow: &Allowlist) -> (Vec<Finding>, Vec<Finding>) {
+    let mut all = Vec::new();
+    let mut core_sources = Vec::new();
+    for path in collect_rs_files(workspace_root) {
+        let rel = rel_path(workspace_root, &path);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                all.push(Finding {
+                    file: rel,
+                    line: 0,
+                    rule: "io",
+                    needle: String::new(),
+                    excerpt: format!("cannot read file: {e}"),
+                });
+                continue;
+            }
+        };
+        all.extend(scan_file(&rel, &source));
+        if rel.starts_with("crates/core/src") {
+            core_sources.push((rel, source));
+        }
+    }
+    all.extend(check_phase_spans(&core_sources));
+    all.into_iter().partition(|f| !allow.allows(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_comments_and_chars() {
+        let src = "let a = \"panic!()\"; // .unwrap()\nlet c = '\\n'; /* HashMap */ let l: &'static str = x;";
+        let m = mask_source(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("'static"), "lifetimes must survive masking");
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_preserves_string_line_continuations() {
+        // `\<newline>` inside a string must keep its newline, or every
+        // finding below it reports the wrong line.
+        let src = "let s = \"head \\\n tail\";\nx.unwrap();\n";
+        let m = mask_source(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        let f = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn masking_handles_raw_strings() {
+        let src = "let s = r#\"panic! .unwrap()\"#; let t = self.unwrap();";
+        let m = mask_source(src);
+        // The raw string's content is blanked; the real call survives.
+        assert_eq!(m.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn flags_panic_unwrap_expect_outside_tests() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"boom\");\n    panic!(\"no\");\n    unreachable!();\n    assert!(true);\n}\n";
+        let f = scan_file("crates/x/src/lib.rs", src);
+        let needles: Vec<&str> = f.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(needles, [".unwrap()", ".expect(", "panic!"]);
+        assert!(f.iter().all(|f| f.rule == "no-panic"));
+        // Provenance: 1-indexed lines.
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[2].excerpt, "panic!(\"no\");");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\nfn tail() { y.unwrap(); }\n";
+        let f = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn hashmap_and_timing_rules() {
+        let src =
+            "use std::collections::HashMap;\nlet t = Instant::now();\nstd::thread::spawn(f);\n";
+        let f = scan_file("crates/x/src/lib.rs", src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["no-hashmap", "no-raw-timing", "no-raw-timing"]);
+        // Exempt paths skip only the timing rule.
+        let f = scan_file("crates/telemetry/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-hashmap");
+        let f = scan_file("crates/tensor/src/kernels/pool.rs", src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn longer_identifiers_do_not_trip_word_rules() {
+        let src = "fn my_panic!_not_really() {}\nlet x = FxHashMap::default();\n";
+        // `FxHashMap` must not match `HashMap` (prev char is ident).
+        let f = scan_file("crates/x/src/lib.rs", src);
+        assert!(f.iter().all(|f| f.rule != "no-hashmap"), "{f:?}");
+    }
+
+    #[test]
+    fn phase_span_rule_reports_missing_spans() {
+        let have = REQUIRED_SPANS
+            .iter()
+            .take(REQUIRED_SPANS.len() - 1)
+            .map(|n| format!("let _s = telemetry::span(\"{n}\");"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let sources = vec![("crates/core/src/trainer.rs".to_string(), have)];
+        let f = check_phase_spans(&sources);
+        assert_eq!(f.len(), 1);
+        assert!(f[0]
+            .needle
+            .contains(REQUIRED_SPANS[REQUIRED_SPANS.len() - 1]));
+    }
+
+    #[test]
+    fn allowlist_vets_by_path_prefix_and_needle() {
+        let allow = Allowlist::parse(
+            "# justification comment\ncrates/autograd/src/param.rs: param lock poisoned\n",
+        );
+        let vetted = Finding {
+            file: "crates/autograd/src/param.rs".to_string(),
+            line: 46,
+            rule: "no-panic",
+            needle: ".expect(".to_string(),
+            excerpt: "self.inner.read().expect(\"param lock poisoned\")".to_string(),
+        };
+        let other = Finding {
+            file: "crates/core/src/trainer.rs".to_string(),
+            ..vetted.clone()
+        };
+        assert!(allow.allows(&vetted));
+        assert!(!allow.allows(&other));
+        assert!(allow.unused(&[vetted]).is_empty());
+        assert_eq!(allow.unused(&[]).len(), 1);
+    }
+}

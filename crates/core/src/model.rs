@@ -61,6 +61,14 @@ impl CdclModel {
         &self.backbone
     }
 
+    /// Every parameter the CDCL freezing contract requires non-trainable:
+    /// the `(K_i, b_i)` projections of all retired tasks in every attention
+    /// layer. The trainer hands this set to the graph verifier, which fails
+    /// if any of them is trainable or accumulated gradient.
+    pub fn expected_frozen_params(&self) -> Vec<Param> {
+        self.backbone.frozen_params()
+    }
+
     /// Pooled features `a(x)` via the self path using `task`'s keys.
     pub fn features_self(&self, g: &mut Graph, x: Var, task: usize) -> Var {
         self.backbone.features_self(g, x, task)
@@ -172,5 +180,21 @@ mod tests {
         m.add_task(&mut rng, 2);
         let frozen = m.params().iter().filter(|p| !p.trainable()).count();
         assert!(frozen > 0, "task-0 keys must be frozen");
+        // The verifier's expected-frozen set must be exactly the
+        // non-trainable params: nothing frozen that should train, nothing
+        // trainable that should be frozen.
+        let expected = m.expected_frozen_params();
+        assert_eq!(expected.len(), frozen);
+        assert!(expected.iter().all(|p| !p.trainable()));
+        assert!(expected
+            .iter()
+            .all(|p| p.name().contains("key0") || p.name().contains("bias0")));
+    }
+
+    #[test]
+    fn expected_frozen_params_empty_with_single_task() {
+        let (mut rng, mut m) = model();
+        m.add_task(&mut rng, 2);
+        assert!(m.expected_frozen_params().is_empty());
     }
 }

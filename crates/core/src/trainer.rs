@@ -42,6 +42,9 @@ pub struct CdclTrainer {
     /// Pairs built during the last adaptation epoch (reused for memory
     /// candidate selection at task end).
     last_pairs: Vec<Pair>,
+    /// Whether the current task's first training graph has already been
+    /// through the full verifier (reset by `learn_task`).
+    graph_verified: bool,
 }
 
 impl CdclTrainer {
@@ -58,6 +61,7 @@ impl CdclTrainer {
             rng,
             replay_cursor: 0,
             last_pairs: Vec::new(),
+            graph_verified: false,
         }
     }
 
@@ -288,6 +292,37 @@ impl CdclTrainer {
         Some(g.add(partial, l_z))
     }
 
+    /// Runs the full graph verifier (shape inference + gradient-flow audit,
+    /// DESIGN.md §9) once per task, on the first training graph built after
+    /// `add_task`. Called right after `backward`, so the frozen-zero-grad
+    /// audit sees exactly what this step accumulated. The verifier is
+    /// read-only, so training stays bitwise identical with it compiled in.
+    fn verify_first_graph(&mut self, g: &Graph, loss: Var, task: usize, epoch: usize) {
+        if self.graph_verified {
+            return;
+        }
+        self.graph_verified = true;
+        let _s = telemetry::span("graph_check").task(task).epoch(epoch);
+        let frozen = self.model.expected_frozen_params();
+        match g.verify(loss, &frozen) {
+            Ok(report) => {
+                if telemetry::enabled() {
+                    telemetry::Event::new("graph_report")
+                        .task(task)
+                        .u64_field("graph_nodes", report.nodes as u64)
+                        .u64_field("graph_param_leaves", report.param_leaves as u64)
+                        .u64_field("graph_frozen_verified", report.frozen_verified as u64)
+                        .u64_field("graph_dead_nodes", report.dead_nodes.len() as u64)
+                        .emit();
+                }
+            }
+            // lint-allow: verifier escalation — a violated shape or freezing
+            // contract is a programming bug and must fail fast (see
+            // lint-allow.txt).
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// One warm-up step: source-only supervised training of both heads.
     fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32, epoch: usize, step: usize) {
         let t = task.task_id;
@@ -318,6 +353,7 @@ impl CdclTrainer {
         let Some(loss) = loss else { return };
         self.optimizer.zero_grad();
         g.backward(loss);
+        self.verify_first_graph(&g, loss, t, epoch);
         if telemetry::enabled() {
             let lv = f64::from(g.value(loss).item());
             telemetry::Event::new("scalar")
@@ -422,6 +458,7 @@ impl CdclTrainer {
         let Some(loss) = loss else { return };
         self.optimizer.zero_grad();
         g.backward(loss);
+        self.verify_first_graph(&g, loss, t, epoch);
         if telemetry::enabled() {
             let scalar = |name: &str, v: f64| {
                 telemetry::Event::new("scalar")
@@ -598,6 +635,9 @@ impl ContinualLearner for CdclTrainer {
         self.model.add_task(&mut self.rng, task.num_classes());
         self.optimizer.rebind(self.model.params());
         self.last_pairs.clear();
+        // Re-verify on the new task's first graph: add_task changed the
+        // frozen set and the head shapes.
+        self.graph_verified = false;
         let counters_before = telemetry::enabled().then(kernels::counter_snapshot);
 
         let schedule = WarmupCosine {

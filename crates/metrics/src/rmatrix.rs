@@ -52,7 +52,8 @@ impl RMatrix {
 
     /// Average accuracy over the final row (paper Eq. 33), in `[0, 1]`.
     pub fn acc(&self) -> f64 {
-        let last = self.rows.last().expect("ACC of an empty R matrix");
+        assert!(!self.rows.is_empty(), "ACC of an empty R matrix");
+        let last = &self.rows[self.rows.len() - 1];
         last.iter().sum::<f64>() / last.len() as f64
     }
 

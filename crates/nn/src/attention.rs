@@ -125,6 +125,23 @@ impl TaskKeyBank {
         g.transpose_last2(b) // [b, 1, n]
     }
 
+    /// Parameters of every *retired* task slot — all `(K_i, b_i)` pairs
+    /// except the newest one. These are exactly the projections
+    /// [`TaskKeyBank::add_task`] freezes, so the graph verifier can demand
+    /// they stay non-trainable with zero gradient. Empty in `Simple` mode
+    /// (its single shared pair is never frozen).
+    pub fn frozen_params(&self) -> Vec<Param> {
+        if self.mode == AttentionMode::Simple || self.keys.len() < 2 {
+            return Vec::new();
+        }
+        let retired = self.keys.len() - 1;
+        self.keys[..retired]
+            .iter()
+            .chain(self.biases[..retired].iter())
+            .flat_map(Module::params)
+            .collect()
+    }
+
     /// Whether the `(K_i, b_i)` pair of `task` is currently trainable.
     pub fn task_trainable(&self, task: usize) -> bool {
         self.keys[self.slot(task)]
@@ -184,6 +201,12 @@ impl InterIntraAttention {
     /// Access to the task bank (for freezing checks in tests).
     pub fn bank(&self) -> &TaskKeyBank {
         &self.bank
+    }
+
+    /// Retired-task `(K_i, b_i)` parameters (see
+    /// [`TaskKeyBank::frozen_params`]).
+    pub fn frozen_params(&self) -> Vec<Param> {
+        self.bank.frozen_params()
     }
 
     /// Adds a task slot (freezing previous ones).

@@ -155,6 +155,12 @@ impl Backbone {
         self.encoder.add_task(rng);
     }
 
+    /// Every retired-task `(K_i, b_i)` parameter across all encoder layers —
+    /// the set the graph verifier requires frozen with zero gradient.
+    pub fn frozen_params(&self) -> Vec<Param> {
+        self.encoder.frozen_params()
+    }
+
     /// Number of task slots (1 in simple-attention mode regardless of how
     /// many tasks were added).
     pub fn num_task_slots(&self) -> usize {

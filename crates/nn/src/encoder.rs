@@ -70,6 +70,11 @@ impl EncoderLayer {
         &self.attn
     }
 
+    /// Retired-task `(K_i, b_i)` parameters of this layer's bank.
+    pub fn frozen_params(&self) -> Vec<Param> {
+        self.attn.frozen_params()
+    }
+
     /// Instantiates a new task's key/bias projections, freezing old ones.
     pub fn add_task<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.attn.add_task(rng);
@@ -145,6 +150,14 @@ impl Encoder {
         for l in &mut self.layers {
             l.add_task(rng);
         }
+    }
+
+    /// Retired-task `(K_i, b_i)` parameters across every layer.
+    pub fn frozen_params(&self) -> Vec<Param> {
+        self.layers
+            .iter()
+            .flat_map(EncoderLayer::frozen_params)
+            .collect()
     }
 
     /// Self path: a single stream through every layer.

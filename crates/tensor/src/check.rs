@@ -1,0 +1,435 @@
+//! Pure shape inference and uniform shape-error reporting.
+//!
+//! Every shape rule a kernel enforces at dispatch time lives here as a pure
+//! function over shapes, returning [`ShapeError`] instead of panicking. The
+//! kernels themselves call [`enforce_shape`] on the inferred result, so a
+//! runtime violation and a pre-execution report from the graph verifier in
+//! `cdcl-autograd` print the *same* message for the same bug — one
+//! formatting path, two entry points (DESIGN.md §9).
+
+use std::fmt;
+
+use crate::shape::Shape;
+use crate::{Conv2dSpec, Pool2dSpec};
+
+/// A shape violation detected either at kernel dispatch time or by the
+/// pre-execution graph verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation whose shape rule was violated (`"matmul"`, `"conv2d"`…).
+    pub op: &'static str,
+    /// Human-readable description of the violation, including the offending
+    /// shapes.
+    pub detail: String,
+}
+
+impl ShapeError {
+    /// Builds an error for `op` with a formatted detail line.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Unwraps an inference result, panicking with the uniform [`ShapeError`]
+/// formatting. This is the single escalation point for shape violations in
+/// the tensor layer: shape errors in a training loop are programming bugs,
+/// not recoverable conditions (crate-level docs).
+pub fn enforce_shape(r: Result<Shape, ShapeError>) -> Shape {
+    match r {
+        Ok(s) => s,
+        // lint-allow: the one sanctioned shape-violation panic (see
+        // lint-allow.txt).
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Broadcast result of two operand shapes (NumPy rule: align trailing
+/// dimensions; each pair must be equal or one of them 1).
+pub fn try_broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Shape, ShapeError> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for (i, o) in out.iter_mut().enumerate() {
+        let da = dim_from_end(a, ndim - 1 - i);
+        let db = dim_from_end(b, ndim - 1 - i);
+        *o = match (da, db) {
+            (x, y) if x == y => x,
+            (1, y) => y,
+            (x, 1) => x,
+            _ => {
+                return Err(ShapeError::new(
+                    "broadcast",
+                    format!("cannot broadcast shapes {a:?} and {b:?}"),
+                ))
+            }
+        };
+    }
+    Ok(out)
+}
+
+fn dim_from_end(shape: &[usize], from_end: usize) -> usize {
+    if from_end < shape.len() {
+        shape[shape.len() - 1 - from_end]
+    } else {
+        1
+    }
+}
+
+/// `a @ b` for the supported rank combinations `(2,2)`, `(3,3)`, `(3,2)`.
+pub fn infer_matmul(a: &[usize], b: &[usize]) -> Result<Shape, ShapeError> {
+    match (a.len(), b.len()) {
+        (2, 2) => {
+            inner_dims("matmul", a, b, a[1], b[0])?;
+            Ok(vec![a[0], b[1]])
+        }
+        (3, 3) => {
+            batch_dims("matmul", a, b)?;
+            inner_dims("matmul", a, b, a[2], b[1])?;
+            Ok(vec![a[0], a[1], b[2]])
+        }
+        (3, 2) => {
+            inner_dims("matmul", a, b, a[2], b[0])?;
+            Ok(vec![a[0], a[1], b[1]])
+        }
+        (ra, rb) => Err(ShapeError::new(
+            "matmul",
+            format!("unsupported matmul ranks: {ra} x {rb}"),
+        )),
+    }
+}
+
+/// Fused `a · bᵀ` for the rank combinations `(2,2)`, `(3,3)`, `(3,2)`.
+pub fn infer_matmul_nt(a: &[usize], b: &[usize]) -> Result<Shape, ShapeError> {
+    match (a.len(), b.len()) {
+        (2, 2) => {
+            inner_dims("matmul_nt", a, b, a[1], b[1])?;
+            Ok(vec![a[0], b[0]])
+        }
+        (3, 3) => {
+            batch_dims("matmul_nt", a, b)?;
+            inner_dims("matmul_nt", a, b, a[2], b[2])?;
+            Ok(vec![a[0], a[1], b[1]])
+        }
+        (3, 2) => {
+            inner_dims("matmul_nt", a, b, a[2], b[1])?;
+            Ok(vec![a[0], a[1], b[0]])
+        }
+        (ra, rb) => Err(ShapeError::new(
+            "matmul_nt",
+            format!("unsupported matmul_nt ranks: {ra} x {rb}"),
+        )),
+    }
+}
+
+/// Fused `aᵀ · b` for the rank combinations `(2,2)`, `(3,3)`.
+pub fn infer_matmul_tn(a: &[usize], b: &[usize]) -> Result<Shape, ShapeError> {
+    match (a.len(), b.len()) {
+        (2, 2) => {
+            inner_dims("matmul_tn", a, b, a[0], b[0])?;
+            Ok(vec![a[1], b[1]])
+        }
+        (3, 3) => {
+            batch_dims("matmul_tn", a, b)?;
+            inner_dims("matmul_tn", a, b, a[1], b[1])?;
+            Ok(vec![a[0], a[2], b[2]])
+        }
+        (ra, rb) => Err(ShapeError::new(
+            "matmul_tn",
+            format!("unsupported matmul_tn ranks: {ra} x {rb}"),
+        )),
+    }
+}
+
+fn inner_dims(
+    op: &'static str,
+    a: &[usize],
+    b: &[usize],
+    k: usize,
+    k2: usize,
+) -> Result<(), ShapeError> {
+    if k == k2 {
+        Ok(())
+    } else {
+        Err(ShapeError::new(
+            op,
+            format!("inner dims: {k} vs {k2} (lhs {a:?}, rhs {b:?})"),
+        ))
+    }
+}
+
+fn batch_dims(op: &'static str, a: &[usize], b: &[usize]) -> Result<(), ShapeError> {
+    if a[0] == b[0] {
+        Ok(())
+    } else {
+        Err(ShapeError::new(
+            op,
+            format!("batch dims: {} vs {} (lhs {a:?}, rhs {b:?})", a[0], b[0]),
+        ))
+    }
+}
+
+/// Output spatial size of a convolution over an `(h, w)` input.
+pub fn try_conv_out_hw(
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+) -> Result<(usize, usize), ShapeError> {
+    let (ph, pw) = (h + 2 * spec.padding, w + 2 * spec.padding);
+    if ph < spec.kernel || pw < spec.kernel {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("kernel {} larger than padded input {ph}x{pw}", spec.kernel),
+        ));
+    }
+    Ok((
+        (ph - spec.kernel) / spec.stride + 1,
+        (pw - spec.kernel) / spec.stride + 1,
+    ))
+}
+
+/// Output spatial size of a max-pool over an `(h, w)` input.
+pub fn try_pool_out_hw(
+    spec: &Pool2dSpec,
+    h: usize,
+    w: usize,
+) -> Result<(usize, usize), ShapeError> {
+    if h < spec.kernel || w < spec.kernel {
+        return Err(ShapeError::new(
+            "maxpool2d",
+            format!("pool kernel {} larger than input {h}x{w}", spec.kernel),
+        ));
+    }
+    Ok((
+        (h - spec.kernel) / spec.stride + 1,
+        (w - spec.kernel) / spec.stride + 1,
+    ))
+}
+
+/// `conv2d(x, w, bias)`: `x: [b,ci,h,w]`, `w: [co,ci,k,k]`, `bias: [co]`.
+pub fn infer_conv2d(
+    x: &[usize],
+    w: &[usize],
+    bias: Option<&[usize]>,
+    spec: &Conv2dSpec,
+) -> Result<Shape, ShapeError> {
+    if x.len() != 4 {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("expects NCHW input, got {x:?}"),
+        ));
+    }
+    if w.len() != 4 {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!("weight must be [co,ci,k,k], got {w:?}"),
+        ));
+    }
+    let (c_out, c_in, kh, kw) = (w[0], w[1], w[2], w[3]);
+    if kh != spec.kernel || kw != spec.kernel {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!(
+                "weight kernel mismatch: weight {w:?} vs spec kernel {}",
+                spec.kernel
+            ),
+        ));
+    }
+    if c_in != x[1] {
+        return Err(ShapeError::new(
+            "conv2d",
+            format!(
+                "channel mismatch: weight expects {c_in}, input has {}",
+                x[1]
+            ),
+        ));
+    }
+    if let Some(bias) = bias {
+        if bias != [c_out] {
+            return Err(ShapeError::new(
+                "conv2d",
+                format!("bias must be [c_out] = [{c_out}], got {bias:?}"),
+            ));
+        }
+    }
+    let (oh, ow) = try_conv_out_hw(spec, x[2], x[3])?;
+    Ok(vec![x[0], c_out, oh, ow])
+}
+
+/// `maxpool2d(x)`: `x: [b,c,h,w]`.
+pub fn infer_maxpool2d(x: &[usize], spec: &Pool2dSpec) -> Result<Shape, ShapeError> {
+    if x.len() != 4 {
+        return Err(ShapeError::new(
+            "maxpool2d",
+            format!("expects NCHW input, got {x:?}"),
+        ));
+    }
+    let (oh, ow) = try_pool_out_hw(spec, x[2], x[3])?;
+    Ok(vec![x[0], x[1], oh, ow])
+}
+
+/// Concatenation along dimension 0: trailing dimensions must agree.
+pub fn infer_concat0(parts: &[&[usize]]) -> Result<Shape, ShapeError> {
+    let Some(first) = parts.first() else {
+        return Err(ShapeError::new("concat0", "concat0 of zero tensors"));
+    };
+    if first.is_empty() {
+        return Err(ShapeError::new("concat0", "concat0 of scalars"));
+    }
+    let tail = &first[1..];
+    let mut rows = 0;
+    for p in parts {
+        if p.is_empty() || &p[1..] != tail {
+            return Err(ShapeError::new(
+                "concat0",
+                format!("trailing shape mismatch: {p:?} vs [_, {tail:?}]"),
+            ));
+        }
+        rows += p[0];
+    }
+    let mut out = vec![rows];
+    out.extend_from_slice(tail);
+    Ok(out)
+}
+
+/// Swap of the last two axes; requires rank >= 2.
+pub fn infer_transpose_last2(a: &[usize]) -> Result<Shape, ShapeError> {
+    if a.len() < 2 {
+        return Err(ShapeError::new(
+            "transpose_last2",
+            format!("needs rank >= 2, got {a:?}"),
+        ));
+    }
+    let mut out = a.to_vec();
+    let n = out.len();
+    out.swap(n - 2, n - 1);
+    Ok(out)
+}
+
+/// Reshape to `new`: element counts must match.
+pub fn infer_reshape(a: &[usize], new: &[usize]) -> Result<Shape, ShapeError> {
+    if crate::num_elements(a) != crate::num_elements(new) {
+        return Err(ShapeError::new(
+            "reshape",
+            format!("{a:?} -> {new:?} changes element count"),
+        ));
+    }
+    Ok(new.to_vec())
+}
+
+/// Shape-preserving op over the last axis (softmax family); requires
+/// rank >= 1.
+pub fn infer_last_axis_map(op: &'static str, a: &[usize]) -> Result<Shape, ShapeError> {
+    if a.is_empty() {
+        return Err(ShapeError::new(op, "last-axis op on a scalar"));
+    }
+    Ok(a.to_vec())
+}
+
+/// Sum over the last axis (axis dropped); requires rank >= 1.
+pub fn infer_sum_last(a: &[usize]) -> Result<Shape, ShapeError> {
+    if a.is_empty() {
+        return Err(ShapeError::new(
+            "sum_last",
+            "last-axis reduction on a scalar",
+        ));
+    }
+    Ok(a[..a.len() - 1].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_inference_matches_rank_rules() {
+        assert_eq!(infer_matmul(&[2, 3], &[3, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(infer_matmul(&[5, 2, 3], &[5, 3, 4]).unwrap(), vec![5, 2, 4]);
+        assert_eq!(infer_matmul(&[5, 2, 3], &[3, 4]).unwrap(), vec![5, 2, 4]);
+        let e = infer_matmul(&[2, 3], &[4, 2]).unwrap_err();
+        assert!(e.to_string().contains("inner dims"), "{e}");
+        let e = infer_matmul(&[2], &[2, 2]).unwrap_err();
+        assert!(e.to_string().contains("unsupported"), "{e}");
+    }
+
+    #[test]
+    fn matmul_nt_tn_inference() {
+        assert_eq!(infer_matmul_nt(&[2, 3], &[4, 3]).unwrap(), vec![2, 4]);
+        assert_eq!(
+            infer_matmul_nt(&[5, 2, 3], &[5, 4, 3]).unwrap(),
+            vec![5, 2, 4]
+        );
+        assert_eq!(infer_matmul_nt(&[5, 2, 3], &[4, 3]).unwrap(), vec![5, 2, 4]);
+        assert_eq!(infer_matmul_tn(&[3, 2], &[3, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(
+            infer_matmul_tn(&[5, 3, 2], &[5, 3, 4]).unwrap(),
+            vec![5, 2, 4]
+        );
+        assert!(infer_matmul_tn(&[5, 3, 2], &[3, 4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_inference_matches_panicking_api() {
+        assert_eq!(
+            try_broadcast_shapes(&[2, 1, 4], &[3, 1]).unwrap(),
+            vec![2, 3, 4]
+        );
+        let e = try_broadcast_shapes(&[2, 3], &[4, 3]).unwrap_err();
+        assert!(e.to_string().contains("cannot broadcast"), "{e}");
+    }
+
+    #[test]
+    fn conv_and_pool_inference() {
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(
+            infer_conv2d(&[2, 3, 8, 8], &[4, 3, 3, 3], Some(&[4]), &spec).unwrap(),
+            vec![2, 4, 8, 8]
+        );
+        let e = infer_conv2d(&[1, 2, 4, 4], &[1, 3, 3, 3], None, &spec).unwrap_err();
+        assert!(e.to_string().contains("channel mismatch"), "{e}");
+        let pool = Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        };
+        assert_eq!(
+            infer_maxpool2d(&[1, 4, 8, 8], &pool).unwrap(),
+            vec![1, 4, 4, 4]
+        );
+        assert!(infer_maxpool2d(&[1, 4, 1, 1], &pool).is_err());
+    }
+
+    #[test]
+    fn structural_inference() {
+        assert_eq!(infer_concat0(&[&[2, 3], &[4, 3]]).unwrap(), vec![6, 3]);
+        assert!(infer_concat0(&[&[2, 3], &[4, 5]]).is_err());
+        assert_eq!(infer_transpose_last2(&[2, 3, 4]).unwrap(), vec![2, 4, 3]);
+        assert!(infer_transpose_last2(&[4]).is_err());
+        assert_eq!(infer_reshape(&[2, 6], &[3, 4]).unwrap(), vec![3, 4]);
+        assert!(infer_reshape(&[2, 6], &[5]).is_err());
+        assert_eq!(infer_sum_last(&[2, 3]).unwrap(), vec![2]);
+        assert!(infer_sum_last(&[]).is_err());
+        assert_eq!(
+            infer_last_axis_map("softmax_last", &[2, 3]).unwrap(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn enforce_shape_panics_with_uniform_message() {
+        enforce_shape(infer_matmul(&[2, 3], &[4, 2]));
+    }
+}

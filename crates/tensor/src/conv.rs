@@ -193,21 +193,16 @@ impl Tensor {
         bias: Option<&Tensor>,
         spec: Conv2dSpec,
     ) -> (Tensor, Im2col) {
-        assert_eq!(weight.ndim(), 4, "conv2d weight must be [co,ci,k,k]");
-        let (c_out, c_in, kh, kw) = (
-            weight.shape()[0],
-            weight.shape()[1],
-            weight.shape()[2],
-            weight.shape()[3],
-        );
-        assert_eq!(kh, spec.kernel, "weight kernel mismatch");
-        assert_eq!(kw, spec.kernel, "weight kernel mismatch");
-        assert_eq!(
-            c_in,
-            self.shape()[1],
-            "conv2d channel mismatch: weight expects {c_in}, input has {}",
-            self.shape()[1]
-        );
+        // Ranks, kernel/channel agreement, and the bias shape all validated
+        // through the shared inference rules (crate::check), so a runtime
+        // violation prints exactly what the graph verifier would.
+        crate::check::enforce_shape(crate::check::infer_conv2d(
+            self.shape(),
+            weight.shape(),
+            bias.map(Tensor::shape),
+            &spec,
+        ));
+        let (c_out, c_in) = (weight.shape()[0], weight.shape()[1]);
         let info = im2col(self, spec);
         let (oh, ow) = info.out_hw;
         let b = info.batch;
@@ -228,7 +223,6 @@ impl Tensor {
         );
         let mut out = out.reshape(&[b, c_out, oh, ow]);
         if let Some(bias) = bias {
-            assert_eq!(bias.shape(), &[c_out], "conv2d bias must be [c_out]");
             let bd = bias.data();
             let od = out.data_mut();
             for bi in 0..b {
@@ -245,7 +239,7 @@ impl Tensor {
 
     /// Max pooling over `self: [b, c, h, w]`.
     pub fn maxpool2d(&self, spec: Pool2dSpec) -> MaxPoolResult {
-        assert_eq!(self.ndim(), 4, "maxpool2d expects NCHW");
+        crate::check::enforce_shape(crate::check::infer_maxpool2d(self.shape(), &spec));
         let (b, c, h, w) = (
             self.shape()[0],
             self.shape()[1],

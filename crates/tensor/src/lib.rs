@@ -41,6 +41,7 @@
 //! assert!((s.data()[0] + s.data()[1] - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod check;
 mod conv;
 pub mod kernels;
 mod matmul;
@@ -48,6 +49,7 @@ mod reduce;
 mod shape;
 mod tensor;
 
+pub use check::ShapeError;
 pub use conv::{col2im, im2col, Conv2dSpec, Im2col, MaxPoolResult, Pool2dSpec};
 pub use shape::{broadcast_shapes, num_elements, strides_for, Shape};
 pub use tensor::Tensor;

@@ -3,6 +3,7 @@
 //! transpose-aware fused forms `A·Bᵀ` / `Aᵀ·B` that read the transposed
 //! operand in place. All of them dispatch to [`crate::kernels`].
 
+use crate::check::{enforce_shape, infer_matmul, infer_matmul_nt, infer_matmul_tn};
 use crate::kernels;
 use crate::Tensor;
 
@@ -16,34 +17,33 @@ impl Tensor {
     ///
     /// Panics on inner-dimension mismatch or unsupported ranks.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        // Ranks and dimensions validated through the shared inference rules,
+        // so runtime violations print exactly what the graph verifier would.
+        let out_shape = enforce_shape(infer_matmul(self.shape(), rhs.shape()));
         match (self.ndim(), rhs.ndim()) {
             (2, 2) => {
                 let (m, k) = (self.shape()[0], self.shape()[1]);
-                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let n = rhs.shape()[1];
                 let mut out = vec![0.0; m * n];
                 kernels::gemm_nn(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &[m, n])
+                Tensor::from_vec(out, &out_shape)
             }
             (3, 3) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-                let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
-                assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
-                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let n = rhs.shape()[2];
                 let mut out = vec![0.0; b * m * n];
                 kernels::gemm_nn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &[b, m, n])
+                Tensor::from_vec(out, &out_shape)
             }
             (3, 2) => {
                 // Shared right operand: flatten batch into rows.
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let n = rhs.shape()[1];
                 let mut out = vec![0.0; b * m * n];
                 kernels::gemm_nn(&mut out, self.data(), rhs.data(), b * m, k, n);
-                Tensor::from_vec(out, &[b, m, n])
+                Tensor::from_vec(out, &out_shape)
             }
-            (a, b) => panic!("unsupported matmul ranks: {a} x {b}"),
+            _ => unreachable!("ranks validated by shape inference"),
         }
     }
 
@@ -54,33 +54,30 @@ impl Tensor {
     /// * `[b,m,k] × [b,n,k] -> [b,m,n]` (attention scores `Q·Kᵀ`)
     /// * `[b,m,k] × [n,k] -> [b,m,n]` (shared right operand)
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let out_shape = enforce_shape(infer_matmul_nt(self.shape(), rhs.shape()));
         match (self.ndim(), rhs.ndim()) {
             (2, 2) => {
                 let (m, k) = (self.shape()[0], self.shape()[1]);
-                let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
-                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let n = rhs.shape()[0];
                 let mut out = vec![0.0; m * n];
                 kernels::gemm_nt(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &[m, n])
+                Tensor::from_vec(out, &out_shape)
             }
             (3, 3) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-                let (b2, n, k2) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
-                assert_eq!(b, b2, "matmul_nt batch dims: {b} vs {b2}");
-                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let n = rhs.shape()[1];
                 let mut out = vec![0.0; b * m * n];
                 kernels::gemm_nt_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &[b, m, n])
+                Tensor::from_vec(out, &out_shape)
             }
             (3, 2) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-                let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
-                assert_eq!(k, k2, "matmul_nt inner dims: {k} vs {k2}");
+                let n = rhs.shape()[0];
                 let mut out = vec![0.0; b * m * n];
                 kernels::gemm_nt(&mut out, self.data(), rhs.data(), b * m, k, n);
-                Tensor::from_vec(out, &[b, m, n])
+                Tensor::from_vec(out, &out_shape)
             }
-            (a, b) => panic!("unsupported matmul_nt ranks: {a} x {b}"),
+            _ => unreachable!("ranks validated by shape inference"),
         }
     }
 
@@ -90,25 +87,23 @@ impl Tensor {
     /// * `[k,m] × [k,n] -> [m,n]` (weight gradients `xᵀ·g`)
     /// * `[b,k,m] × [b,k,n] -> [b,m,n]`
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let out_shape = enforce_shape(infer_matmul_tn(self.shape(), rhs.shape()));
         match (self.ndim(), rhs.ndim()) {
             (2, 2) => {
                 let (k, m) = (self.shape()[0], self.shape()[1]);
-                let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-                assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+                let n = rhs.shape()[1];
                 let mut out = vec![0.0; m * n];
                 kernels::gemm_tn(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &[m, n])
+                Tensor::from_vec(out, &out_shape)
             }
             (3, 3) => {
                 let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-                let (b2, k2, n) = (rhs.shape()[0], rhs.shape()[1], rhs.shape()[2]);
-                assert_eq!(b, b2, "matmul_tn batch dims: {b} vs {b2}");
-                assert_eq!(k, k2, "matmul_tn inner dims: {k} vs {k2}");
+                let n = rhs.shape()[2];
                 let mut out = vec![0.0; b * m * n];
                 kernels::gemm_tn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &[b, m, n])
+                Tensor::from_vec(out, &out_shape)
             }
-            (a, b) => panic!("unsupported matmul_tn ranks: {a} x {b}"),
+            _ => unreachable!("ranks validated by shape inference"),
         }
     }
 }

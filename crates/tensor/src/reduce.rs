@@ -8,7 +8,7 @@ impl Tensor {
     /// length and `rows` is everything else flattened.
     fn rows_cols(&self) -> (usize, usize) {
         assert!(self.ndim() >= 1, "last-axis reduction on a scalar");
-        let cols = *self.shape().last().expect("non-scalar");
+        let cols = self.shape()[self.ndim() - 1];
         let rows = self.len() / cols.max(1);
         (rows, cols)
     }

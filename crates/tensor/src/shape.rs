@@ -25,31 +25,10 @@ pub fn strides_for(shape: &[usize]) -> Vec<usize> {
 /// NumPy rule: align trailing dimensions; each pair must be equal or one of
 /// them must be 1.
 ///
-/// Panics with a descriptive message when the shapes are incompatible.
+/// Panics with a descriptive message when the shapes are incompatible; the
+/// non-panicking rule lives in [`crate::check::try_broadcast_shapes`].
 pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Shape {
-    let ndim = a.len().max(b.len());
-    let mut out = vec![0; ndim];
-    for (i, o) in out.iter_mut().enumerate() {
-        let da = dim_from_end(a, ndim - 1 - i);
-        let db = dim_from_end(b, ndim - 1 - i);
-        *o = match (da, db) {
-            (x, y) if x == y => x,
-            (1, y) => y,
-            (x, 1) => x,
-            _ => panic!("cannot broadcast shapes {a:?} and {b:?}"),
-        };
-    }
-    out
-}
-
-/// Dimension `k` positions from the end, treating missing leading dimensions
-/// as size 1 (the broadcasting convention).
-fn dim_from_end(shape: &[usize], from_end: usize) -> usize {
-    if from_end < shape.len() {
-        shape[shape.len() - 1 - from_end]
-    } else {
-        1
-    }
+    crate::check::enforce_shape(crate::check::try_broadcast_shapes(a, b))
 }
 
 /// Strides for iterating an operand of shape `shape` as if it had been

@@ -5,10 +5,14 @@
 //! tokenizer convs, attention GEMMs, autograd backward, optimizer updates,
 //! pseudo-labelling, and the chunked parallel evaluation loops.
 
+use cdcl::autograd::Graph;
 use cdcl::core::{CdclConfig, CdclTrainer, ContinualLearner};
 use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
 use cdcl::nn::Module;
 use cdcl::tensor::kernels;
+use cdcl::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Trains two tasks at the given thread count and returns the final
 /// parameter tensors plus both TIL accuracies.
@@ -32,6 +36,52 @@ fn train_at(threads: usize) -> (Vec<(String, Vec<f32>)>, f64, f64) {
         .collect();
     kernels::set_num_threads(0);
     (params, acc0, acc1)
+}
+
+/// The graph verifier is always compiled in: the trainer runs it once per
+/// task under the `graph_check` span, and debug builds re-check shapes on
+/// every backward. It is a pure observer, so a run that additionally
+/// records and verifies a fresh forward graph after every task must still
+/// produce bitwise-identical parameters and accuracies (DESIGN.md §9).
+#[test]
+fn extra_verifier_passes_leave_training_bitwise_unchanged() {
+    let (base_params, base_acc0, base_acc1) = train_at(1);
+
+    kernels::set_num_threads(1);
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    let mut rng = SmallRng::seed_from_u64(99);
+    for (t, task) in stream.tasks.iter().take(2).enumerate() {
+        trainer.learn_task(task);
+        // Record a forward graph through the just-learned task and verify
+        // it — no backward, so the pass is read-only by construction.
+        let model = trainer.model();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 1, 16, 16], 1.0));
+        let z = model.features_self(&mut g, x, t);
+        let til = model.til_logits(&mut g, z, t);
+        let lp = g.log_softmax_last(til);
+        let loss = g.nll_loss(lp, &[0, 1]);
+        g.verify(loss, &model.expected_frozen_params())
+            .unwrap_or_else(|e| panic!("mid-stream verify failed after task {t}: {e}"));
+    }
+    let acc0 = trainer.eval_til(0, &stream.tasks[0].target_test);
+    let acc1 = trainer.eval_til(1, &stream.tasks[1].target_test);
+    kernels::set_num_threads(0);
+
+    assert_eq!(acc0, base_acc0);
+    assert_eq!(acc1, base_acc1);
+    for ((name, value), p) in base_params.iter().zip(trainer.model().params()) {
+        assert_eq!(name, &p.name());
+        assert_eq!(
+            value,
+            p.value().data(),
+            "param {name} perturbed by verifier passes"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! End-to-end regression tests of the graph verifier (DESIGN.md §9) against
+//! a *trained* CDCL learner: after `grow_task`, a backward pass must leave
+//! every retired `(K_i, b_i)` with a bitwise-zero gradient, the verifier
+//! must confirm it, and flipping one retired key trainable must be caught
+//! with name + var provenance. Also pins the verifier's purity contract:
+//! running it must not perturb a single parameter or gradient byte.
+
+use cdcl::autograd::{CheckError, Graph, Param};
+use cdcl::core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl::data::{mnist_usps, MnistUspsDirection, Scale};
+use cdcl::nn::Module;
+use cdcl::tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Trains two smoke-scale tasks (the trainer itself runs the verifier once
+/// per task under the `graph_check` span) and returns the trainer.
+fn trained_two_tasks() -> CdclTrainer {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 2;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    for task in stream.tasks.iter().take(2) {
+        trainer.learn_task(task);
+    }
+    trainer
+}
+
+/// Records a training-shaped graph over both tasks' key slots so the frozen
+/// leaves are on the tape, runs backward, and returns `(graph, loss)`.
+fn backward_over_both_tasks(
+    trainer: &CdclTrainer,
+    rng: &mut SmallRng,
+) -> (Graph, cdcl::autograd::Var) {
+    let model = trainer.model();
+    for p in model.params() {
+        p.zero_grad();
+    }
+    let mut g = Graph::new();
+    let x = g.input(Tensor::randn(rng, &[2, 1, 16, 16], 1.0));
+    let labels = [0usize, 1];
+    let z1 = model.features_self(&mut g, x, 1);
+    let til1 = model.til_logits(&mut g, z1, 1);
+    let lp1 = g.log_softmax_last(til1);
+    let l1 = g.nll_loss(lp1, &labels);
+    let z0 = model.features_self(&mut g, x, 0);
+    let til0 = model.til_logits(&mut g, z0, 0);
+    let lp0 = g.log_softmax_last(til0);
+    let l0 = g.nll_loss(lp0, &labels);
+    let loss = g.add(l1, l0);
+    g.backward(loss);
+    (g, loss)
+}
+
+#[test]
+fn frozen_task_keys_get_zero_grad_after_growth_and_verifier_confirms() {
+    let trainer = trained_two_tasks();
+    let frozen = trainer.model().expected_frozen_params();
+    assert!(
+        !frozen.is_empty(),
+        "two grown tasks must retire at least one (K_i, b_i) pair"
+    );
+    for p in &frozen {
+        assert!(!p.trainable(), "{} should be frozen after growth", p.name());
+    }
+
+    let mut rng = SmallRng::seed_from_u64(11);
+    let (g, loss) = backward_over_both_tasks(&trainer, &mut rng);
+    for p in &frozen {
+        assert_eq!(
+            p.grad_norm_sq(),
+            0.0,
+            "frozen {} accumulated gradient through backward",
+            p.name()
+        );
+    }
+    let report = g
+        .verify(loss, &frozen)
+        .unwrap_or_else(|e| panic!("verifier rejected a healthy trained graph: {e}"));
+    assert_eq!(report.frozen_verified, frozen.len());
+    assert!(report.param_leaves >= frozen.len());
+}
+
+#[test]
+fn deliberately_unfrozen_old_key_is_caught_with_provenance() {
+    let trainer = trained_two_tasks();
+    let frozen = trainer.model().expected_frozen_params();
+    let victim: &Param = &frozen[0];
+    victim.set_trainable(true);
+
+    let mut rng = SmallRng::seed_from_u64(12);
+    let (g, loss) = backward_over_both_tasks(&trainer, &mut rng);
+    let err = g
+        .verify(loss, &frozen)
+        .expect_err("verifier must reject a trainable retired key");
+    match &err {
+        CheckError::FrozenParamTrainable { name, var } => {
+            assert_eq!(name, &victim.name());
+            assert!(
+                var.is_some(),
+                "retired key is on the tape, so provenance must name its var"
+            );
+        }
+        other => panic!("expected FrozenParamTrainable, got {other}"),
+    }
+    assert!(
+        err.to_string().contains(&victim.name()),
+        "message must carry the offending param's name: {err}"
+    );
+    victim.set_trainable(false);
+}
+
+#[test]
+fn verifier_is_pure_params_and_grads_bitwise_unchanged() {
+    let trainer = trained_two_tasks();
+    let mut rng = SmallRng::seed_from_u64(13);
+    let (g, loss) = backward_over_both_tasks(&trainer, &mut rng);
+
+    let snapshot: Vec<(String, Vec<f32>, Vec<f32>)> = trainer
+        .model()
+        .params()
+        .into_iter()
+        .map(|p| {
+            (
+                p.name(),
+                p.value().data().to_vec(),
+                p.grad().data().to_vec(),
+            )
+        })
+        .collect();
+
+    let frozen = trainer.model().expected_frozen_params();
+    g.verify(loss, &frozen)
+        .unwrap_or_else(|e| panic!("verifier rejected a healthy trained graph: {e}"));
+
+    for (p, (name, value, grad)) in trainer.model().params().into_iter().zip(&snapshot) {
+        assert_eq!(&p.name(), name);
+        assert_eq!(
+            p.value().data(),
+            &value[..],
+            "verify mutated value of {name}"
+        );
+        assert_eq!(p.grad().data(), &grad[..], "verify mutated grad of {name}");
+    }
+}
