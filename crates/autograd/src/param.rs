@@ -87,6 +87,23 @@ impl Param {
         inner.value = value;
     }
 
+    /// Fallible [`Param::set_value`] for checkpoint loaders: a shape
+    /// mismatch is reported instead of panicking, so a corrupt snapshot can
+    /// be rejected with a typed error.
+    pub fn try_set_value(&self, value: Tensor) -> Result<(), String> {
+        let mut inner = self.inner.write().expect("param lock poisoned");
+        if inner.value.shape() != value.shape() {
+            return Err(format!(
+                "shape mismatch on {}: have {:?}, snapshot has {:?}",
+                inner.name,
+                inner.value.shape(),
+                value.shape()
+            ));
+        }
+        inner.value = value;
+        Ok(())
+    }
+
     /// Per-parameter learning-rate multiplier (default 1). Freshly created
     /// task-specific projections use a boost so they can adapt within a
     /// small per-task epoch budget.

@@ -1,0 +1,310 @@
+//! `persistence-smoke`: proves the crash-safe checkpoint/resume contract
+//! end to end, across real process boundaries.
+//!
+//! The contract (DESIGN.md §10): training that is interrupted at a task
+//! boundary and resumed from the `CDCL_CKPT_DIR` checkpoint must finish
+//! **bitwise identical** — every parameter and every final R-matrix entry —
+//! to a run that was never interrupted.
+//!
+//! Three phases, so CI can genuinely kill the process between them:
+//!
+//! ```text
+//! persistence-smoke --ckpt-dir ckpts --phase interrupt   # task 0, then exit
+//! persistence-smoke --ckpt-dir ckpts --phase resume      # resume, task 1, diff
+//! persistence-smoke --ckpt-dir ckpts                     # both, in-process
+//! ```
+//!
+//! The `resume` phase re-trains the uninterrupted reference in-process
+//! (checkpointing disabled) and exits non-zero on the first mismatch.
+//! `--emit-requests <path>` additionally dumps JSONL prediction requests
+//! from the final task's test samples for piping into `cdcl-serve`.
+
+use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl_data::{mnist_usps, CrossDomainStream, MnistUspsDirection, Sample, Scale};
+use cdcl_nn::Module;
+use serde::Serialize;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Tasks trained by the smoke stream.
+const TASKS: usize = 2;
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Phase {
+    /// Train task 0 with checkpointing, then exit (the "crash").
+    Interrupt,
+    /// Resume from the task-0 checkpoint, train task 1, diff against an
+    /// uninterrupted in-process reference run.
+    Resume,
+    /// Both phases in one process (still crosses a trainer drop/rebuild).
+    Full,
+}
+
+struct Args {
+    ckpt_dir: PathBuf,
+    phase: Phase,
+    emit_requests: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ckpt_dir: PathBuf::new(),
+        phase: Phase::Full,
+        emit_requests: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ckpt-dir" => {
+                i += 1;
+                args.ckpt_dir = PathBuf::from(&argv[i]);
+            }
+            "--phase" => {
+                i += 1;
+                args.phase = match argv[i].as_str() {
+                    "interrupt" => Phase::Interrupt,
+                    "resume" => Phase::Resume,
+                    "full" => Phase::Full,
+                    other => panic!("unknown phase {other} (interrupt|resume|full)"),
+                };
+            }
+            "--emit-requests" => {
+                i += 1;
+                args.emit_requests = Some(PathBuf::from(&argv[i]));
+            }
+            other => panic!("unknown argument {other}; known: --ckpt-dir --phase --emit-requests"),
+        }
+        i += 1;
+    }
+    assert!(
+        !args.ckpt_dir.as_os_str().is_empty(),
+        "--ckpt-dir <dir> is required"
+    );
+    args
+}
+
+/// The fixed smoke workload — must match the determinism suite so the
+/// bitwise claim is checked against the same configuration CI trusts.
+fn smoke_stream() -> CrossDomainStream {
+    mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke)
+}
+
+fn smoke_config() -> CdclConfig {
+    let mut config = CdclConfig::smoke();
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+    config
+}
+
+/// Final parameter tensors plus the final R-matrix row (TIL accuracy on
+/// every seen task, and the CIL accuracies) of a trained learner.
+struct FinalState {
+    params: Vec<(String, Vec<f32>)>,
+    til_row: Vec<f64>,
+    cil_row: Vec<f64>,
+}
+
+fn final_state(trainer: &CdclTrainer, stream: &CrossDomainStream) -> FinalState {
+    let params = trainer
+        .model()
+        .params()
+        .into_iter()
+        .map(|p| (p.name(), p.value().data().to_vec()))
+        .collect();
+    let til_row = (0..TASKS)
+        .map(|t| trainer.eval_til(t, &stream.tasks[t].target_test))
+        .collect();
+    let cil_row = (0..TASKS)
+        .map(|t| trainer.eval_cil(t, &stream.tasks[t].target_test))
+        .collect();
+    FinalState {
+        params,
+        til_row,
+        cil_row,
+    }
+}
+
+/// Trains all `TASKS` tasks start-to-finish with checkpointing disabled —
+/// the uninterrupted reference.
+fn run_uninterrupted(stream: &CrossDomainStream) -> CdclTrainer {
+    std::env::remove_var("CDCL_CKPT_DIR");
+    let mut trainer = CdclTrainer::new(smoke_config());
+    for task in stream.tasks.iter().take(TASKS) {
+        trainer.learn_task(task);
+    }
+    trainer
+}
+
+/// Trains task 0 only, checkpointing into `ckpt_dir` (the trainer writes
+/// `task000.cdclsnap` atomically at the task boundary).
+fn run_interrupted(stream: &CrossDomainStream, ckpt_dir: &Path) {
+    std::fs::create_dir_all(ckpt_dir)
+        .unwrap_or_else(|e| panic!("create {}: {e}", ckpt_dir.display()));
+    std::env::set_var("CDCL_CKPT_DIR", ckpt_dir);
+    let mut trainer = CdclTrainer::new(smoke_config());
+    trainer.learn_task(&stream.tasks[0]);
+    // The trainer is dropped here without ever seeing task 1 — the process
+    // (or phase) ends, and only the durable checkpoint survives.
+}
+
+/// Resumes from the task-0 checkpoint and finishes training. Checkpointing
+/// stays enabled so the resumed run also writes `task001.cdclsnap` — the
+/// artifact `cdcl-serve` loads.
+fn run_resumed(stream: &CrossDomainStream, ckpt_dir: &Path) -> CdclTrainer {
+    std::env::set_var("CDCL_CKPT_DIR", ckpt_dir);
+    let ckpt = ckpt_dir.join("task000.cdclsnap");
+    let mut trainer = CdclTrainer::resume_from(&ckpt)
+        .unwrap_or_else(|e| panic!("resume from {}: {e}", ckpt.display()));
+    trainer.learn_task(&stream.tasks[1]);
+    trainer
+}
+
+/// Diffs the resumed run against the reference; returns mismatch count.
+fn diff(reference: &FinalState, resumed: &FinalState) -> usize {
+    let mut mismatches = 0;
+    if reference.params.len() != resumed.params.len() {
+        eprintln!(
+            "FAIL param count: reference {} vs resumed {}",
+            reference.params.len(),
+            resumed.params.len()
+        );
+        return 1;
+    }
+    for ((name_a, data_a), (name_b, data_b)) in reference.params.iter().zip(&resumed.params) {
+        if name_a != name_b {
+            eprintln!("FAIL param order: {name_a} vs {name_b}");
+            mismatches += 1;
+            continue;
+        }
+        if data_a != data_b {
+            let first = data_a
+                .iter()
+                .zip(data_b)
+                .position(|(a, b)| a.to_bits() != b.to_bits());
+            eprintln!("FAIL param {name_a}: first differing element at {first:?}");
+            mismatches += 1;
+        }
+    }
+    for t in 0..TASKS {
+        if reference.til_row[t].to_bits() != resumed.til_row[t].to_bits() {
+            eprintln!(
+                "FAIL R-matrix TIL[{t}]: reference {} vs resumed {}",
+                reference.til_row[t], resumed.til_row[t]
+            );
+            mismatches += 1;
+        }
+        if reference.cil_row[t].to_bits() != resumed.cil_row[t].to_bits() {
+            eprintln!(
+                "FAIL R-matrix CIL[{t}]: reference {} vs resumed {}",
+                reference.cil_row[t], resumed.cil_row[t]
+            );
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+#[derive(Serialize)]
+struct ServeRequest {
+    id: u64,
+    mode: String,
+    task: Option<usize>,
+    image: Vec<f32>,
+}
+
+/// Writes JSONL `cdcl-serve` requests built from the test samples: a TIL
+/// request per task plus CIL requests, blank-line separated into two
+/// micro-batches.
+fn emit_requests(path: &Path, stream: &CrossDomainStream) {
+    let per_task = 4usize;
+    let mut out = String::new();
+    let mut id = 0u64;
+    let push = |req: &ServeRequest, out: &mut String| {
+        out.push_str(&serde_json::to_string(req).expect("serialize request"));
+        out.push('\n');
+    };
+    for (t, task) in stream.tasks.iter().take(TASKS).enumerate() {
+        for sample in task.target_test.iter().take(per_task) {
+            id += 1;
+            push(
+                &ServeRequest {
+                    id,
+                    mode: "til".to_string(),
+                    task: Some(t),
+                    image: sample.image.data().to_vec(),
+                },
+                &mut out,
+            );
+        }
+    }
+    out.push('\n'); // flush boundary between the TIL and CIL micro-batches
+    let cil_samples: Vec<&Sample> = stream
+        .tasks
+        .iter()
+        .take(TASKS)
+        .flat_map(|t| t.target_test.iter().take(per_task))
+        .collect();
+    for sample in cil_samples {
+        id += 1;
+        push(
+            &ServeRequest {
+                id,
+                mode: "cil".to_string(),
+                task: None,
+                image: sample.image.data().to_vec(),
+            },
+            &mut out,
+        );
+    }
+    let mut file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    file.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!(
+        "persistence-smoke: {id} serve requests written to {}",
+        path.display()
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let stream = smoke_stream();
+
+    if args.phase == Phase::Interrupt {
+        run_interrupted(&stream, &args.ckpt_dir);
+        let ckpt = args.ckpt_dir.join("task000.cdclsnap");
+        assert!(ckpt.is_file(), "checkpoint {} missing", ckpt.display());
+        eprintln!(
+            "persistence-smoke: task 0 trained, checkpoint at {} — exiting before task 1",
+            ckpt.display()
+        );
+        return;
+    }
+
+    if args.phase == Phase::Full {
+        run_interrupted(&stream, &args.ckpt_dir);
+    }
+    let resumed = run_resumed(&stream, &args.ckpt_dir);
+    let resumed_state = final_state(&resumed, &stream);
+    drop(resumed);
+
+    let reference = run_uninterrupted(&stream);
+    let reference_state = final_state(&reference, &stream);
+
+    let mismatches = diff(&reference_state, &resumed_state);
+    if let Some(path) = &args.emit_requests {
+        emit_requests(path, &stream);
+    }
+    if mismatches > 0 {
+        eprintln!("persistence-smoke: FAILED with {mismatches} mismatch(es)");
+        std::process::exit(1);
+    }
+    println!(
+        "persistence-smoke: OK — interrupted+resumed run is bitwise-identical \
+         ({} params, TIL row {:?}, CIL row {:?})",
+        reference_state.params.len(),
+        reference_state.til_row,
+        reference_state.cil_row
+    );
+}

@@ -18,6 +18,8 @@
 //!   Office-31, Office-Home, VisDA-2017, DomainNet).
 //! * [`metrics`] — the R-matrix protocol: average accuracy and forgetting.
 //! * [`core`] — the CDCL learner itself (Algorithm 1).
+//! * [`snapshot`] — the versioned, CRC-checksummed persistence container
+//!   behind `CDCL_CKPT_DIR` checkpoints and `cdcl-serve`.
 //! * [`baselines`] — DER, DER++, HAL, MLS, CDTrans-S/B, and the TVT-style
 //!   static upper bound.
 //!
@@ -46,5 +48,6 @@ pub use cdcl_data as data;
 pub use cdcl_metrics as metrics;
 pub use cdcl_nn as nn;
 pub use cdcl_optim as optim;
+pub use cdcl_snapshot as snapshot;
 pub use cdcl_telemetry as telemetry;
 pub use cdcl_tensor as tensor;

@@ -16,7 +16,13 @@
 //!   order of the pool;
 //! * **phase-spans** — every trainer phase listed in DESIGN.md §8 must be
 //!   wrapped in a `telemetry::span("<name>")` somewhere in `crates/core/src`
-//!   so traced runs always observe the full Algorithm-1 breakdown.
+//!   so traced runs always observe the full Algorithm-1 breakdown;
+//! * **atomic-write** — inside `crates/snapshot`, every file write/rename
+//!   must go through the `atomic::atomic_write` helper (write temp, fsync,
+//!   then rename): a raw `File::create`/`fs::write`/`fs::rename` on a
+//!   final path can tear a checkpoint mid-crash, which is precisely what
+//!   the crate exists to prevent. Only `src/atomic.rs` itself may touch
+//!   the filesystem primitives.
 //!
 //! Before pattern matching, each file is *masked*: the contents of string
 //! literals, char literals, and comments are blanked out (newlines kept), so
@@ -33,7 +39,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The trainer phases DESIGN.md §8 requires a telemetry span for.
-pub const REQUIRED_SPANS: [&str; 11] = [
+pub const REQUIRED_SPANS: [&str; 12] = [
     "warmup",
     "adaptation",
     "centroid_fit",
@@ -45,6 +51,7 @@ pub const REQUIRED_SPANS: [&str; 11] = [
     "eval_til",
     "eval_cil",
     "graph_check",
+    "checkpoint",
 ];
 
 /// One rule violation at a specific line of a specific file.
@@ -55,7 +62,7 @@ pub struct Finding {
     /// 1-indexed line (0 for file/workspace-level findings).
     pub line: usize,
     /// Rule identifier (`no-panic`, `no-hashmap`, `no-raw-timing`,
-    /// `phase-spans`).
+    /// `phase-spans`, `atomic-write`).
     pub rule: &'static str,
     /// The pattern text that matched.
     pub needle: String,
@@ -334,6 +341,17 @@ fn raw_timing_exempt(rel_path: &str) -> bool {
     rel_path.starts_with("crates/telemetry/") || rel_path == "crates/tensor/src/kernels/pool.rs"
 }
 
+/// Filesystem primitives the atomic-write rule bans inside
+/// `crates/snapshot`: each can publish a torn file on a final path.
+const RAW_FS_NEEDLES: [&str; 4] = ["File::create", "fs::write", "fs::rename", "OpenOptions"];
+
+/// Whether the atomic-write rule applies to `rel_path`: all of
+/// `crates/snapshot/src` except the helper module that *implements*
+/// write-temp-then-rename.
+fn atomic_write_applies(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/snapshot/src/") && rel_path != "crates/snapshot/src/atomic.rs"
+}
+
 /// Scans one file's source, returning every rule violation outside
 /// `#[cfg(test)]` regions. `rel_path` is the workspace-relative path with
 /// forward slashes.
@@ -379,6 +397,13 @@ pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
             for needle in ["Instant::now", "thread::spawn"] {
                 if line.contains(needle) {
                     push("no-raw-timing", needle);
+                }
+            }
+        }
+        if atomic_write_applies(rel_path) {
+            for needle in RAW_FS_NEEDLES {
+                if line.contains(needle) {
+                    push("atomic-write", needle);
                 }
             }
         }
@@ -560,6 +585,30 @@ mod tests {
         // `FxHashMap` must not match `HashMap` (prev char is ident).
         let f = scan_file("crates/x/src/lib.rs", src);
         assert!(f.iter().all(|f| f.rule != "no-hashmap"), "{f:?}");
+    }
+
+    #[test]
+    fn atomic_write_rule_guards_the_snapshot_crate() {
+        let src = "let f = std::fs::File::create(path)?;\nfs::write(p, b)?;\nfs::rename(a, b)?;\nlet o = OpenOptions::new();\n";
+        // Inside crates/snapshot: every raw primitive is flagged.
+        let f = scan_file("crates/snapshot/src/format.rs", src);
+        let needles: Vec<&str> = f.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(
+            needles,
+            ["File::create", "fs::write", "fs::rename", "OpenOptions"]
+        );
+        assert!(f.iter().all(|f| f.rule == "atomic-write"));
+        // The helper module that implements write-temp-then-rename is the
+        // sanctioned exception.
+        assert!(scan_file("crates/snapshot/src/atomic.rs", src).is_empty());
+        // Other crates are out of scope for this rule.
+        assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_write_rule_ignores_masked_and_test_code() {
+        let src = "// File::create is documented here\nlet s = \"fs::rename\";\n#[cfg(test)]\nmod tests {\n    fn t() { fs::write(p, b); }\n}\n";
+        assert!(scan_file("crates/snapshot/src/wire.rs", src).is_empty());
     }
 
     #[test]

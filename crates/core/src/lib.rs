@@ -20,6 +20,7 @@ mod memory;
 mod model;
 pub mod protocol;
 pub mod pseudo;
+mod snapshot;
 mod trainer;
 
 pub use config::{CdclConfig, LossToggles};

@@ -47,6 +47,13 @@ impl RehearsalMemory {
         }
     }
 
+    /// Rebuilds a memory from checkpointed state: `capacity` plus the exact
+    /// record list, in stored order (snapshot loaders validate the records
+    /// against the model before calling this).
+    pub fn restore(capacity: usize, records: Vec<MemoryRecord>) -> Self {
+        Self { capacity, records }
+    }
+
     /// Total records stored.
     pub fn len(&self) -> usize {
         self.records.len()

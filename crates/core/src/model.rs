@@ -56,6 +56,13 @@ impl CdclModel {
         self.class_offsets[task]
     }
 
+    /// Classes of one task — with [`CdclModel::num_tasks`] this is the full
+    /// structural descriptor needed to rebuild the model (snapshot loaders
+    /// replay `add_task` with these counts before restoring parameters).
+    pub fn task_classes(&self, task: usize) -> usize {
+        self.til.task_classes(task)
+    }
+
     /// The shared backbone.
     pub fn backbone(&self) -> &Backbone {
         &self.backbone

@@ -1,0 +1,534 @@
+//! Snapshot assembly: how the full [`CdclTrainer`] state maps onto the
+//! `cdcl-snapshot` container (DESIGN.md §10).
+//!
+//! Format v1 sections, in file order:
+//!
+//! | tag    | contents                                                       |
+//! |--------|----------------------------------------------------------------|
+//! | `META` | [`CdclConfig`] (backbone + hyper-parameters), task cursor, per-task class counts |
+//! | `PARM` | every [`Param`]: name, trainable flag, lr-scale, value tensor  |
+//! | `OPTM` | AdamW step count + per-param first/second moments              |
+//! | `MEMO` | rehearsal-memory capacity + records (§IV-C tuples)             |
+//! | `RNGS` | trainer `SmallRng` state + replay cursor                       |
+//! | `CENT` | per-task pseudo-label centroids (Eq. 17)                       |
+//!
+//! Loading is all-or-nothing and paranoid: the container layer already
+//! verified every CRC; this layer re-derives the model structure from
+//! `META`, then cross-checks *every* restored fact against it — parameter
+//! names/shapes/order, the §IV-A freezing contract, optimizer-moment
+//! shapes, memory-record label ranges and image shapes, centroid
+//! dimensions. Any mismatch returns [`SnapshotError::Malformed`] and the
+//! half-built trainer is dropped; the caller never observes partial state.
+
+use std::path::Path;
+
+use cdcl_nn::{AttentionMode, BackboneConfig, Module};
+use cdcl_optim::AdamW;
+use cdcl_snapshot::{atomic_write, Reader, Snapshot, SnapshotBuilder, SnapshotError, Writer};
+use cdcl_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::memory::{MemoryRecord, RehearsalMemory};
+use crate::model::CdclModel;
+use crate::{CdclConfig, CdclTrainer, LossToggles};
+
+const META: [u8; 4] = *b"META";
+const PARM: [u8; 4] = *b"PARM";
+const OPTM: [u8; 4] = *b"OPTM";
+const MEMO: [u8; 4] = *b"MEMO";
+const RNGS: [u8; 4] = *b"RNGS";
+const CENT: [u8; 4] = *b"CENT";
+
+/// Bound on structural sizes decoded from `META` (embed dim, class counts,
+/// …): generous for any real configuration, small enough that a crafted
+/// file cannot trigger absurd allocations while rebuilding the model.
+const MAX_STRUCT: usize = 1 << 20;
+/// Bound on the number of tasks in a snapshot.
+const MAX_TASKS: usize = 4096;
+
+fn malformed<T>(msg: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError::Malformed(msg.into()))
+}
+
+// ----------------------------------------------------------------------
+// Section encoders
+// ----------------------------------------------------------------------
+
+fn write_meta(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    let b = &t.config.backbone;
+    w.usize(b.in_channels);
+    w.usize(b.in_hw.0);
+    w.usize(b.in_hw.1);
+    w.usize(b.embed_dim);
+    w.usize(b.depth);
+    w.usize(b.tokenizer_stages);
+    w.usize(b.tokenizer_kernel);
+    w.usize(b.mlp_ratio);
+    w.u8(match b.attention {
+        AttentionMode::TaskKeyed => 0,
+        AttentionMode::Simple => 1,
+    });
+    w.u8(u8::from(b.attn_softmax));
+    w.usize(t.config.epochs);
+    w.usize(t.config.warmup_epochs);
+    w.usize(t.config.batch_size);
+    w.usize(t.config.memory_size);
+    w.usize(t.config.rehearsal_batch);
+    w.f32(t.config.warmup_lr);
+    w.f32(t.config.peak_lr);
+    w.f32(t.config.min_lr);
+    w.f32(t.config.weight_decay);
+    w.u8(u8::from(t.config.losses.cil));
+    w.u8(u8::from(t.config.losses.til));
+    w.u8(u8::from(t.config.losses.rehearsal));
+    w.u8(u8::from(t.config.cross_attention));
+    w.u64(t.config.seed);
+    // Task cursor: tasks completed (training resumes at this task id) and
+    // the epoch cursor within it. Checkpoints are written at task
+    // boundaries, so the epoch cursor is 0 in format v1; the field exists
+    // so finer-grained checkpoints stay a payload change, not a format one.
+    let tasks = t.model.num_tasks();
+    w.usize(tasks);
+    w.usize(0);
+    let classes: Vec<u64> = (0..tasks).map(|i| t.model.task_classes(i) as u64).collect();
+    w.u64_slice(&classes);
+    w.usize(t.model.total_classes());
+    w.finish()
+}
+
+fn write_params(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    let entries = t.model.state_dict();
+    w.usize(entries.len());
+    for (name, p) in entries {
+        w.str(&name);
+        w.u8(u8::from(p.trainable()));
+        w.f32(p.lr_scale());
+        w.tensor(&p.value());
+    }
+    w.finish()
+}
+
+fn write_optim(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    let (steps, entries) = t.optimizer.export_state();
+    w.i64(i64::from(steps));
+    w.usize(entries.len());
+    for (name, m, v) in entries {
+        w.str(&name);
+        w.tensor(&m);
+        w.tensor(&v);
+    }
+    w.finish()
+}
+
+fn write_memory(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(t.memory.capacity());
+    let records = t.memory.records();
+    w.usize(records.len());
+    for r in records {
+        w.usize(r.task);
+        w.usize(r.label);
+        w.usize(r.global_label);
+        w.f32(r.confidence);
+        w.tensor(&r.x_source);
+        w.tensor(&r.x_target);
+        w.f32_slice(&r.cil_probs_source);
+        w.f32_slice(&r.cil_probs_target);
+    }
+    w.finish()
+}
+
+fn write_rng(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    for s in t.rng.state() {
+        w.u64(s);
+    }
+    w.usize(t.replay_cursor);
+    w.finish()
+}
+
+fn write_centroids(t: &CdclTrainer) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize(t.centroids.len());
+    for c in &t.centroids {
+        w.tensor(c);
+    }
+    w.finish()
+}
+
+// ----------------------------------------------------------------------
+// Section decoders
+// ----------------------------------------------------------------------
+
+/// Decoded `META`: the config plus the structural descriptor.
+struct Meta {
+    config: CdclConfig,
+    task_classes: Vec<usize>,
+    total_classes: usize,
+}
+
+fn bounded(v: usize, what: &str) -> Result<usize, SnapshotError> {
+    if v == 0 || v > MAX_STRUCT {
+        return malformed(format!("{what} = {v} out of range"));
+    }
+    Ok(v)
+}
+
+fn finite(v: f32, what: &str) -> Result<f32, SnapshotError> {
+    if !v.is_finite() {
+        return malformed(format!("{what} is not finite"));
+    }
+    Ok(v)
+}
+
+fn read_meta(payload: &[u8]) -> Result<Meta, SnapshotError> {
+    let mut r = Reader::new(payload);
+    let backbone = BackboneConfig {
+        in_channels: bounded(r.usize()?, "in_channels")?,
+        in_hw: (bounded(r.usize()?, "in_h")?, bounded(r.usize()?, "in_w")?),
+        embed_dim: bounded(r.usize()?, "embed_dim")?,
+        depth: bounded(r.usize()?, "depth")?,
+        tokenizer_stages: bounded(r.usize()?, "tokenizer_stages")?,
+        tokenizer_kernel: bounded(r.usize()?, "tokenizer_kernel")?,
+        mlp_ratio: bounded(r.usize()?, "mlp_ratio")?,
+        attention: match r.u8()? {
+            0 => AttentionMode::TaskKeyed,
+            1 => AttentionMode::Simple,
+            v => return malformed(format!("attention mode byte {v}")),
+        },
+        attn_softmax: r.bool()?,
+    };
+    if backbone.in_channels * backbone.in_hw.0 * backbone.in_hw.1 > MAX_STRUCT {
+        return malformed("input volume out of range");
+    }
+    let config = CdclConfig {
+        backbone,
+        epochs: r.usize()?,
+        warmup_epochs: r.usize()?,
+        batch_size: r.usize()?,
+        memory_size: r.usize()?,
+        rehearsal_batch: r.usize()?,
+        warmup_lr: finite(r.f32()?, "warmup_lr")?,
+        peak_lr: finite(r.f32()?, "peak_lr")?,
+        min_lr: finite(r.f32()?, "min_lr")?,
+        weight_decay: finite(r.f32()?, "weight_decay")?,
+        losses: LossToggles {
+            cil: r.bool()?,
+            til: r.bool()?,
+            rehearsal: r.bool()?,
+        },
+        cross_attention: r.bool()?,
+        seed: r.u64()?,
+    };
+    let tasks = r.usize()?;
+    if tasks > MAX_TASKS {
+        return malformed(format!("{tasks} tasks"));
+    }
+    let epoch_cursor = r.usize()?;
+    if epoch_cursor != 0 {
+        return malformed("format v1 checkpoints only at task boundaries");
+    }
+    let raw_classes = r.u64_vec()?;
+    if raw_classes.len() != tasks {
+        return malformed(format!(
+            "task cursor {tasks} but {} class counts",
+            raw_classes.len()
+        ));
+    }
+    let mut task_classes = Vec::with_capacity(tasks);
+    for (i, &c) in raw_classes.iter().enumerate() {
+        let c = usize::try_from(c)
+            .ok()
+            .filter(|&c| (1..=MAX_STRUCT).contains(&c))
+            .ok_or_else(|| SnapshotError::Malformed(format!("task {i} class count {c}")))?;
+        task_classes.push(c);
+    }
+    let total_classes = r.usize()?;
+    if total_classes != task_classes.iter().sum::<usize>() {
+        return malformed("total_classes does not match per-task counts");
+    }
+    r.finish()?;
+    Ok(Meta {
+        config,
+        task_classes,
+        total_classes,
+    })
+}
+
+fn apply_params(model: &CdclModel, payload: &[u8]) -> Result<(), SnapshotError> {
+    let mut r = Reader::new(payload);
+    let params = model.params();
+    let count = r.usize()?;
+    if count != params.len() {
+        return malformed(format!(
+            "snapshot has {count} params, rebuilt model has {}",
+            params.len()
+        ));
+    }
+    for p in &params {
+        let name = r.str()?;
+        if name != p.name() {
+            return malformed(format!(
+                "param order mismatch: snapshot `{name}`, model `{}`",
+                p.name()
+            ));
+        }
+        let trainable = r.bool()?;
+        let lr_scale = finite(r.f32()?, "lr_scale")?;
+        if lr_scale <= 0.0 {
+            return malformed(format!("lr_scale {lr_scale} on `{name}`"));
+        }
+        let value = r.tensor()?;
+        p.try_set_value(value).map_err(SnapshotError::Malformed)?;
+        p.set_trainable(trainable);
+        p.set_lr_scale(lr_scale);
+    }
+    r.finish()?;
+    // §IV-A freezing contract, re-checked against the restored flags: every
+    // retired `K_i`/`b_i` must be frozen, and nothing else may be. The
+    // graph verifier re-audits gradient flow on the first training or
+    // serving graph; this is the static half.
+    let expected: Vec<usize> = model
+        .expected_frozen_params()
+        .iter()
+        .map(cdcl_autograd::Param::key)
+        .collect();
+    for p in &params {
+        let should_freeze = expected.contains(&p.key());
+        if p.trainable() == should_freeze {
+            return malformed(format!(
+                "freezing contract violated on `{}`: trainable={}, expected {}",
+                p.name(),
+                p.trainable(),
+                !should_freeze
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn read_optim(
+    model: &CdclModel,
+    config: &CdclConfig,
+    payload: &[u8],
+) -> Result<AdamW, SnapshotError> {
+    let mut r = Reader::new(payload);
+    let steps = r.i64()?;
+    let steps = i32::try_from(steps)
+        .map_err(|_| SnapshotError::Malformed(format!("optimizer step count {steps}")))?;
+    let count = r.usize()?;
+    let mut entries = Vec::with_capacity(count.min(MAX_STRUCT));
+    for _ in 0..count {
+        let name = r.str()?;
+        let m = r.tensor()?;
+        let v = r.tensor()?;
+        entries.push((name, m, v));
+    }
+    r.finish()?;
+    let mut optimizer = AdamW::with_weight_decay(model.params(), config.weight_decay);
+    optimizer
+        .import_state(steps, entries)
+        .map_err(SnapshotError::Malformed)?;
+    Ok(optimizer)
+}
+
+fn read_memory(
+    model: &CdclModel,
+    config: &CdclConfig,
+    payload: &[u8],
+) -> Result<RehearsalMemory, SnapshotError> {
+    let mut r = Reader::new(payload);
+    let capacity = r.usize()?;
+    if capacity != config.memory_size {
+        return malformed(format!(
+            "memory capacity {capacity} != config memory_size {}",
+            config.memory_size
+        ));
+    }
+    let count = r.usize()?;
+    if count > capacity {
+        return malformed(format!("{count} memory records exceed capacity {capacity}"));
+    }
+    let tasks = model.num_tasks();
+    let total = model.total_classes();
+    let image_shape = [
+        config.backbone.in_channels,
+        config.backbone.in_hw.0,
+        config.backbone.in_hw.1,
+    ];
+    let mut records = Vec::with_capacity(count);
+    for i in 0..count {
+        let task = r.usize()?;
+        let label = r.usize()?;
+        let global_label = r.usize()?;
+        let confidence = finite(r.f32()?, "record confidence")?;
+        let x_source = r.tensor()?;
+        let x_target = r.tensor()?;
+        let cil_probs_source = r.f32_vec()?;
+        let cil_probs_target = r.f32_vec()?;
+        if task >= tasks {
+            return malformed(format!("memory record {i}: task {task} of {tasks}"));
+        }
+        if label >= model.task_classes(task) {
+            return malformed(format!("memory record {i}: label {label} out of range"));
+        }
+        if global_label != model.class_offset(task) + label {
+            return malformed(format!("memory record {i}: inconsistent global label"));
+        }
+        if x_source.shape() != image_shape || x_target.shape() != image_shape {
+            return malformed(format!("memory record {i}: image shape mismatch"));
+        }
+        if cil_probs_source.len() > total || cil_probs_target.len() > total {
+            return malformed(format!(
+                "memory record {i}: stored probs exceed class count"
+            ));
+        }
+        records.push(MemoryRecord {
+            task,
+            x_source,
+            x_target,
+            label,
+            global_label,
+            cil_probs_source,
+            cil_probs_target,
+            confidence,
+        });
+    }
+    r.finish()?;
+    Ok(RehearsalMemory::restore(capacity, records))
+}
+
+fn read_rng(payload: &[u8]) -> Result<(SmallRng, usize), SnapshotError> {
+    let mut r = Reader::new(payload);
+    let mut state = [0u64; 4];
+    for s in &mut state {
+        *s = r.u64()?;
+    }
+    let replay_cursor = r.usize()?;
+    r.finish()?;
+    Ok((SmallRng::from_state(state), replay_cursor))
+}
+
+fn read_centroids(model: &CdclModel, payload: &[u8]) -> Result<Vec<Tensor>, SnapshotError> {
+    let mut r = Reader::new(payload);
+    let count = r.usize()?;
+    if count != model.num_tasks() {
+        return malformed(format!(
+            "{count} centroid sets for {} tasks",
+            model.num_tasks()
+        ));
+    }
+    let d = model.backbone().embed_dim();
+    let mut out = Vec::with_capacity(count);
+    for t in 0..count {
+        let c = r.tensor()?;
+        let ok = c.shape().len() == 2
+            && c.shape()[1] == d
+            && (c.shape()[0] == 0 || c.shape()[0] == model.task_classes(t));
+        if !ok {
+            return malformed(format!("task {t} centroids have shape {:?}", c.shape()));
+        }
+        out.push(c);
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Trainer entry points
+// ----------------------------------------------------------------------
+
+impl CdclTrainer {
+    /// Serializes the complete learner state — every parameter with its
+    /// trainable/frozen flag, the task structure, rehearsal memory,
+    /// per-task centroids, RNG state, optimizer moments, and the task
+    /// cursor — as one snapshot container. Deterministic: the same trainer
+    /// state always yields the same bytes.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut b = SnapshotBuilder::new();
+        b.section(META, write_meta(self));
+        b.section(PARM, write_params(self));
+        b.section(OPTM, write_optim(self));
+        b.section(MEMO, write_memory(self));
+        b.section(RNGS, write_rng(self));
+        b.section(CENT, write_centroids(self));
+        b.finish()
+    }
+
+    /// Writes [`CdclTrainer::snapshot_bytes`] to `path` through the atomic
+    /// write-temp-then-rename helper.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), SnapshotError> {
+        atomic_write(path, &self.snapshot_bytes())
+    }
+
+    /// Rebuilds a trainer from snapshot bytes. All-or-nothing: the model
+    /// structure is re-derived from `META` (replaying `add_task` with the
+    /// recorded class counts), then every section is validated against it
+    /// before the trainer is assembled — any inconsistency returns a typed
+    /// [`SnapshotError`] and nothing escapes. The restored trainer
+    /// continues training bitwise-identically to one that never stopped
+    /// (asserted by the determinism suite).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let snap = Snapshot::parse(bytes)?;
+        let meta = read_meta(snap.section(META)?)?;
+
+        // Rebuild the structure with a throwaway RNG — every tensor it
+        // initializes is overwritten by `PARM` — then restore the real
+        // generator state from `RNGS`.
+        let mut scaffold_rng = SmallRng::seed_from_u64(0);
+        let mut model = CdclModel::new(&mut scaffold_rng, meta.config.backbone);
+        for &classes in &meta.task_classes {
+            model.add_task(&mut scaffold_rng, classes);
+        }
+        if model.total_classes() != meta.total_classes {
+            return malformed("rebuilt model disagrees with META on total classes");
+        }
+
+        apply_params(&model, snap.section(PARM)?)?;
+        let optimizer = read_optim(&model, &meta.config, snap.section(OPTM)?)?;
+        let memory = read_memory(&model, &meta.config, snap.section(MEMO)?)?;
+        let (rng, replay_cursor) = read_rng(snap.section(RNGS)?)?;
+        let centroids = read_centroids(&model, snap.section(CENT)?)?;
+
+        Ok(Self {
+            config: meta.config,
+            model,
+            memory,
+            optimizer,
+            rng,
+            replay_cursor,
+            last_pairs: Vec::new(),
+            graph_verified: false,
+            centroids,
+            last_centroids: None,
+        })
+    }
+
+    /// Loads a snapshot file written by [`CdclTrainer::save_snapshot`] (or
+    /// the `CDCL_CKPT_DIR` checkpoint hook) and resumes from it.
+    pub fn resume_from(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+    }
+
+    /// Resumes from the newest `*.cdclsnap` checkpoint in `dir` (file names
+    /// sort by task id, so lexicographic max is the latest task boundary).
+    pub fn resume_latest(dir: &Path) -> Result<Self, SnapshotError> {
+        let mut newest: Option<std::path::PathBuf> = None;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let is_snap = path.extension().is_some_and(|e| e == "cdclsnap");
+            if is_snap && newest.as_ref().is_none_or(|n| path > *n) {
+                newest = Some(path);
+            }
+        }
+        match newest {
+            Some(path) => Self::resume_from(&path),
+            None => malformed(format!("no .cdclsnap files in {}", dir.display())),
+        }
+    }
+}

@@ -32,19 +32,30 @@ const EVAL_CHUNK: usize = 32;
 const EVAL_CHUNK_WORK: usize = 1 << 20;
 
 /// The CDCL learner: model + memory + optimizer + Algorithm 1.
+///
+/// Fields are `pub(crate)` so the snapshot module (`crate::snapshot`) can
+/// export and reassemble the full state without widening the public API.
 pub struct CdclTrainer {
-    config: CdclConfig,
-    model: CdclModel,
-    memory: RehearsalMemory,
-    optimizer: AdamW,
-    rng: SmallRng,
-    replay_cursor: usize,
+    pub(crate) config: CdclConfig,
+    pub(crate) model: CdclModel,
+    pub(crate) memory: RehearsalMemory,
+    pub(crate) optimizer: AdamW,
+    pub(crate) rng: SmallRng,
+    pub(crate) replay_cursor: usize,
     /// Pairs built during the last adaptation epoch (reused for memory
     /// candidate selection at task end).
-    last_pairs: Vec<Pair>,
+    pub(crate) last_pairs: Vec<Pair>,
     /// Whether the current task's first training graph has already been
     /// through the full verifier (reset by `learn_task`).
-    graph_verified: bool,
+    pub(crate) graph_verified: bool,
+    /// Final pseudo-label centroids (Eq. 17, second center-aware round) of
+    /// each completed task: `centroids[t]` is `[u_t, d]`, or `[0, d]` when
+    /// the task trained without an adaptation epoch. Persisted in snapshots
+    /// for TADIL-style serve-time task inference.
+    pub(crate) centroids: Vec<Tensor>,
+    /// Second-round centroids of the most recent `refresh_pairs` call —
+    /// promoted into `centroids` when the task ends.
+    pub(crate) last_centroids: Option<Tensor>,
 }
 
 impl CdclTrainer {
@@ -62,6 +73,8 @@ impl CdclTrainer {
             replay_cursor: 0,
             last_pairs: Vec::new(),
             graph_verified: false,
+            centroids: Vec::new(),
+            last_centroids: None,
         }
     }
 
@@ -78,6 +91,14 @@ impl CdclTrainer {
     /// The active configuration.
     pub fn config(&self) -> &CdclConfig {
         &self.config
+    }
+
+    /// Final pseudo-label centroids (Eq. 17) per completed task:
+    /// `task_centroids()[t]` is `[u_t, d]` (`[0, d]` for tasks that never
+    /// ran an adaptation epoch). These are what `cdcl-serve` uses for
+    /// nearest-centroid task-ID inference.
+    pub fn task_centroids(&self) -> &[Tensor] {
+        &self.centroids
     }
 
     // ------------------------------------------------------------------
@@ -518,7 +539,11 @@ impl CdclTrainer {
             let _s = telemetry::span("pseudo_assign").task(t).epoch(epoch);
             let hard = cdcl_tensor::Tensor::one_hot(&first, centroids.shape()[0]);
             let centroids = weighted_centroids(&hard, &tgt_feats);
-            nearest_centroid_labels(&tgt_feats, &centroids)
+            let labels = nearest_centroid_labels(&tgt_feats, &centroids);
+            // Keep the refined centroids: the last epoch's set is promoted
+            // into `self.centroids` at task end and persisted in snapshots.
+            self.last_centroids = Some(centroids);
+            labels
         };
         if telemetry::enabled() {
             // How much the assignments moved between the two rounds: high
@@ -605,6 +630,35 @@ impl CdclTrainer {
         .flatten()
         .collect()
     }
+
+    /// Crash-safe checkpointing: when `CDCL_CKPT_DIR` is set, every
+    /// finished task writes `task{NNN}.cdclsnap` there through the
+    /// atomic write-temp-then-rename helper, under the `checkpoint`
+    /// telemetry span. A crash mid-write leaves the previous snapshot
+    /// intact; [`CdclTrainer::resume_latest`] picks up from the newest
+    /// complete one.
+    fn maybe_checkpoint(&self, task: usize) {
+        let Some(dir) = std::env::var_os("CDCL_CKPT_DIR") else {
+            return;
+        };
+        let _s = telemetry::span("checkpoint").task(task);
+        let path = std::path::PathBuf::from(dir).join(format!("task{task:03}.cdclsnap"));
+        let bytes = self.snapshot_bytes();
+        if telemetry::enabled() {
+            telemetry::Event::new("checkpoint")
+                .task(task)
+                .u64_field("snapshot_bytes", bytes.len() as u64)
+                .str_field("path", &path.to_string_lossy())
+                .emit();
+        }
+        if let Err(e) = cdcl_snapshot::atomic_write(&path, &bytes) {
+            // lint-allow: checkpoint escalation — the user explicitly asked
+            // for durable checkpoints via CDCL_CKPT_DIR; silently dropping
+            // one is data loss, so fail fast (same contract as the
+            // telemetry trace file).
+            panic!("checkpoint write failed for {}: {e}", path.display());
+        }
+    }
 }
 
 impl ContinualLearner for CdclTrainer {
@@ -635,6 +689,7 @@ impl ContinualLearner for CdclTrainer {
         self.model.add_task(&mut self.rng, task.num_classes());
         self.optimizer.rebind(self.model.params());
         self.last_pairs.clear();
+        self.last_centroids = None;
         // Re-verify on the new task's first graph: add_task changed the
         // frozen set and the head shapes.
         self.graph_verified = false;
@@ -694,6 +749,15 @@ impl ContinualLearner for CdclTrainer {
             self.memory_candidates(task)
         };
         self.memory.finish_task(task.task_id, candidates);
+        // Promote the last adaptation epoch's refined centroids (Eq. 17) to
+        // the per-task archive; an all-warm-up task stores an empty `[0, d]`
+        // marker so indices stay aligned with task ids.
+        let d = self.model.backbone().embed_dim();
+        self.centroids.push(
+            self.last_centroids
+                .take()
+                .unwrap_or_else(|| Tensor::zeros(&[0, d])),
+        );
         if let Some(before) = counters_before {
             let d = kernels::counter_snapshot().delta_since(&before);
             telemetry::Event::new("counters")
@@ -703,6 +767,7 @@ impl ContinualLearner for CdclTrainer {
                 .u64_field("pool_spawns", d.pool_spawns)
                 .emit();
         }
+        self.maybe_checkpoint(task.task_id);
     }
 
     fn eval_til(&self, task_id: usize, test: &[Sample]) -> f64 {

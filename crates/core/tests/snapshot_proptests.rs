@@ -1,0 +1,93 @@
+//! Property tests for snapshot-loading paranoia (DESIGN.md §10).
+//!
+//! The loader's contract: a corrupted, truncated, or garbage snapshot must
+//! come back as a typed `SnapshotError` — never a panic, and never a
+//! half-restored trainer. The format makes this checkable exhaustively at
+//! the byte level: every byte of a snapshot is covered by the header CRC,
+//! exactly one section CRC, or the trailing-length check, so *any*
+//! single-byte XOR and *any* truncation must be detected.
+
+use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+use proptest::collection::vec;
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use std::sync::OnceLock;
+
+/// One real snapshot from a small trained learner (two tasks, so frozen
+/// keys, rehearsal records, and centroids are all populated). Built once:
+/// the corruption cases only need the bytes.
+fn valid_snapshot() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+        let mut config = CdclConfig::smoke();
+        config.epochs = 2;
+        config.warmup_epochs = 1;
+        let mut trainer = CdclTrainer::new(config);
+        trainer.learn_task(&stream.tasks[0]);
+        trainer.learn_task(&stream.tasks[1]);
+        trainer.snapshot_bytes()
+    })
+}
+
+proptest! {
+    /// Flipping any bits of any single byte is detected: load returns a
+    /// typed error and never panics.
+    #[test]
+    fn single_byte_corruption_always_errors(
+        pos in 0usize..1 << 24,
+        flip in 1u16..256,
+    ) {
+        let base = valid_snapshot();
+        let mut bytes = base.to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip as u8; // nonzero XOR: guaranteed to differ
+        let loaded = CdclTrainer::from_snapshot_bytes(&bytes);
+        prop_assert!(
+            loaded.is_err(),
+            "byte {pos} XOR {flip:#x} loaded successfully"
+        );
+    }
+
+    /// Truncating the snapshot at any point is detected.
+    #[test]
+    fn truncation_always_errors(keep in 0usize..1 << 24) {
+        let base = valid_snapshot();
+        let keep = keep % base.len(); // strictly shorter than the original
+        let loaded = CdclTrainer::from_snapshot_bytes(&base[..keep]);
+        prop_assert!(loaded.is_err(), "truncation to {keep} bytes loaded");
+    }
+
+    /// Appending trailing junk is detected (the container pins its exact
+    /// length, so a valid prefix plus garbage is still rejected).
+    #[test]
+    fn trailing_garbage_always_errors(tail in vec(0u16..256, 1..64)) {
+        let mut bytes = valid_snapshot().to_vec();
+        bytes.extend(tail.iter().map(|&b| b as u8));
+        prop_assert!(CdclTrainer::from_snapshot_bytes(&bytes).is_err());
+    }
+
+    /// Arbitrary garbage never panics the loader.
+    #[test]
+    fn random_garbage_never_panics(data in vec(0u16..256, 0..4096)) {
+        let bytes: Vec<u8> = data.iter().map(|&b| b as u8).collect();
+        let loaded = CdclTrainer::from_snapshot_bytes(&bytes);
+        // Random bytes cannot produce the magic + a valid header CRC.
+        prop_assert!(loaded.is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The untampered snapshot keeps loading, and re-saving the loaded
+    /// trainer reproduces the bytes exactly — interleaved with the
+    /// corruption runs above to rule out shared-state leakage.
+    #[test]
+    fn untampered_snapshot_round_trips(_case in 0usize..8) {
+        let base = valid_snapshot();
+        let loaded = CdclTrainer::from_snapshot_bytes(base)
+            .map_err(|e| format!("valid snapshot rejected: {e}"))?;
+        prop_assert_eq!(loaded.snapshot_bytes(), base.to_vec());
+    }
+}

@@ -46,4 +46,11 @@ pub trait Module {
     fn num_parameters(&self) -> usize {
         self.params().iter().map(Param::num_elements).sum()
     }
+
+    /// `state_dict()`-style export: every parameter keyed by its name, in
+    /// the same deterministic order as [`Module::params`]. Snapshot writers
+    /// iterate this; loaders match entries back by position + name.
+    fn state_dict(&self) -> Vec<(String, Param)> {
+        self.params().into_iter().map(|p| (p.name(), p)).collect()
+    }
 }

@@ -142,6 +142,62 @@ impl Adam {
     pub fn steps(&self) -> i32 {
         self.t
     }
+
+    /// `state_dict()`-style export for checkpointing: the global step count
+    /// plus one `(name, m, v)` moment pair per managed parameter, in
+    /// parameter order.
+    pub fn export_state(&self) -> (i32, Vec<(String, Tensor, Tensor)>) {
+        let entries = self
+            .params
+            .iter()
+            .zip(self.state.iter())
+            .map(|(p, s)| (p.name(), s.m.clone(), s.v.clone()))
+            .collect();
+        (self.t, entries)
+    }
+
+    /// Restores state exported by [`Adam::export_state`]. Entries must match
+    /// the managed parameters exactly — same count, same order, same names,
+    /// same shapes — so a snapshot written for a different model (or a
+    /// corrupted one) is rejected instead of silently mis-applied.
+    pub fn import_state(
+        &mut self,
+        t: i32,
+        entries: Vec<(String, Tensor, Tensor)>,
+    ) -> Result<(), String> {
+        if entries.len() != self.params.len() {
+            return Err(format!(
+                "optimizer state has {} entries, model has {} params",
+                entries.len(),
+                self.params.len()
+            ));
+        }
+        if t < 0 {
+            return Err(format!("negative optimizer step count {t}"));
+        }
+        let mut state = Vec::with_capacity(entries.len());
+        for (p, (name, m, v)) in self.params.iter().zip(entries) {
+            if p.name() != name {
+                return Err(format!(
+                    "optimizer state entry `{name}` does not match param `{}`",
+                    p.name()
+                ));
+            }
+            let shape = p.shape();
+            if m.shape() != shape.as_slice() || v.shape() != shape.as_slice() {
+                return Err(format!(
+                    "optimizer moment shape mismatch on `{name}`: param {:?}, m {:?}, v {:?}",
+                    shape,
+                    m.shape(),
+                    v.shape()
+                ));
+            }
+            state.push(AdamState { m, v });
+        }
+        self.state = state;
+        self.t = t;
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {
@@ -216,6 +272,20 @@ impl AdamW {
     /// AdamW with a custom decay coefficient.
     pub fn with_weight_decay(params: Vec<Param>, weight_decay: f32) -> Self {
         Self(Adam::with_config(params, 0.9, 0.999, 1e-8, weight_decay))
+    }
+
+    /// See [`Adam::export_state`].
+    pub fn export_state(&self) -> (i32, Vec<(String, Tensor, Tensor)>) {
+        self.0.export_state()
+    }
+
+    /// See [`Adam::import_state`].
+    pub fn import_state(
+        &mut self,
+        t: i32,
+        entries: Vec<(String, Tensor, Tensor)>,
+    ) -> Result<(), String> {
+        self.0.import_state(t, entries)
     }
 }
 
@@ -339,6 +409,48 @@ mod tests {
         opt.step(0.1);
         assert!(a.value().data()[0] < after_one_step);
         assert!(b.value().data()[0] < 0.0);
+    }
+
+    #[test]
+    fn adam_state_round_trips_through_export_import() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let mut opt = Adam::new(vec![p.clone()]);
+        quadratic_step(&p, &[1.0, -2.0, 3.0]);
+        opt.step(0.05);
+        quadratic_step(&p, &[1.0, -2.0, 3.0]);
+        opt.step(0.05);
+        let (t, entries) = opt.export_state();
+        assert_eq!(t, 2);
+
+        let mut fresh = Adam::new(vec![p.clone()]);
+        fresh
+            .import_state(t, entries.clone())
+            .expect("matching state must import");
+        let (t2, entries2) = fresh.export_state();
+        assert_eq!(t2, t);
+        for ((n1, m1, v1), (n2, m2, v2)) in entries.iter().zip(entries2.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(m1.data(), m2.data());
+            assert_eq!(v1.data(), v2.data());
+        }
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatched_state() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        let mut opt = Adam::new(vec![p.clone()]);
+        // Wrong count.
+        assert!(opt.import_state(0, Vec::new()).is_err());
+        // Wrong name.
+        let bad = vec![("q".to_string(), Tensor::zeros(&[3]), Tensor::zeros(&[3]))];
+        assert!(opt.import_state(0, bad).is_err());
+        // Wrong shape.
+        let bad = vec![("w".to_string(), Tensor::zeros(&[2]), Tensor::zeros(&[3]))];
+        assert!(opt.import_state(0, bad).is_err());
+        // Negative step count.
+        let ok = vec![("w".to_string(), Tensor::zeros(&[3]), Tensor::zeros(&[3]))];
+        assert!(opt.import_state(-1, ok.clone()).is_err());
+        assert!(opt.import_state(0, ok).is_ok());
     }
 
     #[test]

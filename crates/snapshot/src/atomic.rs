@@ -1,0 +1,82 @@
+//! Crash-safe file writes: write to a temp file in the same directory,
+//! fsync, then rename over the final path.
+//!
+//! This module is the *only* place in `crates/snapshot` allowed to call
+//! `File::create`/`fs::rename` — the `atomic-write` rule of `cdcl-lint`
+//! flags raw filesystem writes anywhere else in the crate, so every
+//! snapshot on disk is either the complete old file or the complete new
+//! file, never a torn intermediate.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::SnapshotError;
+
+/// The sibling temp path used while writing `path`: same directory (so the
+/// final rename never crosses a filesystem), `.tmp` appended to the name.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` atomically: create `<path>.tmp`, write, fsync,
+/// rename onto `path`. On any error the final path is untouched (a stale
+/// temp file may remain; the next write truncates it).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = temp_sibling(path);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    // Flush to stable storage before the rename publishes the file: a crash
+    // after rename but before writeback must not surface a hollow snapshot.
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cdcl-snapshot-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = scratch_dir("write");
+        let path = dir.join("snap.cdclsnap");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp file left behind on the success path.
+        assert!(!temp_sibling(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_directory_is_a_typed_error() {
+        let path = scratch_dir("missing")
+            .join("no-such-subdir")
+            .join("snap.cdclsnap");
+        assert!(matches!(
+            atomic_write(&path, b"x"),
+            Err(SnapshotError::Io(_))
+        ));
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn temp_sibling_stays_in_the_same_directory() {
+        let t = temp_sibling(Path::new("/a/b/task000.cdclsnap"));
+        assert_eq!(t, Path::new("/a/b/task000.cdclsnap.tmp"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The snapshot container: magic, format version, CRC-protected section
+//! table, then the section payloads (DESIGN.md §10).
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "CDCLSNAP"
+//! 8       4     format version (u32 LE)
+//! 12      4     section count  (u32 LE)
+//! 16      16×n  section table: tag [u8;4], payload len (u64 LE),
+//!               payload CRC-32 (u32 LE)
+//! 16+16n  4     header CRC-32 over bytes [0, 16+16n)
+//! …             payloads, concatenated in table order, nothing between
+//!               them and nothing after the last
+//! ```
+//!
+//! Every byte of a snapshot is covered by exactly one integrity check: the
+//! header CRC covers magic/version/count/table, each payload byte is covered
+//! by its section CRC, and total length is pinned by the table (trailing
+//! bytes are an error). A single-byte substitution or a truncation anywhere
+//! is therefore always detected — the property the corruption proptests
+//! exercise.
+
+use crate::crc::crc32;
+use crate::SnapshotError;
+
+/// File magic: the first 8 bytes of every snapshot.
+pub const MAGIC: [u8; 8] = *b"CDCLSNAP";
+
+/// Current format version. Bump on any layout change; readers reject other
+/// versions (see DESIGN.md §10 for the compatibility policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header prefix: magic + version + count.
+const HEADER_PREFIX: usize = 16;
+/// Bytes per section-table entry: tag + len + crc.
+const TABLE_ENTRY: usize = 16;
+/// Upper bound on the section count (format v1 defines 6 sections; the
+/// bound only guards against absurd counts in corrupt files).
+const MAX_SECTIONS: u32 = 256;
+
+/// Accumulates tagged sections and serializes the container.
+#[derive(Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one section. Order is preserved and becomes the file order.
+    pub fn section(&mut self, tag: [u8; 4], payload: Vec<u8>) {
+        self.sections.push((tag, payload));
+    }
+
+    /// Serializes the container: header, CRC-protected table, payloads.
+    pub fn finish(self) -> Vec<u8> {
+        let table_len = self.sections.len() * TABLE_ENTRY;
+        let payload_len: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(HEADER_PREFIX + table_len + 4 + payload_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// A fully-validated snapshot: every CRC checked, every bound verified.
+/// Construction via [`Snapshot::parse`] is the only way to obtain one, so
+/// holding a `Snapshot` *is* the proof the container is intact.
+pub struct Snapshot<'a> {
+    sections: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Parses and validates `bytes`. Checks, in order: length for the fixed
+    /// header, magic, version, section count sanity, length for the table,
+    /// the header CRC, each payload's bounds and CRC, duplicate tags, and
+    /// finally that no trailing bytes follow the last payload.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_PREFIX {
+            return Err(SnapshotError::Truncated {
+                needed: HEADER_PREFIX,
+                have: bytes.len(),
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        if count > MAX_SECTIONS {
+            return Err(SnapshotError::Malformed(format!("{count} sections")));
+        }
+        let table_end = HEADER_PREFIX + count as usize * TABLE_ENTRY;
+        let payloads_start = table_end + 4;
+        if bytes.len() < payloads_start {
+            return Err(SnapshotError::Truncated {
+                needed: payloads_start,
+                have: bytes.len(),
+            });
+        }
+        let stored_header_crc = u32::from_le_bytes([
+            bytes[table_end],
+            bytes[table_end + 1],
+            bytes[table_end + 2],
+            bytes[table_end + 3],
+        ]);
+        if crc32(&bytes[..table_end]) != stored_header_crc {
+            return Err(SnapshotError::HeaderCorrupt);
+        }
+
+        let mut sections = Vec::with_capacity(count as usize);
+        let mut pos = payloads_start;
+        for i in 0..count as usize {
+            let e = HEADER_PREFIX + i * TABLE_ENTRY;
+            let tag: [u8; 4] = [bytes[e], bytes[e + 1], bytes[e + 2], bytes[e + 3]];
+            let len = u64::from_le_bytes([
+                bytes[e + 4],
+                bytes[e + 5],
+                bytes[e + 6],
+                bytes[e + 7],
+                bytes[e + 8],
+                bytes[e + 9],
+                bytes[e + 10],
+                bytes[e + 11],
+            ]);
+            let stored_crc =
+                u32::from_le_bytes([bytes[e + 12], bytes[e + 13], bytes[e + 14], bytes[e + 15]]);
+            let len = usize::try_from(len)
+                .ok()
+                .filter(|l| pos.checked_add(*l).is_some_and(|end| end <= bytes.len()))
+                .ok_or(SnapshotError::Truncated {
+                    needed: len as usize,
+                    have: bytes.len().saturating_sub(pos),
+                })?;
+            let payload = &bytes[pos..pos + len];
+            if crc32(payload) != stored_crc {
+                return Err(SnapshotError::SectionCorrupt { tag: tag_name(tag) });
+            }
+            if sections.iter().any(|(t, _)| *t == tag) {
+                return Err(SnapshotError::Malformed(format!(
+                    "duplicate section `{}`",
+                    tag_name(tag)
+                )));
+            }
+            sections.push((tag, payload));
+            pos += len;
+        }
+        if pos != bytes.len() {
+            return Err(SnapshotError::TrailingData {
+                extra: bytes.len() - pos,
+            });
+        }
+        Ok(Self { sections })
+    }
+
+    /// The (validated) payload of section `tag`.
+    pub fn section(&self, tag: [u8; 4]) -> Result<&'a [u8], SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| *p)
+            .ok_or(SnapshotError::MissingSection { tag: tag_name(tag) })
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<[u8; 4]> {
+        self.sections.iter().map(|(t, _)| *t).collect()
+    }
+}
+
+fn tag_name(tag: [u8; 4]) -> String {
+    tag.iter()
+        .map(|&b| {
+            if b.is_ascii_graphic() {
+                char::from(b)
+            } else {
+                '?'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = SnapshotBuilder::new();
+        b.section(*b"META", vec![1, 2, 3]);
+        b.section(*b"PARM", vec![0; 64]);
+        b.section(*b"EMTY", Vec::new());
+        b.finish()
+    }
+
+    #[test]
+    fn build_parse_round_trip() {
+        let bytes = sample();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert_eq!(snap.tags(), vec![*b"META", *b"PARM", *b"EMTY"]);
+        assert_eq!(snap.section(*b"META").unwrap(), &[1, 2, 3]);
+        assert_eq!(snap.section(*b"PARM").unwrap().len(), 64);
+        assert_eq!(snap.section(*b"EMTY").unwrap(), &[] as &[u8]);
+        assert!(matches!(
+            snap.section(*b"NOPE"),
+            Err(SnapshotError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let mut bytes = sample();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bytes = sample();
+        bytes[8] = 99; // version — caught before the header CRC is checked
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x40;
+            assert!(
+                Snapshot::parse(&m).is_err(),
+                "flip at byte {i}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample();
+        for cut in 0..bytes.len() {
+            assert!(
+                Snapshot::parse(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::TrailingData { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_tags_are_rejected() {
+        let mut b = SnapshotBuilder::new();
+        b.section(*b"META", vec![1]);
+        b.section(*b"META", vec![2]);
+        let bytes = b.finish();
+        assert!(matches!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+}

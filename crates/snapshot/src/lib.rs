@@ -1,0 +1,109 @@
+//! `cdcl-snapshot`: the versioned, checksummed binary persistence layer
+//! (DESIGN.md §10).
+//!
+//! A snapshot file is `magic + format version + section table + payloads`:
+//! every section carries a CRC-32 and the header that names the sections is
+//! itself CRC-protected, so a truncated or bit-flipped file is rejected
+//! *before* any state is interpreted. The contract for readers:
+//!
+//! * **Typed failures, never panics.** Every decoding path returns
+//!   [`SnapshotError`]; the `cdcl-lint` no-panic rule applies to this crate
+//!   with no allowlisted exceptions.
+//! * **All-or-nothing.** [`format::Snapshot::parse`] validates every
+//!   checksum and bound up front; callers only see fully-verified section
+//!   payloads, so a corrupt file can never half-restore a model.
+//! * **Versioned.** [`format::FORMAT_VERSION`] gates compatibility: readers
+//!   reject newer (or unknown older) versions with
+//!   [`SnapshotError::UnsupportedVersion`] instead of misinterpreting bytes.
+//! * **Atomic writes.** All file writes go through
+//!   [`atomic::atomic_write`] (write temp + fsync + rename), enforced by the
+//!   `atomic-write` lint rule, so a crash mid-checkpoint leaves the previous
+//!   snapshot intact.
+//!
+//! The crate is deliberately low-level and zero-dependency (only
+//! `cdcl-tensor` for the tensor payloads): section *contents* — which model
+//! fields go where — are owned by `cdcl-core`, keeping the dependency graph
+//! acyclic (`tensor → … → core → snapshot` would be a cycle; instead
+//! `snapshot` sits next to `tensor` and `core` depends on it).
+
+pub mod atomic;
+pub mod crc;
+pub mod format;
+pub mod wire;
+
+use std::fmt;
+
+pub use atomic::atomic_write;
+pub use format::{Snapshot, SnapshotBuilder, FORMAT_VERSION, MAGIC};
+pub use wire::{Reader, Writer};
+
+/// Everything that can go wrong loading (or writing) a snapshot. Loading is
+/// paranoid by design: any inconsistency maps to a variant here — never a
+/// panic and never a partially-applied state.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file ends before a required structure: `needed` bytes wanted,
+    /// `have` remained.
+    Truncated { needed: usize, have: usize },
+    /// The first 8 bytes are not [`MAGIC`] — not a snapshot file.
+    BadMagic,
+    /// The format version is not one this reader understands.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The header (magic/version/section table) failed its CRC.
+    HeaderCorrupt,
+    /// A section payload failed its CRC.
+    SectionCorrupt { tag: String },
+    /// A section required by the loader is absent.
+    MissingSection { tag: String },
+    /// Bytes after the last section — the file is not exactly the header
+    /// plus its declared payloads.
+    TrailingData { extra: usize },
+    /// Structurally valid container, semantically invalid contents (bad
+    /// lengths, out-of-range ids, shape mismatches, …).
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot io error: {e}"),
+            Self::Truncated { needed, have } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, have {have}")
+            }
+            Self::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this reader supports {supported})"
+            ),
+            Self::HeaderCorrupt => write!(f, "snapshot header failed its CRC-32 check"),
+            Self::SectionCorrupt { tag } => {
+                write!(f, "snapshot section `{tag}` failed its CRC-32 check")
+            }
+            Self::MissingSection { tag } => write!(f, "snapshot section `{tag}` is missing"),
+            Self::TrailingData { extra } => {
+                write!(
+                    f,
+                    "snapshot has {extra} trailing bytes after the last section"
+                )
+            }
+            Self::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

@@ -1,0 +1,367 @@
+//! Little-endian primitive encoding: the [`Writer`]/[`Reader`] pair used for
+//! every section payload.
+//!
+//! The reader is a bounds-checked cursor: every read validates the remaining
+//! length *before* touching (or allocating for) the bytes, so corrupt length
+//! prefixes can neither panic nor trigger absurd allocations. All multi-byte
+//! integers are little-endian; `f32` round-trips via `to_le_bytes`/
+//! `from_le_bytes`, which is bitwise-exact (NaN payloads included) — the
+//! foundation of the save→load→save byte-identity guarantee.
+
+use cdcl_tensor::Tensor;
+
+use crate::SnapshotError;
+
+/// Appends primitives to a byte buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` as a `u64` (the format is 64-bit regardless of host).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Little-endian IEEE-754 `f32` (bit-exact).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `f32` slice.
+    pub fn f32_slice(&mut self, v: &[f32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f32(x);
+        }
+    }
+
+    /// Length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Tensor: rank, dims, then the raw `f32` data (row-major, exactly
+    /// `∏ dims` entries).
+    pub fn tensor(&mut self, t: &Tensor) {
+        let shape = t.shape();
+        self.u32(shape.len() as u32);
+        for &d in shape {
+            self.usize(d);
+        }
+        for &x in t.data() {
+            self.f32(x);
+        }
+    }
+}
+
+/// Sane upper bound on a tensor's rank; real model tensors are rank ≤ 4.
+const MAX_RANK: usize = 16;
+
+/// Bounds-checked cursor over a section payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// A `u8` that must be 0 or 1, as a `bool`.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(SnapshotError::Malformed(format!("bool byte was {v}"))),
+        }
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// A `u64` that must fit the host's `usize`.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| SnapshotError::Malformed("64-bit count exceeds host usize".into()))
+    }
+
+    /// A length prefix for `elem_size`-byte elements; validated against the
+    /// remaining bytes *before* any allocation.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        let bytes = n
+            .checked_mul(elem_size)
+            .ok_or_else(|| SnapshotError::Malformed("length prefix overflows".into()))?;
+        if bytes > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                needed: bytes,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Little-endian IEEE-754 `f32` (bit-exact).
+    pub fn f32(&mut self) -> Result<f32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.checked_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Length-prefixed `f32` vector.
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, SnapshotError> {
+        let n = self.checked_len(4)?;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.checked_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Tensor written by [`Writer::tensor`]. The element count is recomputed
+    /// with overflow checks and validated against the remaining bytes before
+    /// the data buffer is allocated.
+    pub fn tensor(&mut self) -> Result<Tensor, SnapshotError> {
+        let rank = self.u32()? as usize;
+        if rank > MAX_RANK {
+            return Err(SnapshotError::Malformed(format!("tensor rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        let mut numel: usize = 1;
+        for _ in 0..rank {
+            let d = self.usize()?;
+            numel = numel
+                .checked_mul(d)
+                .ok_or_else(|| SnapshotError::Malformed("tensor shape overflows".into()))?;
+            shape.push(d);
+        }
+        let bytes = numel
+            .checked_mul(4)
+            .ok_or_else(|| SnapshotError::Malformed("tensor byte size overflows".into()))?;
+        if bytes > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                needed: bytes,
+                have: self.remaining(),
+            });
+        }
+        let raw = self.take(bytes)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Tensor::from_vec(data, &shape))
+    }
+
+    /// Asserts the payload was consumed exactly — trailing bytes in a
+    /// section mean the writer and reader disagree on the layout.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{} unread bytes at end of section",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.usize(12345);
+        w.f32(-0.0);
+        w.f32(f32::NAN);
+        w.str("enc0.attn.bank.key1.w");
+        w.f32_slice(&[1.0, 2.5, -3.0]);
+        w.u64_slice(&[9, 8]);
+        let bytes = w.finish();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.usize().unwrap(), 12345);
+        // Bit-exact: -0.0 and NaN survive.
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.f32().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "enc0.attn.bank.key1.w");
+        assert_eq!(r.f32_vec().unwrap(), vec![1.0, 2.5, -3.0]);
+        assert_eq!(r.u64_vec().unwrap(), vec![9, 8]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tensors_round_trip_including_empty() {
+        for t in [
+            Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.25, 5.0, -6.0], &[2, 3]),
+            Tensor::zeros(&[3]),
+            Tensor::from_vec(Vec::new(), &[0, 4]),
+        ] {
+            let mut w = Writer::new();
+            w.tensor(&t);
+            let bytes = w.finish();
+            let mut r = Reader::new(&bytes);
+            let back = r.tensor().unwrap();
+            r.finish().unwrap();
+            assert_eq!(back.shape(), t.shape());
+            assert_eq!(back.data(), t.data());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.usize(usize::MAX / 2); // bogus huge length
+        let bytes = w.finish();
+        assert!(matches!(
+            Reader::new(&bytes).f32_vec(),
+            Err(SnapshotError::Truncated { .. }) | Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reader::new(&bytes).str(),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_reads_report_needed_bytes() {
+        let mut w = Writer::new();
+        w.u32(5);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        match r.u64() {
+            Err(SnapshotError::Truncated { needed: 8, have: 3 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unread_trailing_bytes_fail_finish() {
+        let mut w = Writer::new();
+        w.u32(1);
+        w.u32(2);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        r.u32().unwrap();
+        assert!(matches!(r.finish(), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn bogus_tensor_rank_is_rejected() {
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.finish();
+        assert!(matches!(
+            Reader::new(&bytes).tensor(),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+}

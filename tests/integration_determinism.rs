@@ -84,6 +84,57 @@ fn extra_verifier_passes_leave_training_bitwise_unchanged() {
     }
 }
 
+/// The crash-safety contract (DESIGN.md §10): training interrupted at a
+/// task boundary and resumed from its checkpoint must finish **bitwise
+/// identical** — every parameter and every accuracy — to a run that was
+/// never interrupted. The snapshot carries the RNG state and the optimizer
+/// moments precisely so the resumed stream picks up mid-sequence without
+/// the slightest divergence; a cross-process variant of this assertion
+/// (with a real kill between phases) runs in CI as `persistence-smoke`.
+#[test]
+fn interrupted_then_resumed_training_is_bitwise_identical() {
+    let (base_params, base_acc0, base_acc1) = train_at(1);
+
+    kernels::set_num_threads(1);
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 3;
+    config.warmup_epochs = 1;
+
+    // Phase 1: train task 0 only, checkpoint to disk, and drop the trainer
+    // — everything except the snapshot file dies with it.
+    let dir = std::env::temp_dir().join(format!("cdcl-det-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let ckpt = dir.join("task000.cdclsnap");
+    {
+        let mut trainer = CdclTrainer::new(config);
+        trainer.learn_task(&stream.tasks[0]);
+        trainer.save_snapshot(&ckpt).expect("write checkpoint");
+    }
+
+    // Phase 2: resume from the checkpoint and finish the stream.
+    let mut resumed = CdclTrainer::resume_from(&ckpt)
+        .unwrap_or_else(|e| panic!("resume from {}: {e}", ckpt.display()));
+    resumed.learn_task(&stream.tasks[1]);
+    let acc0 = resumed.eval_til(0, &stream.tasks[0].target_test);
+    let acc1 = resumed.eval_til(1, &stream.tasks[1].target_test);
+    std::fs::remove_dir_all(&dir).ok();
+    kernels::set_num_threads(0);
+
+    assert_eq!(acc0, base_acc0, "eval_til(0) diverged after resume");
+    assert_eq!(acc1, base_acc1, "eval_til(1) diverged after resume");
+    let params = resumed.model().params();
+    assert_eq!(params.len(), base_params.len());
+    for ((name, value), p) in base_params.iter().zip(params) {
+        assert_eq!(name, &p.name());
+        assert_eq!(
+            value,
+            p.value().data(),
+            "param {name} diverged after checkpoint/resume"
+        );
+    }
+}
+
 #[test]
 fn training_is_bitwise_identical_across_thread_counts() {
     let (base_params, base_acc0, base_acc1) = train_at(1);

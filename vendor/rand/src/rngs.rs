@@ -25,7 +25,19 @@ impl SmallRng {
         for slot in &mut s {
             *slot = splitmix64(&mut sm);
         }
-        // xoshiro256++ must not start from the all-zero state.
+        Self::from_state(s)
+    }
+
+    /// The raw xoshiro256++ state, for checkpointing: an RNG rebuilt via
+    /// [`SmallRng::from_state`] continues the stream bit-for-bit.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`SmallRng::state`]. The all-zero state is
+    /// a fixed point of xoshiro256++ (it would emit zeros forever), so it is
+    /// deterministically replaced the same way seeding does.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
         if s == [0, 0, 0, 0] {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
