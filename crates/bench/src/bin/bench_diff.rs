@@ -1,0 +1,429 @@
+//! `bench-diff`: regression gate between two `BENCH_*.json` files.
+//!
+//! Compares a committed baseline against a freshly generated bench report,
+//! field by field, and emits a Markdown delta table. Only fields with a
+//! known "better" direction are *gated*: throughput-like keys
+//! (`*ops_per_sec`, `throughput*`, `*rps`, `speedup`) must not drop by more
+//! than `--tolerance`, and latency-like keys (path contains `latency`) must
+//! not rise by more than it. Everything else numeric is reported as
+//! informational. Exit status: `0` clean, `1` regression beyond tolerance
+//! (`--soft` downgrades that to a warning + exit 0), `2` usage/IO error.
+//!
+//! ```text
+//! bench-diff BENCH_kernels.baseline.json BENCH_kernels.json \
+//!     --tolerance 0.10 --out bench-diff.md
+//! bench-diff --self-test     # verifies the gate trips on a synthetic regression
+//! ```
+//!
+//! Rows are matched by a structural path: object fields join with `.`, and
+//! array elements of objects are labelled by their identifying fields
+//! (`kernel`, `name`, `n`, `batch`, ...) so reordering results between runs
+//! does not misalign the comparison.
+
+use serde::Value;
+
+/// Relative change direction that counts as a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+    Info,
+}
+
+/// One compared numeric leaf.
+#[derive(Debug)]
+struct Delta {
+    path: String,
+    baseline: f64,
+    current: f64,
+    direction: Direction,
+}
+
+impl Delta {
+    /// Signed relative change, `current` vs `baseline`.
+    fn rel(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * self.current.signum()
+            }
+        } else {
+            (self.current - self.baseline) / self.baseline.abs()
+        }
+    }
+
+    /// Whether this row violates the tolerance in its gated direction.
+    fn regressed(&self, tolerance: f64) -> bool {
+        match self.direction {
+            Direction::HigherBetter => self.rel() < -tolerance,
+            Direction::LowerBetter => self.rel() > tolerance,
+            Direction::Info => false,
+        }
+    }
+}
+
+/// Classifies a leaf path into a gating direction by its last key.
+fn direction_for(path: &str) -> Direction {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    if key.ends_with("ops_per_sec")
+        || key.starts_with("throughput")
+        || key.ends_with("rps")
+        || key == "speedup"
+    {
+        Direction::HigherBetter
+    } else if path.contains("latency") {
+        Direction::LowerBetter
+    } else {
+        Direction::Info
+    }
+}
+
+/// Keys that identify an array element of an object (used to build stable
+/// row labels so result reordering cannot misalign the diff).
+const LABEL_KEYS: [&str; 7] = ["kernel", "name", "bench", "mode", "n", "batch", "d"];
+
+fn element_label(v: &Value, index: usize) -> String {
+    if let Value::Obj(fields) = v {
+        let parts: Vec<String> = LABEL_KEYS
+            .iter()
+            .filter_map(|&k| {
+                fields
+                    .iter()
+                    .find(|(name, _)| name == k)
+                    .map(|(_, fv)| match fv {
+                        Value::Str(s) => format!("{k}={s}"),
+                        Value::Num(n) => format!("{k}={n}"),
+                        other => format!("{k}={other:?}"),
+                    })
+            })
+            .collect();
+        if !parts.is_empty() {
+            return format!("[{}]", parts.join(","));
+        }
+    }
+    format!("[{index}]")
+}
+
+/// Flattens every numeric leaf to a `(path, value)` pair.
+fn flatten(v: &Value, path: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Num(n) => out.push((path.to_string(), *n)),
+        Value::Obj(fields) => {
+            for (k, fv) in fields {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten(fv, &sub, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let sub = format!("{path}{}", element_label(item, i));
+                flatten(item, &sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Pairs up baseline/current leaves by path (baseline order, unmatched
+/// paths reported separately).
+fn compare(baseline: &Value, current: &Value) -> (Vec<Delta>, Vec<String>, Vec<String>) {
+    let mut base_leaves = Vec::new();
+    let mut cur_leaves = Vec::new();
+    flatten(baseline, "", &mut base_leaves);
+    flatten(current, "", &mut cur_leaves);
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for (path, bval) in &base_leaves {
+        match cur_leaves.iter().find(|(p, _)| p == path) {
+            Some((_, cval)) => deltas.push(Delta {
+                path: path.clone(),
+                baseline: *bval,
+                current: *cval,
+                direction: direction_for(path),
+            }),
+            None => missing.push(path.clone()),
+        }
+    }
+    let added: Vec<String> = cur_leaves
+        .iter()
+        .filter(|(p, _)| !base_leaves.iter().any(|(bp, _)| bp == p))
+        .map(|(p, _)| p.clone())
+        .collect();
+    (deltas, missing, added)
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders the Markdown delta table. Gated rows come first; informational
+/// rows are listed only when they moved by more than `tolerance` (the table
+/// stays readable on large reports).
+fn render_markdown(
+    deltas: &[Delta],
+    missing: &[String],
+    added: &[String],
+    tolerance: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("# bench-diff\n\n");
+    out.push_str(&format!("Tolerance: {:.1}%\n\n", tolerance * 100.0));
+    out.push_str("| metric | baseline | current | delta | status |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    let mut rows: Vec<&Delta> = deltas
+        .iter()
+        .filter(|d| d.direction != Direction::Info || d.rel().abs() > tolerance)
+        .collect();
+    rows.sort_by(|a, b| {
+        (a.direction == Direction::Info)
+            .cmp(&(b.direction == Direction::Info))
+            .then(a.path.cmp(&b.path))
+    });
+    for d in rows {
+        let status = if d.regressed(tolerance) {
+            "**REGRESSED**"
+        } else if d.direction == Direction::Info {
+            "info"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {:+.1}% | {status} |\n",
+            d.path,
+            fmt_val(d.baseline),
+            fmt_val(d.current),
+            d.rel() * 100.0
+        ));
+    }
+    for p in missing {
+        out.push_str(&format!("| {p} | present | missing | — | **MISSING** |\n"));
+    }
+    if !added.is_empty() {
+        out.push_str(&format!(
+            "\n{} new metric path(s) not in the baseline.\n",
+            added.len()
+        ));
+    }
+    let regressions = deltas.iter().filter(|d| d.regressed(tolerance)).count();
+    out.push_str(&format!(
+        "\n{} gated metric(s), {} regression(s) beyond tolerance.\n",
+        deltas
+            .iter()
+            .filter(|d| d.direction != Direction::Info)
+            .count(),
+        regressions
+    ));
+    out
+}
+
+/// A synthetic baseline/current pair carrying a 50% throughput drop and a
+/// 3x latency rise; `--self-test` asserts the gate trips on it.
+fn self_test() -> bool {
+    let baseline: Value = serde_json::from_str(
+        r#"{"results":[{"kernel":"gemm_nn","n":64,"threaded_ops_per_sec":2.0e9,"speedup":3.0}],
+            "latency_us":{"p50":120.0},"note":"synthetic"}"#,
+    )
+    .expect("self-test baseline parses");
+    let current: Value = serde_json::from_str(
+        r#"{"results":[{"kernel":"gemm_nn","n":64,"threaded_ops_per_sec":1.0e9,"speedup":3.1}],
+            "latency_us":{"p50":360.0},"note":"synthetic"}"#,
+    )
+    .expect("self-test current parses");
+    let (deltas, missing, added) = compare(&baseline, &current);
+    let regressions: Vec<&Delta> = deltas.iter().filter(|d| d.regressed(0.10)).collect();
+    let throughput_caught = regressions
+        .iter()
+        .any(|d| d.path.ends_with("threaded_ops_per_sec"));
+    let latency_caught = regressions.iter().any(|d| d.path == "latency_us.p50");
+    let speedup_clean = deltas
+        .iter()
+        .any(|d| d.path.ends_with("speedup") && !d.regressed(0.10));
+    println!("{}", render_markdown(&deltas, &missing, &added, 0.10));
+    throughput_caught && latency_caught && speedup_clean && missing.is_empty() && added.is_empty()
+}
+
+struct Args {
+    baseline: Option<String>,
+    current: Option<String>,
+    tolerance: f64,
+    soft: bool,
+    out: Option<String>,
+    self_test: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: None,
+        current: None,
+        tolerance: 0.10,
+        soft: false,
+        out: None,
+        self_test: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                args.tolerance = argv[i].parse().expect("--tolerance <fraction>");
+            }
+            "--soft" => args.soft = true,
+            "--out" => {
+                i += 1;
+                args.out = Some(argv[i].clone());
+            }
+            "--self-test" => args.self_test = true,
+            path if !path.starts_with("--") => {
+                if args.baseline.is_none() {
+                    args.baseline = Some(path.to_string());
+                } else if args.current.is_none() {
+                    args.current = Some(path.to_string());
+                } else {
+                    usage_exit(&format!("unexpected extra argument {path}"));
+                }
+            }
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "bench-diff: {msg}\nusage: bench-diff <baseline.json> <current.json> \
+         [--tolerance 0.10] [--soft] [--out diff.md] | bench-diff --self-test"
+    );
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| usage_exit(&format!("cannot read {path}: {e}")));
+    serde_json::from_str(&text).unwrap_or_else(|e| usage_exit(&format!("cannot parse {path}: {e}")))
+}
+
+fn main() {
+    let args = parse_args();
+    if args.self_test {
+        if self_test() {
+            eprintln!("bench-diff: self-test ok (synthetic regression trips the gate)");
+            return;
+        }
+        eprintln!("bench-diff: self-test FAILED");
+        std::process::exit(1);
+    }
+    let (Some(baseline_path), Some(current_path)) = (&args.baseline, &args.current) else {
+        usage_exit("need <baseline.json> and <current.json>")
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let (deltas, missing, added) = compare(&baseline, &current);
+    let table = render_markdown(&deltas, &missing, &added, args.tolerance);
+    println!("{table}");
+    if let Some(out) = &args.out {
+        std::fs::write(out, &table)
+            .unwrap_or_else(|e| usage_exit(&format!("cannot write {out}: {e}")));
+    }
+    let regressions = deltas
+        .iter()
+        .filter(|d| d.regressed(args.tolerance))
+        .count()
+        + missing.len();
+    if regressions > 0 {
+        if args.soft {
+            eprintln!(
+                "bench-diff: WARNING: {regressions} regression(s) beyond {:.1}% \
+                 (soft mode, not failing)",
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!(
+                "bench-diff: {regressions} regression(s) beyond {:.1}%",
+                args.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(json: &str) -> Value {
+        serde_json::from_str(json).expect("test json parses")
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_regresses() {
+        let base = v(r#"{"r":[{"kernel":"k","threaded_ops_per_sec":100.0}]}"#);
+        let cur = v(r#"{"r":[{"kernel":"k","threaded_ops_per_sec":80.0}]}"#);
+        let (deltas, _, _) = compare(&base, &cur);
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].regressed(0.10));
+        assert!(!deltas[0].regressed(0.25));
+    }
+
+    #[test]
+    fn latency_rise_regresses_and_drop_does_not() {
+        let base = v(r#"{"latency_us":{"p50":100.0,"p95":200.0}}"#);
+        let cur = v(r#"{"latency_us":{"p50":150.0,"p95":120.0}}"#);
+        let (deltas, _, _) = compare(&base, &cur);
+        let p50 = deltas.iter().find(|d| d.path.ends_with("p50")).unwrap();
+        let p95 = deltas.iter().find(|d| d.path.ends_with("p95")).unwrap();
+        assert!(p50.regressed(0.10));
+        assert!(!p95.regressed(0.10));
+    }
+
+    #[test]
+    fn info_fields_never_gate() {
+        let base = v(r#"{"cores":8.0,"requests":100.0}"#);
+        let cur = v(r#"{"cores":1.0,"requests":5.0}"#);
+        let (deltas, _, _) = compare(&base, &cur);
+        assert!(deltas.iter().all(|d| !d.regressed(0.10)));
+    }
+
+    #[test]
+    fn rows_match_by_label_not_order() {
+        let base = v(r#"{"r":[{"kernel":"a","speedup":2.0},{"kernel":"b","speedup":4.0}]}"#);
+        let cur = v(r#"{"r":[{"kernel":"b","speedup":4.0},{"kernel":"a","speedup":2.0}]}"#);
+        let (deltas, missing, added) = compare(&base, &cur);
+        assert_eq!(deltas.len(), 2);
+        assert!(missing.is_empty() && added.is_empty());
+        assert!(deltas.iter().all(|d| d.rel() == 0.0));
+    }
+
+    #[test]
+    fn missing_paths_are_reported() {
+        let base = v(r#"{"a":{"speedup":2.0},"b":1.0}"#);
+        let cur = v(r#"{"a":{"speedup":2.0}}"#);
+        let (_, missing, _) = compare(&base, &cur);
+        assert_eq!(missing, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn self_test_catches_the_synthetic_regression() {
+        assert!(self_test());
+    }
+
+    #[test]
+    fn markdown_marks_regressions() {
+        let base = v(r#"{"throughput_rps":100.0}"#);
+        let cur = v(r#"{"throughput_rps":50.0}"#);
+        let (deltas, missing, added) = compare(&base, &cur);
+        let md = render_markdown(&deltas, &missing, &added, 0.10);
+        assert!(md.contains("**REGRESSED**"), "{md}");
+        assert!(md.contains("-50.0%"), "{md}");
+    }
+}

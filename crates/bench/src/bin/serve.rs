@@ -22,476 +22,22 @@
 //!
 //! Responses carry `pred` (argmax class — task-local for TIL, global for
 //! CIL) and the full probability row; malformed requests get
-//! `{"ok": false, "error": ...}` instead of aborting the server. With
-//! `--tcp ADDR` the same protocol runs over a `std::net` accept loop
-//! (single-threaded, one connection at a time — the kernel pool already
-//! parallelizes the forward pass). Per-batch latency goes to
-//! `cdcl-telemetry` as `serve_batch` events and is summarized in
-//! `--bench-out` (`BENCH_serve.json`).
-
-use cdcl_autograd::Graph;
-use cdcl_bench::maybe_write_json;
-use cdcl_core::CdclTrainer;
-use cdcl_telemetry as telemetry;
-use cdcl_tensor::Tensor;
-use serde::{Deserialize, Serialize};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::PathBuf;
-use std::time::Instant;
-
-/// One JSON-lines prediction request.
-#[derive(Debug, Deserialize)]
-struct Request {
-    /// Client-chosen id, echoed in the response (0 when omitted).
-    id: Option<u64>,
-    /// `"til"` or `"cil"`.
-    mode: Option<String>,
-    /// Task id (TIL only).
-    task: Option<usize>,
-    /// Flattened `c*h*w` image.
-    image: Option<Vec<f32>>,
-}
-
-/// One JSON-lines prediction response.
-#[derive(Debug, Serialize)]
-struct Response {
-    id: u64,
-    ok: bool,
-    mode: Option<String>,
-    task: Option<usize>,
-    /// Argmax class: task-local for TIL, global for CIL.
-    pred: Option<usize>,
-    /// Full probability row (softmax).
-    probs: Option<Vec<f32>>,
-    error: Option<String>,
-}
-
-impl Response {
-    fn failure(id: u64, error: String) -> Self {
-        Self {
-            id,
-            ok: false,
-            mode: None,
-            task: None,
-            pred: None,
-            probs: None,
-            error: Some(error),
-        }
-    }
-}
-
-/// Latency/throughput summary written to `--bench-out`.
-#[derive(Debug, Serialize)]
-struct LatencySummary {
-    mean: f64,
-    p50: f64,
-    p95: f64,
-    max: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct ServeReport {
-    snapshot: String,
-    tasks: usize,
-    total_classes: usize,
-    max_batch: usize,
-    requests: u64,
-    failed_requests: u64,
-    batches: u64,
-    mean_batch_size: f64,
-    latency_us: LatencySummary,
-    throughput_rps: f64,
-}
-
-/// Running serve statistics; one entry per executed micro-batch.
-#[derive(Debug, Default)]
-struct ServeStats {
-    requests: u64,
-    failed: u64,
-    /// `(batch_size, latency_us)` per forward pass.
-    batches: Vec<(usize, f64)>,
-}
-
-impl ServeStats {
-    fn report(&self, snapshot: &str, trainer: &CdclTrainer, max_batch: usize) -> ServeReport {
-        let mut lat: Vec<f64> = self.batches.iter().map(|&(_, us)| us).collect();
-        lat.sort_by(|a, b| a.total_cmp(b));
-        let pct = |q: f64| -> f64 {
-            if lat.is_empty() {
-                return 0.0;
-            }
-            let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
-            lat[idx]
-        };
-        let total_us: f64 = lat.iter().sum();
-        let served: u64 = self.batches.iter().map(|&(n, _)| n as u64).sum();
-        ServeReport {
-            snapshot: snapshot.to_string(),
-            tasks: trainer.model().num_tasks(),
-            total_classes: trainer.model().total_classes(),
-            max_batch,
-            requests: self.requests,
-            failed_requests: self.failed,
-            batches: self.batches.len() as u64,
-            mean_batch_size: if self.batches.is_empty() {
-                0.0
-            } else {
-                served as f64 / self.batches.len() as f64
-            },
-            latency_us: LatencySummary {
-                mean: if lat.is_empty() {
-                    0.0
-                } else {
-                    total_us / lat.len() as f64
-                },
-                p50: pct(0.50),
-                p95: pct(0.95),
-                max: lat.last().copied().unwrap_or(0.0),
-            },
-            throughput_rps: if total_us > 0.0 {
-                served as f64 / (total_us / 1e6)
-            } else {
-                0.0
-            },
-        }
-    }
-}
-
-struct ServeArgs {
-    snapshot: PathBuf,
-    tcp: Option<String>,
-    max_batch: usize,
-    bench_out: Option<String>,
-    /// TCP mode: exit after this many connections (0 = forever).
-    conns: usize,
-}
-
-fn parse_args() -> ServeArgs {
-    let mut args = ServeArgs {
-        snapshot: PathBuf::new(),
-        tcp: None,
-        max_batch: 32,
-        bench_out: Some("BENCH_serve.json".to_string()),
-        conns: 1,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--snapshot" => {
-                i += 1;
-                args.snapshot = PathBuf::from(&argv[i]);
-            }
-            "--tcp" => {
-                i += 1;
-                args.tcp = Some(argv[i].clone());
-            }
-            "--max-batch" => {
-                i += 1;
-                args.max_batch = argv[i].parse().expect("--max-batch <n>");
-                assert!(args.max_batch > 0, "--max-batch must be positive");
-            }
-            "--bench-out" => {
-                i += 1;
-                args.bench_out = match argv[i].as_str() {
-                    "none" => None,
-                    path => Some(path.to_string()),
-                };
-            }
-            "--conns" => {
-                i += 1;
-                args.conns = argv[i].parse().expect("--conns <n>");
-            }
-            other => panic!(
-                "unknown argument {other}; known: --snapshot --tcp --max-batch --bench-out --conns"
-            ),
-        }
-        i += 1;
-    }
-    assert!(
-        !args.snapshot.as_os_str().is_empty(),
-        "--snapshot <path.cdclsnap> is required"
-    );
-    args
-}
-
-/// Re-verifies every restored task through the graph verifier before the
-/// server answers anything: one forward-only graph per task (through that
-/// task's `K_i`/`b_i` and TIL head) is checked for shape consistency and
-/// the frozen contract over `expected_frozen_params()`. A snapshot that
-/// passed the loader's structural validation but violates the freezing
-/// invariants is refused here.
-fn reverify_frozen(trainer: &CdclTrainer) -> Result<(), String> {
-    let model = trainer.model();
-    let frozen = model.expected_frozen_params();
-    let (c, (h, w)) = (
-        trainer.config().backbone.in_channels,
-        trainer.config().backbone.in_hw,
-    );
-    for t in 0..model.num_tasks() {
-        let mut g = Graph::new();
-        let x = g.input(Tensor::zeros(&[1, c, h, w]));
-        let z = model.features_self(&mut g, x, t);
-        let til = model.til_logits(&mut g, z, t);
-        let lp = g.log_softmax_last(til);
-        let loss = g.nll_loss(lp, &[0]);
-        g.verify(loss, &frozen)
-            .map_err(|e| format!("snapshot failed graph re-verification for task {t}: {e}"))?;
-    }
-    if telemetry::enabled() {
-        telemetry::Event::new("serve")
-            .name("frozen_reverified")
-            .u64_field("tasks", model.num_tasks() as u64)
-            .u64_field("frozen_params", frozen.len() as u64)
-            .emit();
-    }
-    Ok(())
-}
-
-/// Validates one parsed request against the loaded model. Returns the
-/// batching key `(is_til, task)` on success.
-fn validate(trainer: &CdclTrainer, req: &Request) -> Result<(bool, usize), String> {
-    let model = trainer.model();
-    let (c, (h, w)) = (
-        trainer.config().backbone.in_channels,
-        trainer.config().backbone.in_hw,
-    );
-    let image = req.image.as_ref().ok_or("missing `image`")?;
-    if image.len() != c * h * w {
-        return Err(format!(
-            "image has {} floats, model expects {} (c={c}, h={h}, w={w})",
-            image.len(),
-            c * h * w
-        ));
-    }
-    if !image.iter().all(|v| v.is_finite()) {
-        return Err("image contains non-finite values".to_string());
-    }
-    match req.mode.as_deref() {
-        Some("til") => {
-            let task = req.task.ok_or("`til` requests need `task`")?;
-            if task >= model.num_tasks() {
-                return Err(format!(
-                    "task {task} out of range (snapshot has {} tasks)",
-                    model.num_tasks()
-                ));
-            }
-            Ok((true, task))
-        }
-        Some("cil") => Ok((false, 0)),
-        other => Err(format!(
-            "unknown mode {other:?} (expected \"til\" or \"cil\")"
-        )),
-    }
-}
-
-fn argmax(row: &[f32]) -> usize {
-    let mut best = 0;
-    for (i, &v) in row.iter().enumerate() {
-        if v > row[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-/// Runs the accumulated queue: groups by `(mode, task)`, executes one
-/// forward pass per group, and writes responses in arrival order.
-fn flush_batch(
-    trainer: &CdclTrainer,
-    pending: &mut Vec<(u64, Request)>,
-    out: &mut dyn Write,
-    stats: &mut ServeStats,
-) -> std::io::Result<()> {
-    if pending.is_empty() {
-        return Ok(());
-    }
-    let queue = std::mem::take(pending);
-    let mut responses: Vec<Option<Response>> = (0..queue.len()).map(|_| None).collect();
-    // (key, member indexes into `queue`), insertion-ordered for determinism.
-    let mut groups: Vec<((bool, usize), Vec<usize>)> = Vec::new();
-    for (i, (id, req)) in queue.iter().enumerate() {
-        stats.requests += 1;
-        match validate(trainer, req) {
-            Ok(key) => match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, members)) => members.push(i),
-                None => groups.push((key, vec![i])),
-            },
-            Err(e) => {
-                stats.failed += 1;
-                responses[i] = Some(Response::failure(*id, e));
-            }
-        }
-    }
-
-    let (c, (h, w)) = (
-        trainer.config().backbone.in_channels,
-        trainer.config().backbone.in_hw,
-    );
-    for ((is_til, task), members) in groups {
-        let n = members.len();
-        let mut data = Vec::with_capacity(n * c * h * w);
-        for &i in &members {
-            data.extend_from_slice(queue[i].1.image.as_deref().unwrap_or(&[]));
-        }
-        let images = Tensor::from_vec(data, &[n, c, h, w]);
-        let started = Instant::now();
-        let probs = if is_til {
-            trainer.model().predict_til(&images, task)
-        } else {
-            trainer.model().predict_cil(&images)
-        };
-        let latency_us = started.elapsed().as_secs_f64() * 1e6;
-        stats.batches.push((n, latency_us));
-        if telemetry::enabled() {
-            telemetry::Event::new("serve_batch")
-                .name(if is_til { "til" } else { "cil" })
-                .task(task)
-                .u64_field("batch", n as u64)
-                .f64_field("latency_us", latency_us)
-                .emit();
-        }
-        let classes = probs.shape()[1];
-        for (row, &i) in members.iter().enumerate() {
-            let p = &probs.data()[row * classes..(row + 1) * classes];
-            responses[i] = Some(Response {
-                id: queue[i].0,
-                ok: true,
-                mode: Some(if is_til { "til" } else { "cil" }.to_string()),
-                task: is_til.then_some(task),
-                pred: Some(argmax(p)),
-                probs: Some(p.to_vec()),
-                error: None,
-            });
-        }
-    }
-
-    for resp in responses.into_iter().flatten() {
-        let line = serde_json::to_string(&resp).expect("serialize response");
-        writeln!(out, "{line}")?;
-    }
-    out.flush()
-}
-
-/// The serve loop over one request stream: queue lines, flush at
-/// `--max-batch`, on a blank line, and at end-of-stream.
-fn serve_stream(
-    trainer: &CdclTrainer,
-    reader: &mut dyn BufRead,
-    writer: &mut dyn Write,
-    max_batch: usize,
-    stats: &mut ServeStats,
-) -> std::io::Result<()> {
-    let mut pending: Vec<(u64, Request)> = Vec::new();
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // EOF
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            flush_batch(trainer, &mut pending, writer, stats)?;
-            continue;
-        }
-        match serde_json::from_str::<Request>(trimmed) {
-            Ok(req) => {
-                let id = req.id.unwrap_or(0);
-                pending.push((id, req));
-            }
-            Err(e) => {
-                stats.requests += 1;
-                stats.failed += 1;
-                let resp = Response::failure(0, format!("bad request line: {e}"));
-                let out = serde_json::to_string(&resp).expect("serialize response");
-                writeln!(writer, "{out}")?;
-                writer.flush()?;
-            }
-        }
-        if pending.len() >= max_batch {
-            flush_batch(trainer, &mut pending, writer, stats)?;
-        }
-    }
-    flush_batch(trainer, &mut pending, writer, stats)
-}
+//! `{"ok": false, "error": ...}` instead of aborting the server, and a
+//! batch whose output probabilities contain NaN/Inf is answered with
+//! errors (counted in `cdcl_serve_nonfinite_total`) rather than garbage
+//! predictions. With `--tcp ADDR` the same protocol runs over a
+//! `std::net` accept loop (single-threaded, one connection at a time — the
+//! kernel pool already parallelizes the forward pass); a connection
+//! opening with `GET /metrics` is answered with the Prometheus exposition
+//! of the `cdcl_serve_*` registry metrics. On any stream the bare line
+//! `METRICS` returns the registry as one JSON object, and
+//! `--metrics-every N` prints a registry summary to stderr every `N`
+//! requests. Per-batch latency goes to `cdcl-telemetry` as `serve_batch`
+//! events and is summarized in `--bench-out` (`BENCH_serve.json`). The
+//! engine lives in `cdcl_bench::serve` so the TCP integration test can
+//! drive it in-process.
 
 fn main() {
-    let args = parse_args();
-    let trainer = match CdclTrainer::resume_from(&args.snapshot) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cdcl-serve: cannot load {}: {e}", args.snapshot.display());
-            std::process::exit(2);
-        }
-    };
-    if let Err(e) = reverify_frozen(&trainer) {
-        eprintln!("cdcl-serve: {e}");
-        std::process::exit(3);
-    }
-    eprintln!(
-        "cdcl-serve: loaded {} ({} tasks, {} classes), frozen params re-verified",
-        args.snapshot.display(),
-        trainer.model().num_tasks(),
-        trainer.model().total_classes()
-    );
-
-    let mut stats = ServeStats::default();
-    match &args.tcp {
-        None => {
-            let stdin = std::io::stdin();
-            let stdout = std::io::stdout();
-            let mut reader = BufReader::new(stdin.lock());
-            let mut writer = BufWriter::new(stdout.lock());
-            serve_stream(
-                &trainer,
-                &mut reader,
-                &mut writer,
-                args.max_batch,
-                &mut stats,
-            )
-            .expect("serve stdin/stdout");
-        }
-        Some(addr) => {
-            let listener = std::net::TcpListener::bind(addr)
-                .unwrap_or_else(|e| panic!("cdcl-serve: bind {addr}: {e}"));
-            eprintln!("cdcl-serve: listening on {addr}");
-            let mut served = 0usize;
-            for conn in listener.incoming() {
-                let conn = conn.expect("accept connection");
-                let peer = conn.peer_addr().map(|a| a.to_string());
-                let mut reader = BufReader::new(conn.try_clone().expect("clone connection"));
-                let mut writer = BufWriter::new(conn);
-                if let Err(e) = serve_stream(
-                    &trainer,
-                    &mut reader,
-                    &mut writer,
-                    args.max_batch,
-                    &mut stats,
-                ) {
-                    eprintln!("cdcl-serve: connection {peer:?} dropped: {e}");
-                }
-                served += 1;
-                if args.conns > 0 && served >= args.conns {
-                    break;
-                }
-            }
-        }
-    }
-
-    let report = stats.report(
-        &args.snapshot.display().to_string(),
-        &trainer,
-        args.max_batch,
-    );
-    maybe_write_json(&args.bench_out, &report);
-    telemetry::flush();
-    eprintln!(
-        "cdcl-serve: {} requests ({} failed) in {} batches, mean batch {:.2}, p50 {:.0}us, throughput {:.1} rps",
-        report.requests,
-        report.failed_requests,
-        report.batches,
-        report.mean_batch_size,
-        report.latency_us.p50,
-        report.throughput_rps
-    );
+    let args = cdcl_bench::serve::parse_args();
+    cdcl_bench::serve::run(&args);
 }

@@ -3,8 +3,10 @@
 //! Reads the event stream produced by `cdcl-telemetry` (one JSON object per
 //! line), aggregates it per task — phase wall-clock, step counts, first/last
 //! losses, pair agreement, pseudo-label flip rate, memory occupancy, and
-//! kernel counters — and prints a Markdown table. `--out <path>` also dumps
-//! the full per-task aggregates as JSON.
+//! kernel counters — and prints a Markdown table. Span durations are also
+//! folded onto the shared `cdcl-obs` histogram grid, yielding per-phase
+//! p50/p95/p99 columns alongside the wall-clock totals. `--out <path>` also
+//! dumps the full aggregates as JSON.
 //!
 //! ```text
 //! CDCL_TRACE=trace.jsonl cargo run --release -p cdcl-bench --bin table1 -- --scale smoke
@@ -13,6 +15,7 @@
 
 use std::collections::BTreeMap;
 
+use cdcl_obs::hist;
 use serde::{Serialize, Value};
 
 /// Aggregated view of one task's events.
@@ -43,10 +46,24 @@ struct TaskAgg {
     warnings: usize,
 }
 
+/// Distribution of one phase's span durations across all tasks, estimated
+/// from the shared `cdcl-obs` log-bucket grid (`hist::BUCKET_BOUNDS`).
+#[derive(Debug, Clone, Serialize)]
+struct PhaseDist {
+    phase: String,
+    spans: u64,
+    total_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
 /// The whole summary: tasks in order plus trace-level tallies.
 #[derive(Debug, Default, Serialize)]
 struct Summary {
     tasks: Vec<TaskAgg>,
+    /// Per-phase span-duration percentiles (trace-wide, sorted by name).
+    phases: Vec<PhaseDist>,
     events: usize,
     /// Lines that failed to parse as JSON (a healthy trace has zero).
     malformed: usize,
@@ -78,6 +95,11 @@ fn str_field<'a>(v: &'a Value, key: &str) -> Option<&'a str> {
 fn fold(lines: impl Iterator<Item = String>) -> Summary {
     let mut by_task: BTreeMap<usize, TaskAgg> = BTreeMap::new();
     let mut phase_ms: BTreeMap<usize, BTreeMap<String, f64>> = BTreeMap::new();
+    // Trace-wide span distributions on the shared log-bucket grid, keyed by
+    // phase name. Durations are bucketed in microseconds — the same unit the
+    // live `cdcl_train_*_step_us` histograms use — so the grid's nine
+    // decades leave headroom on both ends.
+    let mut dist: BTreeMap<String, ([u64; hist::BUCKET_COUNT], f64)> = BTreeMap::new();
     let mut summary = Summary::default();
     for line in lines {
         if line.trim().is_empty() {
@@ -88,6 +110,15 @@ fn fold(lines: impl Iterator<Item = String>) -> Summary {
             continue;
         };
         summary.events += 1;
+        if str_field(&v, "ev") == Some("phase") {
+            if let (Some(name), Some(ms)) = (str_field(&v, "name"), num(&v, "dur_ms")) {
+                let (buckets, total) = dist
+                    .entry(name.to_string())
+                    .or_insert(([0u64; hist::BUCKET_COUNT], 0.0));
+                buckets[hist::bucket_index(ms * 1000.0)] += 1;
+                *total += ms;
+            }
+        }
         let Some(task) = num(&v, "task").map(|t| t as usize) else {
             continue; // task-less events don't join the per-task table
         };
@@ -137,6 +168,17 @@ fn fold(lines: impl Iterator<Item = String>) -> Summary {
         }
     }
     summary.tasks = by_task.into_values().collect();
+    summary.phases = dist
+        .into_iter()
+        .map(|(phase, (buckets, total_ms))| PhaseDist {
+            spans: buckets.iter().sum(),
+            total_ms,
+            p50_ms: hist::percentile(&buckets, 0.50) / 1000.0,
+            p95_ms: hist::percentile(&buckets, 0.95) / 1000.0,
+            p99_ms: hist::percentile(&buckets, 0.99) / 1000.0,
+            phase,
+        })
+        .collect();
     summary
 }
 
@@ -205,6 +247,17 @@ fn render_markdown(s: &Summary) -> String {
             })
             .collect();
         out.push_str(&format!("| {} | {} |\n", t.task, cells.join(" | ")));
+    }
+    if !s.phases.is_empty() {
+        out.push_str("\n## Phase duration percentiles (ms)\n\n");
+        out.push_str("| phase | spans | total | p50 | p95 | p99 |\n");
+        out.push_str("|-------|------:|------:|----:|----:|----:|\n");
+        for p in &s.phases {
+            out.push_str(&format!(
+                "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} |\n",
+                p.phase, p.spans, p.total_ms, p.p50_ms, p.p95_ms, p.p99_ms
+            ));
+        }
     }
     out
 }
@@ -282,6 +335,17 @@ mod tests {
         assert_eq!(t0.pool_spawns, 4);
         assert_eq!(t0.phase_ms, vec![("warmup".to_string(), 15.0)]);
         assert_eq!(s.tasks[1].memory_occupancy, Some(30.0));
+        // The two warmup spans (10 ms, 5 ms → 10000 µs, 5000 µs) land in the
+        // (2e3, 5e3] and (5e3, 1e4] buckets; interpolation puts p50 at the
+        // 5 ms bound and p95/p99 at 90%/98% through the upper bucket.
+        assert_eq!(s.phases.len(), 1);
+        let p = &s.phases[0];
+        assert_eq!(p.phase, "warmup");
+        assert_eq!(p.spans, 2);
+        assert!((p.total_ms - 15.0).abs() < 1e-9);
+        assert!((p.p50_ms - 5.0).abs() < 1e-9, "p50 = {}", p.p50_ms);
+        assert!((p.p95_ms - 9.5).abs() < 1e-9, "p95 = {}", p.p95_ms);
+        assert!((p.p99_ms - 9.9).abs() < 1e-9, "p99 = {}", p.p99_ms);
     }
 
     #[test]
@@ -303,5 +367,20 @@ mod tests {
         let md = render_markdown(&s);
         assert!(md.contains("| 0 | 1 | 1.0000 |"), "{md}");
         assert!(md.contains("| 1 | 1 | 2.0000 |"), "{md}");
+    }
+
+    #[test]
+    fn percentile_section_renders_and_skips_empty_traces() {
+        let with_spans = fold(lines(&[
+            r#"{"seq":0,"ms":0.1,"ev":"phase","name":"adaptation","task":0,"epoch":0,"dur_ms":3.0}"#,
+        ]));
+        let md = render_markdown(&with_spans);
+        assert!(md.contains("## Phase duration percentiles (ms)"), "{md}");
+        assert!(md.contains("| adaptation | 1 | 3.0 |"), "{md}");
+        let no_spans = fold(lines(&[
+            r#"{"seq":0,"ms":0.1,"ev":"scalar","name":"loss_total","task":0,"value":1.0}"#,
+        ]));
+        let md = render_markdown(&no_spans);
+        assert!(!md.contains("percentiles"), "{md}");
     }
 }

@@ -15,6 +15,8 @@
 //! `--methods a,b,c` filter, and `--out <path>` for a JSON dump next to the
 //! printed table.
 
+pub mod serve;
+
 use cdcl_baselines::{
     run_static_uda, BaselineConfig, CdTransSize, CdTransTrainer, DerTrainer, DerVariant,
     HalTrainer, MlsTrainer,

@@ -1,0 +1,673 @@
+//! The `cdcl-serve` engine: batched TIL/CIL inference over a snapshot.
+//!
+//! This module is the whole server minus `main` — the `cdcl-serve` bin is a
+//! thin wrapper, and the TCP integration test (`tests/serve_metrics.rs`)
+//! drives [`run_tcp`] in-process against an ephemeral listener. See the bin
+//! docs for the JSONL protocol; this module adds the observability surface
+//! (DESIGN.md §11):
+//!
+//! * every micro-batch feeds the `cdcl_serve_*` registry metrics
+//!   (batch-size / latency / queue-depth histograms, request counters);
+//! * a TCP connection whose first line is an HTTP `GET /metrics` request is
+//!   answered with the Prometheus exposition instead of JSONL;
+//! * the bare line `METRICS` on any JSONL stream returns the registry as
+//!   one JSON object (`{"ok":true,"metrics":...}`);
+//! * `--metrics-every N` prints a one-line registry summary to stderr every
+//!   `N` requests (stdio mode's stdout belongs to the response stream);
+//! * output probabilities are screened per batch: a row containing NaN/Inf
+//!   becomes an error response and bumps `cdcl_serve_nonfinite_total`
+//!   instead of shipping a garbage prediction.
+
+use cdcl_autograd::Graph;
+use cdcl_core::CdclTrainer;
+use cdcl_telemetry as telemetry;
+use cdcl_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Instant;
+
+static REQUESTS_TOTAL: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_serve_requests_total",
+    "Prediction requests received (including malformed ones)",
+);
+static FAILED_TOTAL: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_serve_failed_total",
+    "Requests answered with an error response",
+);
+static NONFINITE_TOTAL: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_serve_nonfinite_total",
+    "Requests whose output probabilities contained NaN/Inf (answered as errors)",
+);
+static BATCHES_TOTAL: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_serve_batches_total",
+    "Forward-pass micro-batches executed",
+);
+static BATCH_LATENCY_US: cdcl_obs::Histogram = cdcl_obs::Histogram::new(
+    "cdcl_serve_batch_latency_us",
+    "Forward-pass latency per micro-batch (microseconds)",
+);
+static BATCH_SIZE: cdcl_obs::Histogram =
+    cdcl_obs::Histogram::new("cdcl_serve_batch_size", "Requests per executed micro-batch");
+static QUEUE_DEPTH: cdcl_obs::Histogram = cdcl_obs::Histogram::new(
+    "cdcl_serve_queue_depth",
+    "Pending queue length at each flush (before grouping)",
+);
+
+/// One JSON-lines prediction request.
+#[derive(Debug, Deserialize)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response (0 when omitted).
+    pub id: Option<u64>,
+    /// `"til"` or `"cil"`.
+    pub mode: Option<String>,
+    /// Task id (TIL only).
+    pub task: Option<usize>,
+    /// Flattened `c*h*w` image.
+    pub image: Option<Vec<f32>>,
+}
+
+/// One JSON-lines prediction response.
+#[derive(Debug, Serialize)]
+pub struct Response {
+    pub id: u64,
+    pub ok: bool,
+    pub mode: Option<String>,
+    pub task: Option<usize>,
+    /// Argmax class: task-local for TIL, global for CIL.
+    pub pred: Option<usize>,
+    /// Full probability row (softmax).
+    pub probs: Option<Vec<f32>>,
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn failure(id: u64, error: String) -> Self {
+        Self {
+            id,
+            ok: false,
+            mode: None,
+            task: None,
+            pred: None,
+            probs: None,
+            error: Some(error),
+        }
+    }
+}
+
+/// Latency/throughput summary written to `--bench-out`.
+#[derive(Debug, Serialize)]
+pub struct LatencySummary {
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub max: f64,
+}
+
+/// The `BENCH_serve.json` payload.
+#[derive(Debug, Serialize)]
+pub struct ServeReport {
+    pub snapshot: String,
+    pub tasks: usize,
+    pub total_classes: usize,
+    pub max_batch: usize,
+    pub requests: u64,
+    pub failed_requests: u64,
+    pub batches: u64,
+    pub mean_batch_size: f64,
+    pub latency_us: LatencySummary,
+    pub throughput_rps: f64,
+}
+
+/// Running serve statistics; one entry per executed micro-batch.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    pub requests: u64,
+    pub failed: u64,
+    /// `(batch_size, latency_us)` per forward pass.
+    pub batches: Vec<(usize, f64)>,
+}
+
+impl ServeStats {
+    /// Folds the run into the `--bench-out` report.
+    pub fn report(&self, snapshot: &str, trainer: &CdclTrainer, max_batch: usize) -> ServeReport {
+        let mut lat: Vec<f64> = self.batches.iter().map(|&(_, us)| us).collect();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+            lat[idx]
+        };
+        let total_us: f64 = lat.iter().sum();
+        let served: u64 = self.batches.iter().map(|&(n, _)| n as u64).sum();
+        ServeReport {
+            snapshot: snapshot.to_string(),
+            tasks: trainer.model().num_tasks(),
+            total_classes: trainer.model().total_classes(),
+            max_batch,
+            requests: self.requests,
+            failed_requests: self.failed,
+            batches: self.batches.len() as u64,
+            mean_batch_size: if self.batches.is_empty() {
+                0.0
+            } else {
+                served as f64 / self.batches.len() as f64
+            },
+            latency_us: LatencySummary {
+                mean: if lat.is_empty() {
+                    0.0
+                } else {
+                    total_us / lat.len() as f64
+                },
+                p50: pct(0.50),
+                p95: pct(0.95),
+                max: lat.last().copied().unwrap_or(0.0),
+            },
+            throughput_rps: if total_us > 0.0 {
+                served as f64 / (total_us / 1e6)
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Parsed `cdcl-serve` command line.
+pub struct ServeArgs {
+    pub snapshot: PathBuf,
+    pub tcp: Option<String>,
+    pub max_batch: usize,
+    pub bench_out: Option<String>,
+    /// TCP mode: exit after this many connections (0 = forever).
+    pub conns: usize,
+    /// Stdio mode: stderr metrics summary every N requests (0 = never).
+    pub metrics_every: usize,
+}
+
+/// Parses `std::env::args` (panics with usage on unknown flags — bench
+/// binaries fail fast).
+pub fn parse_args() -> ServeArgs {
+    let mut args = ServeArgs {
+        snapshot: PathBuf::new(),
+        tcp: None,
+        max_batch: 32,
+        bench_out: Some("BENCH_serve.json".to_string()),
+        conns: 1,
+        metrics_every: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--snapshot" => {
+                i += 1;
+                args.snapshot = PathBuf::from(&argv[i]);
+            }
+            "--tcp" => {
+                i += 1;
+                args.tcp = Some(argv[i].clone());
+            }
+            "--max-batch" => {
+                i += 1;
+                args.max_batch = argv[i].parse().expect("--max-batch <n>");
+                assert!(args.max_batch > 0, "--max-batch must be positive");
+            }
+            "--bench-out" => {
+                i += 1;
+                args.bench_out = match argv[i].as_str() {
+                    "none" => None,
+                    path => Some(path.to_string()),
+                };
+            }
+            "--conns" => {
+                i += 1;
+                args.conns = argv[i].parse().expect("--conns <n>");
+            }
+            "--metrics-every" => {
+                i += 1;
+                args.metrics_every = argv[i].parse().expect("--metrics-every <n>");
+            }
+            other => panic!(
+                "unknown argument {other}; known: --snapshot --tcp --max-batch --bench-out --conns --metrics-every"
+            ),
+        }
+        i += 1;
+    }
+    assert!(
+        !args.snapshot.as_os_str().is_empty(),
+        "--snapshot <path.cdclsnap> is required"
+    );
+    args
+}
+
+/// Re-verifies every restored task through the graph verifier before the
+/// server answers anything: one forward-only graph per task (through that
+/// task's `K_i`/`b_i` and TIL head) is checked for shape consistency and
+/// the frozen contract over `expected_frozen_params()`. A snapshot that
+/// passed the loader's structural validation but violates the freezing
+/// invariants is refused here.
+pub fn reverify_frozen(trainer: &CdclTrainer) -> Result<(), String> {
+    let model = trainer.model();
+    let frozen = model.expected_frozen_params();
+    let (c, (h, w)) = (
+        trainer.config().backbone.in_channels,
+        trainer.config().backbone.in_hw,
+    );
+    for t in 0..model.num_tasks() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, c, h, w]));
+        let z = model.features_self(&mut g, x, t);
+        let til = model.til_logits(&mut g, z, t);
+        let lp = g.log_softmax_last(til);
+        let loss = g.nll_loss(lp, &[0]);
+        g.verify(loss, &frozen)
+            .map_err(|e| format!("snapshot failed graph re-verification for task {t}: {e}"))?;
+    }
+    if telemetry::enabled() {
+        telemetry::Event::new("serve")
+            .name("frozen_reverified")
+            .u64_field("tasks", model.num_tasks() as u64)
+            .u64_field("frozen_params", frozen.len() as u64)
+            .emit();
+    }
+    Ok(())
+}
+
+/// Validates one parsed request against the loaded model. Returns the
+/// batching key `(is_til, task)` on success.
+fn validate(trainer: &CdclTrainer, req: &Request) -> Result<(bool, usize), String> {
+    let model = trainer.model();
+    let (c, (h, w)) = (
+        trainer.config().backbone.in_channels,
+        trainer.config().backbone.in_hw,
+    );
+    let image = req.image.as_ref().ok_or("missing `image`")?;
+    if image.len() != c * h * w {
+        return Err(format!(
+            "image has {} floats, model expects {} (c={c}, h={h}, w={w})",
+            image.len(),
+            c * h * w
+        ));
+    }
+    if !image.iter().all(|v| v.is_finite()) {
+        return Err("image contains non-finite values".to_string());
+    }
+    match req.mode.as_deref() {
+        Some("til") => {
+            let task = req.task.ok_or("`til` requests need `task`")?;
+            if task >= model.num_tasks() {
+                return Err(format!(
+                    "task {task} out of range (snapshot has {} tasks)",
+                    model.num_tasks()
+                ));
+            }
+            Ok((true, task))
+        }
+        Some("cil") => Ok((false, 0)),
+        other => Err(format!(
+            "unknown mode {other:?} (expected \"til\" or \"cil\")"
+        )),
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runs the accumulated queue: groups by `(mode, task)`, executes one
+/// forward pass per group, screens outputs for NaN/Inf, and writes
+/// responses in arrival order.
+fn flush_batch(
+    trainer: &CdclTrainer,
+    pending: &mut Vec<(u64, Request)>,
+    out: &mut dyn Write,
+    stats: &mut ServeStats,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    QUEUE_DEPTH.observe(pending.len() as f64);
+    let queue = std::mem::take(pending);
+    let mut responses: Vec<Option<Response>> = (0..queue.len()).map(|_| None).collect();
+    // (key, member indexes into `queue`), insertion-ordered for determinism.
+    let mut groups: Vec<((bool, usize), Vec<usize>)> = Vec::new();
+    for (i, (id, req)) in queue.iter().enumerate() {
+        stats.requests += 1;
+        REQUESTS_TOTAL.inc();
+        match validate(trainer, req) {
+            Ok(key) => match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            },
+            Err(e) => {
+                stats.failed += 1;
+                FAILED_TOTAL.inc();
+                responses[i] = Some(Response::failure(*id, e));
+            }
+        }
+    }
+
+    let (c, (h, w)) = (
+        trainer.config().backbone.in_channels,
+        trainer.config().backbone.in_hw,
+    );
+    for ((is_til, task), members) in groups {
+        let n = members.len();
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for &i in &members {
+            data.extend_from_slice(queue[i].1.image.as_deref().unwrap_or(&[]));
+        }
+        let images = Tensor::from_vec(data, &[n, c, h, w]);
+        let started = Instant::now();
+        let probs = if is_til {
+            trainer.model().predict_til(&images, task)
+        } else {
+            trainer.model().predict_cil(&images)
+        };
+        let latency_us = started.elapsed().as_secs_f64() * 1e6;
+        stats.batches.push((n, latency_us));
+        BATCHES_TOTAL.inc();
+        BATCH_SIZE.observe(n as f64);
+        BATCH_LATENCY_US.observe(latency_us);
+        if telemetry::enabled() {
+            telemetry::Event::new("serve_batch")
+                .name(if is_til { "til" } else { "cil" })
+                .task(task)
+                .u64_field("batch", n as u64)
+                .f64_field("latency_us", latency_us)
+                .emit();
+        }
+        let classes = probs.shape()[1];
+        for (row, &i) in members.iter().enumerate() {
+            let p = &probs.data()[row * classes..(row + 1) * classes];
+            responses[i] = Some(row_response(queue[i].0, is_til, task, p, stats));
+        }
+    }
+
+    for resp in responses.into_iter().flatten() {
+        let line = serde_json::to_string(&resp).expect("serialize response");
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Builds the response for one probability row, running the NaN/Inf
+/// watchdog: a corrupted snapshot or numeric blow-up must surface as an
+/// error response (and bump `cdcl_serve_nonfinite_total`), not a
+/// confidently-wrong argmax. Public so the integration test can exercise
+/// the screening directly — in debug builds the autograd graph asserts
+/// finiteness on every node, so non-finite probabilities cannot be
+/// produced through a real forward pass there; this path is the
+/// release-mode guard.
+#[doc(hidden)]
+pub fn row_response(
+    id: u64,
+    is_til: bool,
+    task: usize,
+    p: &[f32],
+    stats: &mut ServeStats,
+) -> Response {
+    if !p.iter().all(|v| v.is_finite()) {
+        stats.failed += 1;
+        FAILED_TOTAL.inc();
+        NONFINITE_TOTAL.inc();
+        if telemetry::enabled() {
+            telemetry::Event::new("serve")
+                .name("nonfinite_output")
+                .task(task)
+                .u64_field("request_id", id)
+                .emit();
+        }
+        return Response::failure(
+            id,
+            "model produced non-finite output probabilities".to_string(),
+        );
+    }
+    Response {
+        id,
+        ok: true,
+        mode: Some(if is_til { "til" } else { "cil" }.to_string()),
+        task: is_til.then_some(task),
+        pred: Some(argmax(p)),
+        probs: Some(p.to_vec()),
+        error: None,
+    }
+}
+
+/// One-line registry summary for `--metrics-every` stderr reporting.
+fn metrics_summary_line(stats: &ServeStats) -> String {
+    format!(
+        "cdcl-serve: metrics: {} requests ({} failed, {} nonfinite), {} batches, latency_us p50 {:.0} p99 {:.0}, batch_size p50 {:.1}",
+        stats.requests,
+        stats.failed,
+        NONFINITE_TOTAL.get(),
+        stats.batches.len(),
+        BATCH_LATENCY_US.percentile(0.50),
+        BATCH_LATENCY_US.percentile(0.99),
+        BATCH_SIZE.percentile(0.50),
+    )
+}
+
+/// Renders the registry for exposition, mirroring the kernel counters in
+/// first so `/metrics` and `METRICS` always see current GEMM volume.
+fn registry_prometheus() -> String {
+    cdcl_tensor::kernels::publish_registry();
+    cdcl_obs::global().render_prometheus()
+}
+
+fn registry_json() -> String {
+    cdcl_tensor::kernels::publish_registry();
+    cdcl_obs::global().render_json()
+}
+
+/// The serve loop over one request stream: queue lines, flush at
+/// `max_batch`, on a blank line, and at end-of-stream. The bare line
+/// `METRICS` answers with the registry as one JSON object. `first_line`
+/// carries a line the caller already consumed while sniffing the protocol
+/// (TCP dispatch); stdio passes `None`.
+fn serve_lines(
+    trainer: &CdclTrainer,
+    first_line: Option<String>,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+    args: &ServeArgs,
+    stats: &mut ServeStats,
+) -> std::io::Result<()> {
+    let mut pending: Vec<(u64, Request)> = Vec::new();
+    let mut line = String::new();
+    let mut reported_at = 0u64;
+    let mut first = first_line;
+    loop {
+        let current = match first.take() {
+            Some(l) => l,
+            None => {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    break; // EOF
+                }
+                line.clone()
+            }
+        };
+        let trimmed = current.trim();
+        if trimmed.is_empty() {
+            flush_batch(trainer, &mut pending, writer, stats)?;
+        } else if trimmed == "METRICS" {
+            // Flush first so the answer reflects every request seen so far.
+            flush_batch(trainer, &mut pending, writer, stats)?;
+            writeln!(writer, "{{\"ok\":true,\"metrics\":{}}}", registry_json())?;
+            writer.flush()?;
+        } else {
+            match serde_json::from_str::<Request>(trimmed) {
+                Ok(req) => {
+                    let id = req.id.unwrap_or(0);
+                    pending.push((id, req));
+                }
+                Err(e) => {
+                    stats.requests += 1;
+                    stats.failed += 1;
+                    REQUESTS_TOTAL.inc();
+                    FAILED_TOTAL.inc();
+                    let resp = Response::failure(0, format!("bad request line: {e}"));
+                    let out = serde_json::to_string(&resp).expect("serialize response");
+                    writeln!(writer, "{out}")?;
+                    writer.flush()?;
+                }
+            }
+            if pending.len() >= args.max_batch {
+                flush_batch(trainer, &mut pending, writer, stats)?;
+            }
+        }
+        if args.metrics_every > 0 && stats.requests >= reported_at + args.metrics_every as u64 {
+            reported_at = stats.requests;
+            eprintln!("{}", metrics_summary_line(stats));
+        }
+    }
+    flush_batch(trainer, &mut pending, writer, stats)
+}
+
+/// The serve loop over one already-open stream (stdio mode, tests).
+pub fn serve_stream(
+    trainer: &CdclTrainer,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+    args: &ServeArgs,
+    stats: &mut ServeStats,
+) -> std::io::Result<()> {
+    serve_lines(trainer, None, reader, writer, args, stats)
+}
+
+/// Answers an HTTP `GET /metrics` scrape: consumes the request headers,
+/// writes a minimal HTTP/1.0 response carrying the Prometheus exposition,
+/// and lets the connection close.
+fn serve_http_metrics(
+    request_line: &str,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+) -> std::io::Result<()> {
+    // Drain headers until the blank line so the client sees a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", registry_prometheus())
+    } else {
+        (
+            "404 Not Found",
+            format!("no such path {path}; try /metrics\n"),
+        )
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// The TCP accept loop: JSONL connections run the serve protocol; a
+/// connection opening with an HTTP `GET` is answered as a `/metrics`
+/// scrape. Exits after `args.conns` connections (0 = run forever). The
+/// loop is single-threaded — the kernel pool already parallelizes the
+/// forward pass, and a serial accept loop keeps responses deterministic.
+pub fn run_tcp(
+    trainer: &CdclTrainer,
+    listener: TcpListener,
+    args: &ServeArgs,
+    stats: &mut ServeStats,
+) {
+    let mut served = 0usize;
+    for conn in listener.incoming() {
+        let conn = conn.expect("accept connection");
+        let peer = conn.peer_addr().map(|a| a.to_string());
+        let mut reader = BufReader::new(conn.try_clone().expect("clone connection"));
+        let mut writer = BufWriter::new(conn);
+        let mut first = String::new();
+        let result = match reader.read_line(&mut first) {
+            Ok(0) => Ok(()),
+            Ok(_) if first.starts_with("GET ") => {
+                serve_http_metrics(&first, &mut reader, &mut writer)
+            }
+            Ok(_) => serve_lines(trainer, Some(first), &mut reader, &mut writer, args, stats),
+            Err(e) => Err(e),
+        };
+        if let Err(e) = result {
+            eprintln!("cdcl-serve: connection {peer:?} dropped: {e}");
+        }
+        served += 1;
+        if args.conns > 0 && served >= args.conns {
+            break;
+        }
+    }
+}
+
+/// The full `cdcl-serve` entry point: load + re-verify the snapshot, serve
+/// stdio or TCP, then write the bench report.
+pub fn run(args: &ServeArgs) {
+    cdcl_obs::set_enabled(true);
+    let trainer = match CdclTrainer::resume_from(&args.snapshot) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cdcl-serve: cannot load {}: {e}", args.snapshot.display());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = reverify_frozen(&trainer) {
+        eprintln!("cdcl-serve: {e}");
+        std::process::exit(3);
+    }
+    eprintln!(
+        "cdcl-serve: loaded {} ({} tasks, {} classes), frozen params re-verified",
+        args.snapshot.display(),
+        trainer.model().num_tasks(),
+        trainer.model().total_classes()
+    );
+
+    let mut stats = ServeStats::default();
+    match &args.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = BufReader::new(stdin.lock());
+            let mut writer = BufWriter::new(stdout.lock());
+            serve_stream(&trainer, &mut reader, &mut writer, args, &mut stats)
+                .expect("serve stdin/stdout");
+        }
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(addr).unwrap_or_else(|e| panic!("cdcl-serve: bind {addr}: {e}"));
+            eprintln!("cdcl-serve: listening on {addr}");
+            run_tcp(&trainer, listener, args, &mut stats);
+        }
+    }
+
+    let report = stats.report(
+        &args.snapshot.display().to_string(),
+        &trainer,
+        args.max_batch,
+    );
+    crate::maybe_write_json(&args.bench_out, &report);
+    telemetry::flush();
+    eprintln!(
+        "cdcl-serve: {} requests ({} failed) in {} batches, mean batch {:.2}, p50 {:.0}us, throughput {:.1} rps",
+        report.requests,
+        report.failed_requests,
+        report.batches,
+        report.mean_batch_size,
+        report.latency_us.p50,
+        report.throughput_rps
+    );
+}

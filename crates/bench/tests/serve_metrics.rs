@@ -1,0 +1,172 @@
+//! `cdcl-serve` observability, driven over a real TCP round-trip: a JSONL
+//! connection feeds the batcher, then an HTTP `GET /metrics` scrape on the
+//! same listener must return Prometheus text with batch-latency histogram
+//! buckets and derived p50/p99 gauges. Also covers the `METRICS` stdin
+//! verb and the NaN/Inf output watchdog.
+
+use cdcl_bench::serve::{run_tcp, serve_stream, ServeArgs, ServeStats};
+use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Registry state is process-global; tests must not overlap.
+static SERVE_GUARD: Mutex<()> = Mutex::new(());
+
+/// Trains one smoke task (warm-up only — enough to serve predictions).
+fn smoke_trainer() -> CdclTrainer {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 1;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    trainer.learn_task(&stream.tasks[0]);
+    trainer
+}
+
+fn serve_args(max_batch: usize, conns: usize) -> ServeArgs {
+    ServeArgs {
+        snapshot: PathBuf::new(),
+        tcp: None,
+        max_batch,
+        bench_out: None,
+        conns,
+        metrics_every: 0,
+    }
+}
+
+/// A valid request line with a zero image of the model's input shape.
+fn request_line(trainer: &CdclTrainer, id: u64, mode: &str) -> String {
+    let (c, (h, w)) = (
+        trainer.config().backbone.in_channels,
+        trainer.config().backbone.in_hw,
+    );
+    let zeros = vec!["0.0"; c * h * w].join(",");
+    match mode {
+        "til" => format!(r#"{{"id":{id},"mode":"til","task":0,"image":[{zeros}]}}"#),
+        _ => format!(r#"{{"id":{id},"mode":"cil","image":[{zeros}]}}"#),
+    }
+}
+
+#[test]
+fn tcp_round_trip_then_metrics_scrape() {
+    let _g = SERVE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    cdcl_obs::set_enabled(true);
+    let trainer = smoke_trainer();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let args = serve_args(2, 2);
+
+    std::thread::scope(|s| {
+        let trainer = &trainer;
+        let args = &args;
+        s.spawn(move || {
+            let mut stats = ServeStats::default();
+            run_tcp(trainer, listener, args, &mut stats);
+            assert!(stats.requests >= 3, "server saw the JSONL requests");
+            assert!(!stats.batches.is_empty(), "server executed batches");
+        });
+
+        // Connection 1: three JSONL requests (max_batch=2 forces two
+        // flushes), then EOF.
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        for id in 1..=3u64 {
+            let mode = if id % 2 == 0 { "cil" } else { "til" };
+            writeln!(conn, "{}", request_line(trainer, id, mode)).expect("send request");
+        }
+        conn.shutdown(Shutdown::Write).expect("half-close");
+        let mut responses = String::new();
+        BufReader::new(conn)
+            .read_to_string(&mut responses)
+            .expect("read responses");
+        let lines: Vec<&str> = responses.lines().collect();
+        assert_eq!(lines.len(), 3, "one response per request: {responses}");
+        for line in &lines {
+            assert!(line.contains("\"ok\":true"), "request failed: {line}");
+        }
+
+        // Connection 2: an HTTP scrape on the same listener.
+        let mut conn = TcpStream::connect(addr).expect("connect for scrape");
+        write!(conn, "GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").expect("send scrape");
+        let mut scrape = String::new();
+        BufReader::new(conn)
+            .read_to_string(&mut scrape)
+            .expect("read scrape");
+
+        assert!(
+            scrape.starts_with("HTTP/1.0 200 OK"),
+            "bad status line: {scrape}"
+        );
+        assert!(scrape.contains("# TYPE cdcl_serve_batch_latency_us histogram"));
+        assert!(
+            scrape.contains("cdcl_serve_batch_latency_us_bucket{le=\""),
+            "latency histogram buckets missing:\n{scrape}"
+        );
+        assert!(scrape.contains("cdcl_serve_batch_latency_us_bucket{le=\"+Inf\"}"));
+        assert!(scrape.contains("cdcl_serve_batch_latency_us_p50 "));
+        assert!(scrape.contains("cdcl_serve_batch_latency_us_p99 "));
+        assert!(scrape.contains("cdcl_serve_requests_total"));
+        assert!(scrape.contains("cdcl_serve_batch_size"));
+        assert!(scrape.contains("cdcl_serve_queue_depth"));
+        // The scrape publishes the kernel counters too.
+        assert!(scrape.contains("cdcl_kernel_gemm_calls_total"));
+    });
+}
+
+#[test]
+fn metrics_verb_answers_registry_json_inline() {
+    let _g = SERVE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    cdcl_obs::set_enabled(true);
+    let trainer = smoke_trainer();
+    let input = format!("{}\nMETRICS\n", request_line(&trainer, 7, "cil"));
+    let mut reader = std::io::Cursor::new(input.into_bytes());
+    let mut out = Vec::new();
+    let mut stats = ServeStats::default();
+    serve_stream(
+        &trainer,
+        &mut reader,
+        &mut out,
+        &serve_args(8, 1),
+        &mut stats,
+    )
+    .expect("serve in-memory stream");
+    let text = String::from_utf8(out).expect("utf8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "prediction + metrics lines: {text}");
+    assert!(lines[0].contains("\"id\":7"));
+    assert!(lines[1].starts_with("{\"ok\":true,\"metrics\":{\"counters\":{"));
+    assert!(lines[1].contains("\"cdcl_serve_batch_latency_us\":{\"count\":"));
+}
+
+#[test]
+fn nonfinite_outputs_become_errors_not_predictions() {
+    let _g = SERVE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    cdcl_obs::set_enabled(true);
+    // Drive the per-row watchdog directly: in debug builds the autograd
+    // graph asserts finiteness on every node, so NaN probabilities cannot
+    // come out of a real forward pass here — but a release-mode numeric
+    // blow-up lands exactly on this screening path.
+    let mut stats = ServeStats::default();
+    let bad = cdcl_bench::serve::row_response(9, false, 0, &[0.5, f32::NAN], &mut stats);
+    let line = serde_json::to_string(&bad).expect("serialize response");
+    assert!(
+        line.contains("\"ok\":false") && line.contains("non-finite"),
+        "garbage prediction shipped instead of an error: {line}"
+    );
+    assert_eq!(stats.failed, 1);
+    let good = cdcl_bench::serve::row_response(10, true, 0, &[0.25, 0.75], &mut stats);
+    let line = serde_json::to_string(&good).expect("serialize response");
+    assert!(line.contains("\"ok\":true") && line.contains("\"pred\":1"));
+    assert_eq!(stats.failed, 1, "finite rows pass the watchdog");
+    // The cumulative process-wide counter recorded the event.
+    let exposition = cdcl_obs::global().render_prometheus();
+    let count: u64 = exposition
+        .lines()
+        .find(|l| l.starts_with("cdcl_serve_nonfinite_total "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("nonfinite counter present");
+    assert!(count >= 1);
+}

@@ -20,6 +20,9 @@
 //! * [`core`] — the CDCL learner itself (Algorithm 1).
 //! * [`snapshot`] — the versioned, CRC-checksummed persistence container
 //!   behind `CDCL_CKPT_DIR` checkpoints and `cdcl-serve`.
+//! * [`obs`] — the always-on metrics registry (`CDCL_METRICS`): counters,
+//!   gauges, log-bucketed histograms with derived percentiles, exposed as
+//!   Prometheus text or JSON (live at `cdcl-serve`'s `/metrics`).
 //! * [`baselines`] — DER, DER++, HAL, MLS, CDTrans-S/B, and the TVT-style
 //!   static upper bound.
 //!
@@ -47,6 +50,7 @@ pub use cdcl_core as core;
 pub use cdcl_data as data;
 pub use cdcl_metrics as metrics;
 pub use cdcl_nn as nn;
+pub use cdcl_obs as obs;
 pub use cdcl_optim as optim;
 pub use cdcl_snapshot as snapshot;
 pub use cdcl_telemetry as telemetry;

@@ -22,7 +22,13 @@
 //!   then rename): a raw `File::create`/`fs::write`/`fs::rename` on a
 //!   final path can tear a checkpoint mid-crash, which is precisely what
 //!   the crate exists to prevent. Only `src/atomic.rs` itself may touch
-//!   the filesystem primitives.
+//!   the filesystem primitives;
+//! * **metric-names** — every `Counter::new("…")` / `Gauge::new("…")` /
+//!   `Histogram::new("…")` registration must use a `cdcl_`-prefixed
+//!   snake_case name (counters additionally end in `_total`, the Prometheus
+//!   convention), and outside `crates/obs` no code may look a metric up by
+//!   string at the record site (`.counter("…")` etc.) — record through the
+//!   static handle so the name exists in exactly one place.
 //!
 //! Before pattern matching, each file is *masked*: the contents of string
 //! literals, char literals, and comments are blanked out (newlines kept), so
@@ -62,7 +68,7 @@ pub struct Finding {
     /// 1-indexed line (0 for file/workspace-level findings).
     pub line: usize,
     /// Rule identifier (`no-panic`, `no-hashmap`, `no-raw-timing`,
-    /// `phase-spans`, `atomic-write`).
+    /// `phase-spans`, `atomic-write`, `metric-names`).
     pub rule: &'static str,
     /// The pattern text that matched.
     pub needle: String,
@@ -335,10 +341,12 @@ fn word_hits(line: &str, needle: &str) -> bool {
     false
 }
 
-/// Paths exempt from the no-raw-timing rule: the telemetry crate owns
-/// timing, the kernel pool owns threads.
+/// Paths exempt from the no-raw-timing rule: the telemetry and obs crates
+/// own timing (spans and histogram timers), the kernel pool owns threads.
 fn raw_timing_exempt(rel_path: &str) -> bool {
-    rel_path.starts_with("crates/telemetry/") || rel_path == "crates/tensor/src/kernels/pool.rs"
+    rel_path.starts_with("crates/telemetry/")
+        || rel_path.starts_with("crates/obs/")
+        || rel_path == "crates/tensor/src/kernels/pool.rs"
 }
 
 /// Filesystem primitives the atomic-write rule bans inside
@@ -350,6 +358,74 @@ const RAW_FS_NEEDLES: [&str; 4] = ["File::create", "fs::write", "fs::rename", "O
 /// write-temp-then-rename.
 fn atomic_write_applies(rel_path: &str) -> bool {
     rel_path.starts_with("crates/snapshot/src/") && rel_path != "crates/snapshot/src/atomic.rs"
+}
+
+/// Metric handle constructors whose first argument registers the name.
+const METRIC_CTORS: [(&str, &str); 3] = [
+    ("Counter::new(\"", "counter"),
+    ("Gauge::new(\"", "gauge"),
+    ("Histogram::new(\"", "histogram"),
+];
+
+/// Registry string lookups banned outside `crates/obs`: recording through
+/// an ad-hoc name bypasses the single static registration point, so a typo
+/// silently forks the time series.
+const METRIC_LOOKUPS: [&str; 3] = [".counter(\"", ".gauge(\"", ".histogram(\""];
+
+/// Whether the metric-names rule applies: everywhere except the crate that
+/// implements the registry (whose accessors legitimately take name strings).
+fn metric_rule_applies(rel_path: &str) -> bool {
+    !rel_path.starts_with("crates/obs/")
+}
+
+/// A well-formed workspace metric name: `cdcl_`-prefixed snake_case;
+/// counters additionally carry the Prometheus `_total` suffix.
+fn metric_name_ok(kind: &str, name: &str) -> bool {
+    name.starts_with("cdcl_")
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && (kind != "counter" || name.ends_with("_total"))
+}
+
+/// Applies the metric-names rule to one line. Constructor calls and lookups
+/// are located on the MASKED line (so doc comments and string literals that
+/// merely mention them cannot trip the rule — masking keeps the delimiter
+/// quotes, blanking only their contents), while the registered name itself
+/// is read back from the RAW line at the same char offset (masking is
+/// char-for-char, so offsets align). Returns the needles to report:
+/// malformed names as `` counter name `x` `` and banned record-site lookups
+/// verbatim.
+fn metric_line_findings(masked_line: &str, raw_line: &str) -> Vec<String> {
+    let raw: Vec<char> = raw_line.chars().collect();
+    let mut out = Vec::new();
+    for (ctor, kind) in METRIC_CTORS {
+        let mut from = 0;
+        while let Some(rel) = masked_line[from..].find(ctor) {
+            let at = from + rel;
+            let prev_ok = masked_line[..at]
+                .chars()
+                .next_back()
+                .map_or(true, |c| !is_ident_char(c));
+            let name_start = masked_line[..at + ctor.len()].chars().count();
+            let name: String = raw
+                .get(name_start..)
+                .unwrap_or(&[])
+                .iter()
+                .take_while(|&&c| c != '"')
+                .collect();
+            if prev_ok && !metric_name_ok(kind, &name) {
+                out.push(format!("{kind} name `{name}`"));
+            }
+            from = at + ctor.len();
+        }
+    }
+    for needle in METRIC_LOOKUPS {
+        if masked_line.contains(needle) {
+            out.push(needle.to_string());
+        }
+    }
+    out
 }
 
 /// Scans one file's source, returning every rule violation outside
@@ -405,6 +481,12 @@ pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
                 if line.contains(needle) {
                     push("atomic-write", needle);
                 }
+            }
+        }
+        if metric_rule_applies(rel_path) {
+            let raw_line = source.lines().nth(lineno).unwrap_or("");
+            for needle in metric_line_findings(line, raw_line) {
+                push("metric-names", &needle);
             }
         }
     }
@@ -609,6 +691,48 @@ mod tests {
     fn atomic_write_rule_ignores_masked_and_test_code() {
         let src = "// File::create is documented here\nlet s = \"fs::rename\";\n#[cfg(test)]\nmod tests {\n    fn t() { fs::write(p, b); }\n}\n";
         assert!(scan_file("crates/snapshot/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_names_rule_enforces_convention_and_static_registration() {
+        // Well-formed registrations pass.
+        let ok = "static A: Counter = Counter::new(\"cdcl_kernel_gemm_calls_total\");\n\
+                  static B: Gauge = Gauge::new(\"cdcl_train_loss\");\n\
+                  static C: Histogram = Histogram::new(\"cdcl_serve_batch_latency_us\");\n";
+        assert!(scan_file("crates/core/src/health.rs", ok).is_empty());
+        // Bad names: missing prefix, camelCase, counter without _total.
+        let bad = "static A: Counter = Counter::new(\"gemm_calls_total\");\n\
+                   static B: Gauge = Gauge::new(\"cdcl_trainLoss\");\n\
+                   static C: Counter = Counter::new(\"cdcl_serve_requests\");\n";
+        let f = scan_file("crates/core/src/health.rs", bad);
+        let needles: Vec<&str> = f.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(
+            needles,
+            [
+                "counter name `gemm_calls_total`",
+                "gauge name `cdcl_trainLoss`",
+                "counter name `cdcl_serve_requests`",
+            ],
+            "{f:?}"
+        );
+        assert!(f.iter().all(|f| f.rule == "metric-names"));
+        // Ad-hoc string lookups at record sites are banned outside obs.
+        let lookup = "fn f() { cdcl_obs::global().counter(\"cdcl_x_total\").inc(); }\n";
+        let f = scan_file("crates/bench/src/serve.rs", lookup);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].needle, ".counter(\"");
+        // The registry crate itself is exempt (its accessors take names).
+        assert!(scan_file("crates/obs/src/lib.rs", lookup).is_empty());
+        // A doc comment mentioning a constructor must not trip the rule.
+        let doc = "/// Register with `Counter::new(\"whatever\")` or `.gauge(\"x\")`.\nfn f() {}\n";
+        assert!(scan_file("crates/core/src/health.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn obs_crate_is_exempt_from_raw_timing() {
+        let src = "let t = Instant::now();\n";
+        assert!(scan_file("crates/obs/src/lib.rs", src).is_empty());
+        assert_eq!(scan_file("crates/core/src/trainer.rs", src).len(), 1);
     }
 
     #[test]

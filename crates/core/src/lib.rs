@@ -16,6 +16,7 @@
 //!   baseline and the R-matrix evaluation loop of §V-C.
 
 mod config;
+mod health;
 mod memory;
 mod model;
 pub mod protocol;

@@ -15,6 +15,7 @@ use cdcl_tensor::{kernels, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::health;
 use crate::memory::{MemoryRecord, RehearsalMemory};
 use crate::model::CdclModel;
 use crate::protocol::{accuracy_from_predictions, ContinualLearner};
@@ -346,6 +347,7 @@ impl CdclTrainer {
 
     /// One warm-up step: source-only supervised training of both heads.
     fn warmup_step(&mut self, task: &TaskData, idx: &[usize], lr: f32, epoch: usize, step: usize) {
+        let _timer = health::WARMUP_STEP_US.time();
         let t = task.task_id;
         let (imgs, labels) = Self::stack_batch(&task.source_train, idx);
         let globals: Vec<usize> = labels
@@ -395,6 +397,11 @@ impl CdclTrainer {
                 },
             );
         }
+        if cdcl_obs::enabled() {
+            health::STEPS_TOTAL.inc();
+            health::LOSS.set(f64::from(g.value(loss).item()));
+            health::GRAD_NORM.set(self.grad_norm());
+        }
         self.optimizer.step(lr);
     }
 
@@ -407,6 +414,7 @@ impl CdclTrainer {
         epoch: usize,
         step: usize,
     ) {
+        let _timer = health::ADAPTATION_STEP_US.time();
         let t = task.task_id;
         let src_refs: Vec<&Sample> = pairs.iter().map(|p| &task.source_train[p.source]).collect();
         let tgt_refs: Vec<&Sample> = pairs.iter().map(|p| &task.target_train[p.target]).collect();
@@ -513,6 +521,11 @@ impl CdclTrainer {
                 },
             );
         }
+        if cdcl_obs::enabled() {
+            health::STEPS_TOTAL.inc();
+            health::LOSS.set(f64::from(g.value(loss).item()));
+            health::GRAD_NORM.set(self.grad_norm());
+        }
         self.optimizer.step(lr);
     }
 
@@ -545,30 +558,38 @@ impl CdclTrainer {
             self.last_centroids = Some(centroids);
             labels
         };
-        if telemetry::enabled() {
+        if telemetry::enabled() || cdcl_obs::enabled() {
             // How much the assignments moved between the two rounds: high
             // flip rates flag unstable centroids / noisy pseudo-labels.
-            telemetry::Event::new("scalar")
-                .name("pseudo_flip_rate")
-                .task(t)
-                .epoch(epoch)
-                .value(label_flip_rate(&first, &pseudo))
-                .emit();
+            let flip = label_flip_rate(&first, &pseudo);
+            health::PSEUDO_FLIP_RATE.set(flip);
+            if telemetry::enabled() {
+                telemetry::Event::new("scalar")
+                    .name("pseudo_flip_rate")
+                    .task(t)
+                    .epoch(epoch)
+                    .value(flip)
+                    .emit();
+            }
         }
         let pairs = {
             let _s = telemetry::span("pair_filter").task(t).epoch(epoch);
             build_pairs(&src_feats, &src_labels, &tgt_feats, &pseudo)
         };
-        if telemetry::enabled() {
+        if telemetry::enabled() || cdcl_obs::enabled() {
             // Eq. 19 agreement: the fraction of target samples whose
             // pseudo-label found a matching source sample.
             let denom = task.target_train.len().max(1) as f64;
-            telemetry::Event::new("scalar")
-                .name("pair_agreement")
-                .task(t)
-                .epoch(epoch)
-                .value(pairs.len() as f64 / denom)
-                .emit();
+            let agreement = pairs.len() as f64 / denom;
+            health::PAIR_AGREEMENT.set(agreement);
+            if telemetry::enabled() {
+                telemetry::Event::new("scalar")
+                    .name("pair_agreement")
+                    .task(t)
+                    .epoch(epoch)
+                    .value(agreement)
+                    .emit();
+            }
         }
         if !pairs.is_empty() {
             return pairs;
@@ -732,6 +753,11 @@ impl ContinualLearner for CdclTrainer {
                 }
                 self.last_pairs = pairs;
             }
+            if cdcl_obs::enabled() {
+                health::MEMORY_OCCUPANCY.set(self.memory.records().len() as f64);
+                health::MEMORY_CAPACITY.set(self.memory.capacity() as f64);
+                health::emit_health_event(task.task_id, epoch);
+            }
         }
         if self.last_pairs.is_empty() {
             // All-warm-up configuration: fall back to index pairing so the
@@ -758,6 +784,12 @@ impl ContinualLearner for CdclTrainer {
                 .take()
                 .unwrap_or_else(|| Tensor::zeros(&[0, d])),
         );
+        if cdcl_obs::enabled() {
+            health::TASKS_TOTAL.inc();
+            health::MEMORY_OCCUPANCY.set(self.memory.records().len() as f64);
+            health::MEMORY_CAPACITY.set(self.memory.capacity() as f64);
+            kernels::publish_registry();
+        }
         if let Some(before) = counters_before {
             let d = kernels::counter_snapshot().delta_since(&before);
             telemetry::Event::new("counters")

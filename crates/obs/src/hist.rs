@@ -1,0 +1,142 @@
+//! The log-bucket scheme shared by every histogram in the workspace.
+//!
+//! Buckets follow the 1–2–5 log series over nine decades, `1, 2, 5, 10, …,
+//! 1e9`, plus one overflow bucket — 29 buckets total. The boundaries are
+//! **fixed** (no per-histogram configuration): every producer and every
+//! consumer (`/metrics` exposition, `trace-summary`, stderr summaries)
+//! agrees on the same grid, so bucket counts can be merged across
+//! processes and traces without resampling. The unit is whatever the
+//! producer records — latencies use microseconds, sizes use counts — and
+//! the nine-decade span covers 1 µs to ~17 min of latency or 1 to 1e9 of
+//! anything discrete.
+//!
+//! Percentiles are derived by linear interpolation inside the bucket that
+//! contains the requested rank (the standard Prometheus `histogram_quantile`
+//! estimator). With ~3 buckets per decade the estimate is within ~±30% of
+//! the true value, which is the usual operating precision for log-bucketed
+//! latency monitoring.
+
+/// Upper bounds of the finite buckets (ascending 1–2–5 series).
+pub const BUCKET_BOUNDS: [f64; 28] = [
+    1.0, 2.0, 5.0, 1e1, 2e1, 5e1, 1e2, 2e2, 5e2, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5, 5e5, 1e6,
+    2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 2e8, 5e8, 1e9,
+];
+
+/// Total bucket count: the finite bounds plus one overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS.len() + 1;
+
+/// The bucket index for an observation: the first bound `v` fits under, or
+/// the overflow bucket. Non-positive values land in bucket 0; NaN (which
+/// cannot be ordered) lands in the overflow bucket so it stays visible.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() {
+        return BUCKET_COUNT - 1;
+    }
+    BUCKET_BOUNDS
+        .iter()
+        .position(|&b| v <= b)
+        .unwrap_or(BUCKET_COUNT - 1)
+}
+
+/// Estimates the `q`-quantile (`0.0..=1.0`) from per-bucket counts
+/// (`counts.len() == BUCKET_COUNT`, non-cumulative) by linear interpolation
+/// within the bucket holding the rank. Returns `0.0` for an empty
+/// histogram; ranks in the overflow bucket report the largest finite bound
+/// (there is no upper edge to interpolate toward).
+pub fn percentile(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cum + c as f64;
+        if next >= rank {
+            if i >= BUCKET_BOUNDS.len() {
+                return BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1];
+            }
+            let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+            let upper = BUCKET_BOUNDS[i];
+            let within = ((rank - cum) / c as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * within;
+        }
+        cum = next;
+    }
+    BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
+}
+
+/// Formats a bucket bound the way the Prometheus exposition prints `le`
+/// labels: integral bounds without a decimal point.
+pub fn format_bound(b: f64) -> String {
+    if b.fract() == 0.0 && b.abs() < 1e15 {
+        format!("{}", b as i64)
+    } else {
+        format!("{b}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_ascending() {
+        for w in BUCKET_BOUNDS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn bucket_index_honours_bounds_and_edges() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(1.0), 0); // le="1" is inclusive
+        assert_eq!(bucket_index(1.1), 1);
+        assert_eq!(bucket_index(5.0), 2);
+        assert_eq!(bucket_index(1e9), BUCKET_BOUNDS.len() - 1);
+        assert_eq!(bucket_index(2e9), BUCKET_COUNT - 1); // overflow
+        assert_eq!(bucket_index(f64::NAN), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_a_bucket() {
+        let mut counts = [0u64; BUCKET_COUNT];
+        // 100 observations, all in bucket (2, 5].
+        counts[2] = 100;
+        assert_eq!(percentile(&counts, 0.0), 2.0);
+        let p50 = percentile(&counts, 0.5);
+        assert!((p50 - 3.5).abs() < 1e-9, "p50 = {p50}");
+        assert_eq!(percentile(&counts, 1.0), 5.0);
+    }
+
+    #[test]
+    fn percentiles_split_across_buckets() {
+        let mut counts = [0u64; BUCKET_COUNT];
+        counts[0] = 50; // (0, 1]
+        counts[3] = 50; // (5, 10]
+        let p25 = percentile(&counts, 0.25);
+        assert!((p25 - 0.5).abs() < 1e-9, "p25 = {p25}");
+        let p75 = percentile(&counts, 0.75);
+        assert!((p75 - 7.5).abs() < 1e-9, "p75 = {p75}");
+    }
+
+    #[test]
+    fn empty_and_overflow_histograms_stay_finite() {
+        let counts = [0u64; BUCKET_COUNT];
+        assert_eq!(percentile(&counts, 0.99), 0.0);
+        let mut counts = [0u64; BUCKET_COUNT];
+        counts[BUCKET_COUNT - 1] = 10;
+        assert_eq!(percentile(&counts, 0.5), 1e9);
+    }
+
+    #[test]
+    fn bound_formatting_drops_trailing_zeros() {
+        assert_eq!(format_bound(1.0), "1");
+        assert_eq!(format_bound(5e8), "500000000");
+        assert_eq!(format_bound(2.5), "2.5");
+    }
+}

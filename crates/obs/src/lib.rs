@@ -1,0 +1,751 @@
+//! Live metrics for the CDCL workspace (DESIGN.md §11).
+//!
+//! Where `cdcl-telemetry` streams *events* to a file for post-hoc analysis,
+//! this crate aggregates *state* in memory so a running trainer or
+//! `cdcl-serve` can answer "what is your p99 batch latency / steps-per-sec
+//! / memory occupancy **right now**". Three metric kinds live in one global
+//! [`Registry`]:
+//!
+//! * [`Counter`] — monotone `u64` (`*_total` names);
+//! * [`Gauge`] — last-write-wins `f64`;
+//! * [`Histogram`] — log-bucketed distribution on the fixed 1–2–5 grid of
+//!   [`hist`], with p50/p90/p99 derived by bucket interpolation.
+//!
+//! The layer is **off by default** and costs one relaxed atomic load per
+//! record site when disabled — the same contract `cdcl-telemetry`
+//! established. Enable with `CDCL_METRICS=1` (or [`set_enabled`] from
+//! tests/servers). Recording never takes a lock: counters and bucket slots
+//! are `AtomicU64` updated with relaxed `fetch_add`; the registry mutex is
+//! touched only at first registration and at exposition time. Metrics only
+//! *observe* — they never branch the data path — so training with metrics
+//! on is bitwise identical to metrics off (proven by
+//! `tests/integration_metrics.rs`).
+//!
+//! Metric handles are `const`-constructible statics, registered into the
+//! global registry on first use:
+//!
+//! ```
+//! static REQS: cdcl_obs::Counter =
+//!     cdcl_obs::Counter::new("cdcl_doc_requests_total", "Requests answered");
+//! cdcl_obs::set_enabled(true);
+//! REQS.inc();
+//! assert_eq!(REQS.get(), 1);
+//! # cdcl_obs::set_enabled(false);
+//! ```
+//!
+//! Naming discipline (enforced by `cdcl-lint`'s `metric-names` rule):
+//! `snake_case`, prefixed `cdcl_`, counters end in `_total`, and names
+//! appear only at `static` registration sites — record sites go through the
+//! typed handles, never ad-hoc string lookups.
+//!
+//! Exposition comes in two encodings: [`Registry::render_prometheus`]
+//! (text format v0.0.4, scraped from `cdcl-serve`'s `/metrics` endpoint)
+//! and [`Registry::render_json`] (one-line JSON, answered to the `METRICS`
+//! stdin verb). See DESIGN.md §11 for the full grammar.
+
+pub mod hist;
+
+use hist::BUCKET_COUNT;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+use std::time::Instant;
+
+/// The environment variable that activates the metrics layer.
+pub const METRICS_ENV: &str = "CDCL_METRICS";
+
+/// Fast-path flag: true iff the metrics layer is recording.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One-shot resolution of the `CDCL_METRICS` environment variable.
+static ENV_INIT: Once = Once::new();
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var(METRICS_ENV) {
+            if !v.is_empty() && v != "0" {
+                ENABLED.store(true, Ordering::Release);
+            }
+        }
+    });
+}
+
+/// True when the metrics layer is recording. Producers gate any work that
+/// exists only to feed metrics (loss reads, counter snapshots, timers)
+/// behind this, so a metrics-off run does no extra work at all.
+#[inline]
+pub fn enabled() -> bool {
+    if ENABLED.load(Ordering::Relaxed) {
+        return true;
+    }
+    ensure_env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the metrics layer on or off explicitly, overriding whatever
+/// `CDCL_METRICS` resolved to. Servers call `set_enabled(true)` at startup
+/// (a serving process always wants its own metrics); tests use it to keep
+/// per-process environment state out of the picture.
+pub fn set_enabled(on: bool) {
+    ensure_env_init();
+    ENABLED.store(on, Ordering::Release);
+}
+
+/// Poison-tolerant lock: a panicked writer cannot corrupt the registry
+/// (entries are append-only), so taking over a poisoned mutex is sound and
+/// keeps this crate free of panic paths.
+fn lock_entries(m: &Mutex<Vec<Entry>>) -> MutexGuard<'_, Vec<Entry>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cores: the shared atomic state behind each metric
+// ----------------------------------------------------------------------
+
+/// Monotone counter state. Core methods do not check [`enabled`] — gating
+/// lives in the static [`Counter`] handle, so tests and collectors can
+/// drive cores directly.
+#[derive(Debug, Default)]
+pub struct CounterCore {
+    value: AtomicU64,
+}
+
+impl CounterCore {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the count. For mirroring an external always-on atomic
+    /// (the kernel counters) into the registry at collection time; ordinary
+    /// producers use [`CounterCore::add`].
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins `f64` gauge state (stored as raw bits).
+#[derive(Debug, Default)]
+pub struct GaugeCore {
+    bits: AtomicU64,
+}
+
+impl GaugeCore {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (`0.0` before the first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-bucketed histogram state on the fixed [`hist`] grid: one atomic slot
+/// per bucket plus an atomic `f64` sum (CAS loop — still lock-free).
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum_bits: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl HistogramCore {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.buckets[hist::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Non-cumulative per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Interpolated `q`-quantile (see [`hist::percentile`]).
+    pub fn percentile(&self, q: f64) -> f64 {
+        hist::percentile(&self.bucket_counts(), q)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Registry
+// ----------------------------------------------------------------------
+
+/// The shared state behind one registered metric.
+#[derive(Debug, Clone)]
+enum Core {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Core {
+    fn kind(&self) -> &'static str {
+        match self {
+            Core::Counter(_) => "counter",
+            Core::Gauge(_) => "gauge",
+            Core::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    core: Core,
+}
+
+/// A set of named metrics with deterministic (name-sorted) exposition.
+/// Most code uses the process-wide [`global`] registry through static
+/// handles; tests build private instances.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Core) -> Core {
+        let mut entries = lock_entries(&self.entries);
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.core.clone();
+        }
+        let core = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            core: core.clone(),
+        });
+        core
+    }
+
+    /// Registers (or finds) the counter `name`. A name already registered
+    /// as a different kind keeps its original kind; the caller gets a
+    /// detached core so recording still works, but only the first
+    /// registration is exposed — `debug_assert!`ed as a programming bug.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<CounterCore> {
+        match self.register(name, help, || Core::Counter(Arc::default())) {
+            Core::Counter(c) => c,
+            other => {
+                debug_assert!(
+                    false,
+                    "metric `{name}` already registered as {}",
+                    other.kind()
+                );
+                Arc::default()
+            }
+        }
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<GaugeCore> {
+        match self.register(name, help, || Core::Gauge(Arc::default())) {
+            Core::Gauge(g) => g,
+            other => {
+                debug_assert!(
+                    false,
+                    "metric `{name}` already registered as {}",
+                    other.kind()
+                );
+                Arc::default()
+            }
+        }
+    }
+
+    /// Registers (or finds) the histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<HistogramCore> {
+        match self.register(name, help, || Core::Histogram(Arc::default())) {
+            Core::Histogram(h) => h,
+            other => {
+                debug_assert!(
+                    false,
+                    "metric `{name}` already registered as {}",
+                    other.kind()
+                );
+                Arc::default()
+            }
+        }
+    }
+
+    /// Snapshots the entries sorted by name (exposition is deterministic
+    /// regardless of registration order).
+    fn sorted(&self) -> Vec<(String, String, Core)> {
+        let entries = lock_entries(&self.entries);
+        let mut v: Vec<(String, String, Core)> = entries
+            .iter()
+            .map(|e| (e.name.clone(), e.help.clone(), e.core.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Prometheus text exposition (format v0.0.4). Histograms render
+    /// cumulative `_bucket{le=...}` lines, `_sum`/`_count`, plus derived
+    /// `_p50`/`_p90`/`_p99` gauges from bucket interpolation.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, core) in self.sorted() {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} {}\n", core.kind()));
+            match core {
+                Core::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Core::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_f64(g.get()))),
+                Core::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, &c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if i < hist::BUCKET_BOUNDS.len() {
+                            hist::format_bound(hist::BUCKET_BOUNDS[i])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
+                    out.push_str(&format!("{name}_count {cum}\n"));
+                    for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                        let v = hist::percentile(&counts, q);
+                        out.push_str(&format!("# TYPE {name}_{suffix} gauge\n"));
+                        out.push_str(&format!("{name}_{suffix} {}\n", fmt_f64(v)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One-line JSON exposition: `{"counters":{...},"gauges":{...},
+    /// "histograms":{name:{count,sum,p50,p90,p99,buckets:[[le,n],...]}}}`
+    /// with only non-empty buckets listed (non-cumulative counts).
+    pub fn render_json(&self) -> String {
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut hists = String::new();
+        for (name, _, core) in self.sorted() {
+            match core {
+                Core::Counter(c) => {
+                    push_sep(&mut counters);
+                    counters.push_str(&format!("\"{name}\":{}", c.get()));
+                }
+                Core::Gauge(g) => {
+                    push_sep(&mut gauges);
+                    gauges.push_str(&format!("\"{name}\":{}", fmt_f64_json(g.get())));
+                }
+                Core::Histogram(h) => {
+                    push_sep(&mut hists);
+                    let counts = h.bucket_counts();
+                    let buckets: Vec<String> = counts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c > 0)
+                        .map(|(i, &c)| {
+                            let le = if i < hist::BUCKET_BOUNDS.len() {
+                                hist::format_bound(hist::BUCKET_BOUNDS[i])
+                            } else {
+                                "\"+Inf\"".to_string()
+                            };
+                            format!("[{le},{c}]")
+                        })
+                        .collect();
+                    hists.push_str(&format!(
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+                        h.count(),
+                        fmt_f64_json(h.sum()),
+                        fmt_f64_json(h.percentile(0.50)),
+                        fmt_f64_json(h.percentile(0.90)),
+                        fmt_f64_json(h.percentile(0.99)),
+                        buckets.join(",")
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{hists}}}}}"
+        )
+    }
+}
+
+fn push_sep(buf: &mut String) {
+    if !buf.is_empty() {
+        buf.push(',');
+    }
+}
+
+/// Prometheus float formatting: integral values without a decimal point.
+fn fmt_f64(v: f64) -> String {
+    hist::format_bound(v)
+}
+
+/// JSON float formatting: JSON has no NaN/Inf, so non-finite values render
+/// as strings (the `cdcl-telemetry` convention).
+fn fmt_f64_json(v: f64) -> String {
+    if v.is_finite() {
+        hist::format_bound(v)
+    } else if v.is_nan() {
+        "\"NaN\"".to_string()
+    } else if v > 0.0 {
+        "\"inf\"".to_string()
+    } else {
+        "\"-inf\"".to_string()
+    }
+}
+
+/// The process-wide registry every static handle registers into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+// ----------------------------------------------------------------------
+// Static handles
+// ----------------------------------------------------------------------
+
+/// A `const`-constructible counter handle. Declare as a `static`; the
+/// metric registers into [`global`] on first use. Recording is gated on
+/// [`enabled`] (one relaxed load when off).
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    core: OnceLock<Arc<CounterCore>>,
+}
+
+impl Counter {
+    /// Declares a counter (name discipline: `cdcl_*_total`, snake_case).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            core: OnceLock::new(),
+        }
+    }
+
+    fn core(&self) -> &Arc<CounterCore> {
+        self.core
+            .get_or_init(|| global().counter(self.name, self.help))
+    }
+
+    /// Adds `n` (no-op when the layer is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.core().add(n);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Mirrors an externally maintained monotone value (see
+    /// [`CounterCore::store`]).
+    #[inline]
+    pub fn store(&self, v: u64) {
+        if enabled() {
+            self.core().store(v);
+        }
+    }
+
+    /// Current count (registers the metric if needed; reads even when
+    /// disabled).
+    pub fn get(&self) -> u64 {
+        self.core().get()
+    }
+}
+
+/// A `const`-constructible gauge handle (see [`Counter`] for the
+/// registration contract).
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    core: OnceLock<Arc<GaugeCore>>,
+}
+
+impl Gauge {
+    /// Declares a gauge.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            core: OnceLock::new(),
+        }
+    }
+
+    fn core(&self) -> &Arc<GaugeCore> {
+        self.core
+            .get_or_init(|| global().gauge(self.name, self.help))
+    }
+
+    /// Sets the gauge (no-op when the layer is disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.core().set(v);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.core().get()
+    }
+}
+
+/// A `const`-constructible histogram handle on the fixed [`hist`] grid.
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    core: OnceLock<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// Declares a histogram.
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            core: OnceLock::new(),
+        }
+    }
+
+    fn core(&self) -> &Arc<HistogramCore> {
+        self.core
+            .get_or_init(|| global().histogram(self.name, self.help))
+    }
+
+    /// Records one observation (no-op when the layer is disabled).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if enabled() {
+            self.core().observe(v);
+        }
+    }
+
+    /// Starts a timer whose drop records the elapsed time **in
+    /// microseconds**. When the layer is disabled the clock is never read.
+    #[inline]
+    pub fn time(&self) -> HistTimer<'_> {
+        HistTimer {
+            start: enabled().then(Instant::now),
+            hist: self,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.core().count()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.core().sum()
+    }
+
+    /// Interpolated `q`-quantile.
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.core().percentile(q)
+    }
+}
+
+/// Scoped timer from [`Histogram::time`]: records µs on drop.
+pub struct HistTimer<'a> {
+    start: Option<Instant>,
+    hist: &'a Histogram,
+}
+
+impl Drop for HistTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist
+                .core()
+                .observe(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// `ENABLED` is process-global; tests that toggle it must not overlap.
+    static TEST_GUARD: StdMutex<()> = StdMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_GUARD.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        static C: Counter = Counter::new("cdcl_test_disabled_total", "x");
+        static H: Histogram = Histogram::new("cdcl_test_disabled_us", "x");
+        C.inc();
+        H.observe(5.0);
+        drop(H.time());
+        assert_eq!(C.get(), 0);
+        assert_eq!(H.count(), 0);
+    }
+
+    #[test]
+    fn enabled_handles_register_globally_and_record() {
+        let _g = guard();
+        set_enabled(true);
+        static C: Counter = Counter::new("cdcl_test_enabled_total", "x");
+        static G: Gauge = Gauge::new("cdcl_test_enabled_gauge", "x");
+        C.add(3);
+        G.set(1.5);
+        set_enabled(false);
+        assert_eq!(C.get(), 3);
+        assert_eq!(G.get(), 1.5);
+        let text = global().render_prometheus();
+        assert!(text.contains("cdcl_test_enabled_total 3"));
+        assert!(text.contains("cdcl_test_enabled_gauge 1.5"));
+    }
+
+    #[test]
+    fn duplicate_registration_returns_the_same_core() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "first");
+        let b = r.counter("dup_total", "second help ignored");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert!(r.render_prometheus().contains("# HELP dup_total first\n"));
+    }
+
+    #[test]
+    fn golden_prometheus_exposition() {
+        let r = Registry::new();
+        let c = r.counter("cdcl_golden_requests_total", "Requests answered");
+        let g = r.gauge("cdcl_golden_loss", "Last loss");
+        let h = r.histogram("cdcl_golden_latency_us", "Batch latency");
+        c.add(42);
+        g.set(0.5);
+        h.observe(1.0); // bucket le="1"
+        h.observe(3.0); // bucket le="5"
+        h.observe(3.0);
+        h.observe(2e9); // overflow
+
+        let text = r.render_prometheus();
+        let expected_head = "\
+# HELP cdcl_golden_latency_us Batch latency
+# TYPE cdcl_golden_latency_us histogram
+cdcl_golden_latency_us_bucket{le=\"1\"} 1
+cdcl_golden_latency_us_bucket{le=\"2\"} 1
+cdcl_golden_latency_us_bucket{le=\"5\"} 3
+cdcl_golden_latency_us_bucket{le=\"10\"} 3
+";
+        assert!(
+            text.starts_with(expected_head),
+            "exposition head mismatch:\n{text}"
+        );
+        // Cumulative counts reach the overflow bucket.
+        assert!(text.contains("cdcl_golden_latency_us_bucket{le=\"1000000000\"} 3\n"));
+        assert!(text.contains("cdcl_golden_latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("cdcl_golden_latency_us_sum 2000000007\n"));
+        assert!(text.contains("cdcl_golden_latency_us_count 4\n"));
+        // Derived quantile gauges are typed and present.
+        assert!(text.contains("# TYPE cdcl_golden_latency_us_p50 gauge\n"));
+        assert!(text.contains("cdcl_golden_latency_us_p99 "));
+        // Name-sorted: the counter and gauge follow the histogram block.
+        let pos_c = text.find("# HELP cdcl_golden_loss").unwrap();
+        let pos_r = text.find("# HELP cdcl_golden_requests_total").unwrap();
+        assert!(pos_c < pos_r);
+        assert!(text.contains(
+            "# TYPE cdcl_golden_requests_total counter\ncdcl_golden_requests_total 42\n"
+        ));
+        assert!(text.contains("# TYPE cdcl_golden_loss gauge\ncdcl_golden_loss 0.5\n"));
+    }
+
+    #[test]
+    fn golden_json_exposition() {
+        let r = Registry::new();
+        r.counter("cdcl_j_total", "c").add(7);
+        r.gauge("cdcl_j_gauge", "g").set(2.5);
+        let h = r.histogram("cdcl_j_us", "h");
+        h.observe(3.0);
+        h.observe(3.0);
+        let json = r.render_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"cdcl_j_total\":7},\"gauges\":{\"cdcl_j_gauge\":2.5},\
+             \"histograms\":{\"cdcl_j_us\":{\"count\":2,\"sum\":6,\"p50\":3.5,\"p90\":4.7,\
+             \"p99\":4.97,\"buckets\":[[5,2]]}}}"
+                .replace("             ", "")
+        );
+    }
+
+    #[test]
+    fn histogram_count_equals_bucket_sum_and_sum_accumulates() {
+        let h = HistogramCore::default();
+        for i in 0..100 {
+            h.observe(i as f64);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), (0..100).sum::<i32>() as f64);
+    }
+
+    #[test]
+    fn non_finite_json_values_render_as_strings() {
+        assert_eq!(fmt_f64_json(f64::NAN), "\"NaN\"");
+        assert_eq!(fmt_f64_json(f64::INFINITY), "\"inf\"");
+        assert_eq!(fmt_f64_json(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(fmt_f64_json(2.0), "2");
+    }
+}

@@ -1,0 +1,121 @@
+//! Concurrency properties of the metrics registry: totals are exact under
+//! contention and histogram invariants hold for arbitrary observation sets.
+
+use cdcl_obs::{CounterCore, HistogramCore, Registry};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// N threads × M increments lose nothing: the counter ends at exactly
+    /// the sum of per-thread contributions.
+    #[test]
+    fn counter_increments_are_exact_under_contention(
+        threads in 1usize..8,
+        per_thread in vec(1u64..200, 1..8),
+    ) {
+        let core = Arc::new(CounterCore::default());
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let core = Arc::clone(&core);
+            let amounts = per_thread.clone();
+            handles.push(std::thread::spawn(move || {
+                for (i, &n) in amounts.iter().enumerate() {
+                    // Vary per-thread order a little so interleavings differ.
+                    let n = n + ((t + i) % 3) as u64;
+                    core.add(n);
+                }
+            }));
+        }
+        let mut expected = 0u64;
+        for t in 0..threads {
+            for (i, &n) in per_thread.iter().enumerate() {
+                expected += n + ((t + i) % 3) as u64;
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(core.get(), expected);
+    }
+
+    /// Histogram count always equals the sum of bucket counts, and the sum
+    /// of observations is preserved, even when observed from many threads.
+    #[test]
+    fn histogram_count_equals_bucket_sum_under_contention(
+        threads in 1usize..8,
+        values in vec(0.0f64..1e7, 1..32),
+    ) {
+        let core = Arc::new(HistogramCore::default());
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let core = Arc::clone(&core);
+            let values = values.clone();
+            handles.push(std::thread::spawn(move || {
+                for &v in &values {
+                    core.observe(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let counts = core.bucket_counts();
+        let total = threads as u64 * values.len() as u64;
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+        prop_assert_eq!(core.count(), total);
+        let expected_sum: f64 = values.iter().sum::<f64>() * threads as f64;
+        let err = (core.sum() - expected_sum).abs();
+        // CAS-loop summation is exact per update; only f64 rounding of the
+        // running total differs from the reference order.
+        prop_assert!(err <= expected_sum.abs() * 1e-9 + 1e-6, "sum drift {err}");
+    }
+
+    /// Concurrent registration of the same name from many threads yields
+    /// one shared core: every thread's increments land in the same counter.
+    #[test]
+    fn concurrent_registration_converges_to_one_core(
+        threads in 2usize..8,
+        per_thread in 1u64..100,
+    ) {
+        let registry = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let registry = Arc::clone(&registry);
+            handles.push(std::thread::spawn(move || {
+                let c = registry.counter("cdcl_prop_shared_total", "shared");
+                for _ in 0..per_thread {
+                    c.add(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = registry.counter("cdcl_prop_shared_total", "shared");
+        prop_assert_eq!(c.get(), threads as u64 * per_thread);
+        // Exactly one exposition block for the name.
+        let text = registry.render_prometheus();
+        let occurrences = text.matches("# TYPE cdcl_prop_shared_total counter").count();
+        prop_assert_eq!(occurrences, 1);
+    }
+
+    /// Percentiles of a registry histogram stay within the observed range
+    /// (bucket interpolation never extrapolates past the data's bucket).
+    #[test]
+    fn percentiles_stay_in_bucketed_range(values in vec(0.1f64..1e6, 1..64)) {
+        let r = Registry::new();
+        let h = r.histogram("cdcl_prop_range_us", "range check");
+        for &v in &values {
+            h.observe(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        prop_assert!(p50 <= p99 + 1e-9, "p50 {p50} > p99 {p99}");
+        // Upper bound: the bucket above the max observation.
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        let cap = cdcl_obs::hist::BUCKET_BOUNDS[cdcl_obs::hist::bucket_index(max)
+            .min(cdcl_obs::hist::BUCKET_BOUNDS.len() - 1)];
+        prop_assert!(p99 <= cap + 1e-9, "p99 {p99} above bucket cap {cap}");
+    }
+}

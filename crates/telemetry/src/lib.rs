@@ -47,6 +47,13 @@ static ENV_INIT: Once = Once::new();
 /// The active sink, when tracing is enabled.
 static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
 
+/// Sink generation, bumped (under the sink lock) on every retarget. An
+/// [`Event`] snapshots the generation when it starts building; `emit`
+/// re-checks it under the lock and drops the event if the sink was swapped
+/// in between — an event composed against the old trace file must not leak
+/// into the new one mid-line-stream.
+static SINK_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 /// Monotone event sequence number (process-wide).
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -66,11 +73,41 @@ fn ensure_env_init() {
     });
 }
 
+/// Poison-tolerant sink lock: a writer that panicked mid-emit (the
+/// watchdog does, deliberately) leaves at worst a complete buffered line,
+/// so taking over the lock is sound.
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<BufWriter<File>>> {
+    match SINK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Swaps the sink atomically: the flush of the old writer, the generation
+/// bump, and the installation of the new file all happen under one lock
+/// acquisition, so no event can be written across the boundary.
+fn swap_sink(path: Option<&Path>) {
+    let mut sink = lock_sink();
+    if let Some(old) = sink.as_mut() {
+        let _ = old.flush();
+    }
+    SINK_EPOCH.fetch_add(1, Ordering::Release);
+    match path {
+        Some(p) => {
+            let file = File::create(p)
+                .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {p:?}: {e}"));
+            *sink = Some(BufWriter::new(file));
+            ENABLED.store(true, Ordering::Release);
+        }
+        None => {
+            *sink = None;
+            ENABLED.store(false, Ordering::Release);
+        }
+    }
+}
+
 fn install_sink(path: &Path) {
-    let file = File::create(path)
-        .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {path:?}: {e}"));
-    *SINK.lock().expect("telemetry sink poisoned") = Some(BufWriter::new(file));
-    ENABLED.store(true, Ordering::Release);
+    swap_sink(Some(path));
 }
 
 /// True when a trace sink is active. Producers should gate any work that
@@ -89,30 +126,17 @@ pub fn enabled() -> bool {
 /// Installs (`Some(path)`) or removes (`None`) the trace sink explicitly,
 /// overriding whatever `CDCL_TRACE` resolved to. Intended for tests, which
 /// cannot rely on per-process environment state; flushes and closes any
-/// previous sink.
+/// previous sink. The swap is atomic with respect to concurrent
+/// [`Event::emit`] calls: events already under construction against the
+/// old sink are dropped, never interleaved into the new file.
 pub fn set_trace_file(path: Option<&Path>) {
     ensure_env_init();
-    let mut sink = SINK.lock().expect("telemetry sink poisoned");
-    if let Some(old) = sink.as_mut() {
-        let _ = old.flush();
-    }
-    match path {
-        Some(p) => {
-            let file = File::create(p)
-                .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {p:?}: {e}"));
-            *sink = Some(BufWriter::new(file));
-            ENABLED.store(true, Ordering::Release);
-        }
-        None => {
-            *sink = None;
-            ENABLED.store(false, Ordering::Release);
-        }
-    }
+    swap_sink(path);
 }
 
 /// Flushes the sink (tests read the file back; the writer is buffered).
 pub fn flush() {
-    if let Some(sink) = SINK.lock().expect("telemetry sink poisoned").as_mut() {
+    if let Some(sink) = lock_sink().as_mut() {
         let _ = sink.flush();
     }
 }
@@ -144,18 +168,27 @@ pub struct Event {
     /// JSON object body under construction (without `seq`/`ms`, which are
     /// assigned under the sink lock at emit time). `None` when disabled.
     buf: Option<String>,
+    /// The sink generation this event was built against; emit drops the
+    /// event if the sink was retargeted in between.
+    sink_gen: u64,
 }
 
 impl Event {
     /// Starts an event of kind `ev` (e.g. `"phase"`, `"scalar"`).
     pub fn new(ev: &str) -> Self {
         if !enabled() {
-            return Self { buf: None };
+            return Self {
+                buf: None,
+                sink_gen: 0,
+            };
         }
         let mut buf = String::with_capacity(128);
         buf.push_str(",\"ev\":");
         push_json_str(&mut buf, ev);
-        Self { buf: Some(buf) }
+        Self {
+            buf: Some(buf),
+            sink_gen: SINK_EPOCH.load(Ordering::Acquire),
+        }
     }
 
     /// The event's `name` field.
@@ -226,12 +259,18 @@ impl Event {
         self
     }
 
-    /// Writes the event as one line to the sink (no-op when disabled).
+    /// Writes the event as one line to the sink. No-op when disabled, and
+    /// a deliberate drop when the sink was retargeted since [`Event::new`]
+    /// — the event belongs to the old trace file, and writing it into the
+    /// new one would interleave foreign lines into a fresh stream.
     pub fn emit(self) {
         let Some(body) = self.buf else { return };
         let epoch = *EPOCH.get_or_init(Instant::now);
         let ms = epoch.elapsed().as_secs_f64() * 1e3;
-        let mut sink = SINK.lock().expect("telemetry sink poisoned");
+        let mut sink = lock_sink();
+        if SINK_EPOCH.load(Ordering::Relaxed) != self.sink_gen {
+            return;
+        }
         let Some(out) = sink.as_mut() else { return };
         // seq is assigned under the lock so file order == seq order.
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
@@ -461,6 +500,77 @@ mod tests {
         assert!(msg.contains("task 2 epoch 5 step 7"), "message: {msg}");
         // The trace also recorded the trip before dying.
         assert!(lines.iter().any(|l| l.contains("\"ev\":\"watchdog\"")));
+    }
+
+    #[test]
+    fn concurrent_emit_during_retarget_never_tears_lines() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path_a = tmp_path("stress-a");
+        let path_b = tmp_path("stress-b");
+        set_trace_file(Some(&path_a));
+        // 8 writer threads hammer the sink while the main thread retargets
+        // it back and forth. The epoch guard must keep every written line
+        // whole and in-sequence; events that raced a swap simply vanish.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8usize)
+                .map(|t| {
+                    s.spawn(move || {
+                        for i in 0..200usize {
+                            Event::new("scalar")
+                                .name("stress")
+                                .task(t)
+                                .step(i)
+                                .value(i as f64 * 0.25)
+                                .emit();
+                        }
+                    })
+                })
+                .collect();
+            for swap in 0..20 {
+                let p = if swap % 2 == 0 { &path_b } else { &path_a };
+                set_trace_file(Some(p.as_path()));
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            for h in handles {
+                h.join().expect("stress writer panicked");
+            }
+        });
+        // The final swap may have truncated away everything the writers
+        // managed to land; prove the final sink still accepts whole events.
+        Event::new("scalar")
+            .name("stress")
+            .task(99)
+            .value(1.0)
+            .emit();
+        flush();
+        // `path_a` was truncated by later swaps; both files must now hold
+        // only complete JSONL lines with strictly increasing seq.
+        let mut total_lines = 0usize;
+        for path in [&path_a, &path_b] {
+            let text = std::fs::read_to_string(path).expect("stress file readable");
+            let mut last_seq: Option<u64> = None;
+            for line in text.lines() {
+                assert!(
+                    line.starts_with("{\"seq\":") && line.ends_with('}'),
+                    "torn line in {path:?}: {line:?}"
+                );
+                let seq: u64 = line["{\"seq\":".len()..]
+                    .split(',')
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("unparseable seq in {line:?}"));
+                if let Some(prev) = last_seq {
+                    assert!(seq > prev, "seq regressed {prev} -> {seq} in {path:?}");
+                }
+                last_seq = Some(seq);
+                assert!(line.contains("\"ev\":\"scalar\""), "foreign line {line:?}");
+                total_lines += 1;
+            }
+        }
+        assert!(total_lines > 0, "stress run wrote nothing at all");
+        set_trace_file(None);
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
     }
 
     #[test]

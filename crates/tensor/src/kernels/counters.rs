@@ -71,6 +71,30 @@ pub(crate) fn record_spawns(n: u64) {
     POOL_SPAWNS.fetch_add(n, Ordering::Relaxed);
 }
 
+static OBS_GEMM_CALLS: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_kernel_gemm_calls_total",
+    "GEMM kernel invocations since process start",
+);
+static OBS_GEMM_FMAS: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_kernel_gemm_fmas_total",
+    "Fused multiply-add volume across all GEMM calls",
+);
+static OBS_POOL_SPAWNS: cdcl_obs::Counter = cdcl_obs::Counter::new(
+    "cdcl_kernel_pool_spawns_total",
+    "Worker threads spawned by parallel kernel regions",
+);
+
+/// Mirrors the always-on kernel atomics into the `cdcl-obs` registry.
+/// The kernels keep their own local atomics (one `fetch_add`, no enabled
+/// check, no registry indirection on the hot path); collectors call this at
+/// scrape or health-snapshot time so `/metrics` sees current values.
+pub fn publish_registry() {
+    let snap = counter_snapshot();
+    OBS_GEMM_CALLS.store(snap.gemm_calls);
+    OBS_GEMM_FMAS.store(snap.gemm_fmas);
+    OBS_POOL_SPAWNS.store(snap.pool_spawns);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

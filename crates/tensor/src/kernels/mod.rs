@@ -33,7 +33,7 @@
 pub mod counters;
 pub mod pool;
 
-pub use counters::{counter_snapshot, reset_counters, KernelCounters};
+pub use counters::{counter_snapshot, publish_registry, reset_counters, KernelCounters};
 pub use pool::{num_threads, par_chunks_mut, par_map_ranges, set_num_threads};
 
 /// Inner-dimension (`p`) block size for the streaming kernels.
