@@ -4,7 +4,7 @@
 //! pass is a single reverse sweep. Gradients are accumulated per node and
 //! finally pushed into [`Param`] cells.
 
-use cdcl_tensor::{col2im, Conv2dSpec, Im2col, Pool2dSpec, Tensor};
+use cdcl_tensor::{col2im, Conv2dSpec, Im2col, Pool2dSpec, PooledBuf, Tensor};
 
 use crate::Param;
 
@@ -84,15 +84,34 @@ pub(crate) struct Node {
 }
 
 /// A single forward pass's computation tape.
+///
+/// A `Graph` is also a per-step **arena**: [`Graph::reset_for_step`] clears
+/// the tape while keeping the node array's capacity (and the backward
+/// pass's gradient scratch), so a training loop that holds one `Graph` and
+/// resets it each step records every subsequent tape without growing the
+/// heap — dropped node tensors return their buffers to the tensor pool,
+/// where the next step's ops pick them back up.
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    /// Recycled per-node gradient slots for [`Graph::backward`]; parked
+    /// empty between calls, capacity retained across steps.
+    grads_scratch: Vec<Option<Tensor>>,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears the tape for the next training step, retaining allocated
+    /// capacity (the arena lifecycle, DESIGN.md §12). Node tensors dropped
+    /// here return their storage to the tensor pool; the `Node` array and
+    /// gradient scratch keep their capacity, so steady-state steps record
+    /// and differentiate without touching the allocator.
+    pub fn reset_for_step(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of nodes recorded so far.
@@ -278,8 +297,10 @@ impl Graph {
         assert!(xv.ndim() >= 1, "layer_norm needs rank >= 1");
         let d = xv.shape()[xv.ndim() - 1];
         let rows = xv.len() / d;
-        let mut xhat = vec![0.0; xv.len()];
-        let mut inv_std = vec![0.0; rows];
+        // Both buffers are fully written below, so the recycled storage
+        // needs no fill.
+        let mut xhat = PooledBuf::take_uninit(xv.len());
+        let mut inv_std = PooledBuf::take_uninit(rows);
         for r in 0..rows {
             let row = &xv.data()[r * d..(r + 1) * d];
             let mean = row.iter().sum::<f32>() / d as f32;
@@ -290,9 +311,9 @@ impl Graph {
                 *o = (v - mean) * inv;
             }
         }
-        let xhat = Tensor::from_vec(xhat, xv.shape());
+        let xhat = Tensor::from_buf(xhat, xv.shape());
         let out = xhat.mul(self.value(gamma)).add(self.value(beta));
-        let inv_std = Tensor::from_vec(inv_std, &[rows]);
+        let inv_std = Tensor::from_buf(inv_std, &[rows]);
         self.push(
             out,
             Op::LayerNorm {
@@ -418,7 +439,8 @@ impl Graph {
     // ------------------------------------------------------------------
 
     /// Reverse pass from scalar `loss`: accumulates gradients into every
-    /// [`Param`] leaf reachable from it. May be called once per graph.
+    /// [`Param`] leaf reachable from it. May be called once per recorded
+    /// tape (i.e. once between [`Graph::reset_for_step`] calls).
     ///
     /// Debug builds run the pre-execution shape verifier
     /// ([`Graph::check_shapes`]) over the whole tape first, so a structural
@@ -437,7 +459,11 @@ impl Graph {
             "backward expects a scalar loss, got {:?}",
             self.value(loss).shape()
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        // Reuse the parked gradient scratch: its capacity survives
+        // reset_for_step, so steady-state backward passes allocate nothing.
+        let mut grads: Vec<Option<Tensor>> = std::mem::take(&mut self.grads_scratch);
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
         grads[loss.0] = Some(Tensor::ones(self.value(loss).shape()));
 
         for i in (0..=loss.0).rev() {
@@ -590,7 +616,8 @@ impl Graph {
                     let dbeta = g.reduce_to_shape(gamma_v.shape());
                     // dxhat = g * gamma (broadcast), then the classic LN rule.
                     let dxhat = g.mul(gamma_v);
-                    let mut dx = vec![0.0; xhat.len()];
+                    // Every element of dx is written below (all rows, all j).
+                    let mut dx = PooledBuf::take_uninit(xhat.len());
                     for r in 0..rows {
                         let dxh = &dxhat.data()[r * d..(r + 1) * d];
                         let xh = &xhat.data()[r * d..(r + 1) * d];
@@ -602,7 +629,7 @@ impl Graph {
                                 inv / d as f32 * (d as f32 * dxh[j] - sum_dxh - xh[j] * sum_dxh_xh);
                         }
                     }
-                    let dx = Tensor::from_vec(dx, xhat.shape());
+                    let dx = Tensor::from_buf(dx, xhat.shape());
                     accum(&mut grads, x, dx);
                     accum(&mut grads, gamma, dgamma);
                     accum(&mut grads, beta, dbeta);
@@ -635,8 +662,8 @@ impl Graph {
                     accum(&mut grads, info.x, dx);
                     accum(&mut grads, w, dw.reshape(&[c_out, c_in, k, k]));
                     if let Some(bias) = bias {
-                        // db[c] = Σ_{b,oh,ow} g
-                        let mut db = vec![0.0; c_out];
+                        // db[c] = Σ_{b,oh,ow} g — accumulated, so zeroed.
+                        let mut db = PooledBuf::take_zeroed(c_out);
                         let gd = g.data();
                         for bi in 0..b {
                             for (c, slot) in db.iter_mut().enumerate() {
@@ -644,7 +671,7 @@ impl Graph {
                                 *slot += gd[base..base + oh * ow].iter().sum::<f32>();
                             }
                         }
-                        accum(&mut grads, bias, Tensor::from_vec(db, &[c_out]));
+                        accum(&mut grads, bias, Tensor::from_buf(db, &[c_out]));
                     }
                 }
                 Op::MaxPool2d { x, argmax, .. } => {
@@ -690,6 +717,10 @@ impl Graph {
                 }
             }
         }
+        // Park the scratch for the next backward. Leftover gradients of
+        // nodes above the loss drop here, returning buffers to the pool.
+        grads.clear();
+        self.grads_scratch = grads;
     }
 }
 

@@ -70,9 +70,12 @@ fn direction_for(path: &str) -> Direction {
         || key.starts_with("throughput")
         || key.ends_with("rps")
         || key == "speedup"
+        || key.ends_with("hit_rate")
     {
         Direction::HigherBetter
-    } else if path.contains("latency") {
+    } else if path.contains("latency") || key.ends_with("per_step") {
+        // Allocation-profile keys (`allocs_per_step`, `alloc_bytes_per_step`)
+        // gate downward: the zero-alloc steady state must not regress.
         Direction::LowerBetter
     } else {
         Direction::Info
@@ -384,6 +387,19 @@ mod tests {
         let p95 = deltas.iter().find(|d| d.path.ends_with("p95")).unwrap();
         assert!(p50.regressed(0.10));
         assert!(!p95.regressed(0.10));
+    }
+
+    #[test]
+    fn alloc_profile_keys_gate_in_the_right_direction() {
+        // Hit rate dropping and allocs/step rising are regressions...
+        let base = v(r#"{"pool_hit_rate":0.99,"allocs_per_step":1.0,"alloc_bytes_per_step":64.0}"#);
+        let cur =
+            v(r#"{"pool_hit_rate":0.50,"allocs_per_step":40.0,"alloc_bytes_per_step":4096.0}"#);
+        let (deltas, _, _) = compare(&base, &cur);
+        assert!(deltas.iter().all(|d| d.regressed(0.10)), "{deltas:?}");
+        // ...while the reverse direction is an improvement, not a trip.
+        let (deltas, _, _) = compare(&cur, &base);
+        assert!(deltas.iter().all(|d| !d.regressed(0.10)), "{deltas:?}");
     }
 
     #[test]

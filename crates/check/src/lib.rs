@@ -28,7 +28,13 @@
 //!   snake_case name (counters additionally end in `_total`, the Prometheus
 //!   convention), and outside `crates/obs` no code may look a metric up by
 //!   string at the record site (`.counter("…")` etc.) — record through the
-//!   static handle so the name exists in exactly one place.
+//!   static handle so the name exists in exactly one place;
+//! * **pooled-alloc** — no raw `vec![0.0; …]` / `Vec::with_capacity` in the
+//!   hot-path crates (tensor, autograd, nn, optim) outside the buffer pool
+//!   itself: steady-state f32 storage must come from
+//!   `cdcl_tensor::PooledBuf` (`take_uninit` / `take_zeroed`) so training
+//!   reaches a zero-alloc steady state (DESIGN.md §12). Vetted cold paths
+//!   (construction-time, per-run setup) are enumerated in `lint-allow.txt`.
 //!
 //! Before pattern matching, each file is *masked*: the contents of string
 //! literals, char literals, and comments are blanked out (newlines kept), so
@@ -68,7 +74,7 @@ pub struct Finding {
     /// 1-indexed line (0 for file/workspace-level findings).
     pub line: usize,
     /// Rule identifier (`no-panic`, `no-hashmap`, `no-raw-timing`,
-    /// `phase-spans`, `atomic-write`, `metric-names`).
+    /// `phase-spans`, `atomic-write`, `metric-names`, `pooled-alloc`).
     pub rule: &'static str,
     /// The pattern text that matched.
     pub needle: String,
@@ -378,6 +384,25 @@ fn metric_rule_applies(rel_path: &str) -> bool {
     !rel_path.starts_with("crates/obs/")
 }
 
+/// Allocation primitives the pooled-alloc rule bans in hot-path crates:
+/// steady-state f32 storage must be recycled through the buffer pool, not
+/// freshly heap-allocated every step.
+const POOLED_ALLOC_NEEDLES: [&str; 2] = ["vec![0.0", "Vec::with_capacity"];
+
+/// Whether the pooled-alloc rule applies to `rel_path`: the four crates on
+/// the per-step hot path, except the two `pool.rs` modules (the buffer pool
+/// *is* the sanctioned allocator; the kernel thread pool allocates once at
+/// startup).
+fn pooled_alloc_applies(rel_path: &str) -> bool {
+    const HOT: [&str; 4] = [
+        "crates/tensor/src/",
+        "crates/autograd/src/",
+        "crates/nn/src/",
+        "crates/optim/src/",
+    ];
+    HOT.iter().any(|p| rel_path.starts_with(p)) && !rel_path.ends_with("/pool.rs")
+}
+
 /// A well-formed workspace metric name: `cdcl_`-prefixed snake_case;
 /// counters additionally carry the Prometheus `_total` suffix.
 fn metric_name_ok(kind: &str, name: &str) -> bool {
@@ -487,6 +512,13 @@ pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
             let raw_line = source.lines().nth(lineno).unwrap_or("");
             for needle in metric_line_findings(line, raw_line) {
                 push("metric-names", &needle);
+            }
+        }
+        if pooled_alloc_applies(rel_path) {
+            for needle in POOLED_ALLOC_NEEDLES {
+                if line.contains(needle) {
+                    push("pooled-alloc", needle);
+                }
             }
         }
     }
@@ -726,6 +758,34 @@ mod tests {
         // A doc comment mentioning a constructor must not trip the rule.
         let doc = "/// Register with `Counter::new(\"whatever\")` or `.gauge(\"x\")`.\nfn f() {}\n";
         assert!(scan_file("crates/core/src/health.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn pooled_alloc_rule_guards_hot_path_crates() {
+        let src = "let a = vec![0.0f32; n];\nlet b = Vec::with_capacity(n);\n";
+        for file in [
+            "crates/tensor/src/matmul.rs",
+            "crates/autograd/src/graph.rs",
+            "crates/nn/src/layers.rs",
+            "crates/optim/src/optimizer.rs",
+        ] {
+            let f = scan_file(file, src);
+            let needles: Vec<&str> = f.iter().map(|f| f.needle.as_str()).collect();
+            assert_eq!(needles, ["vec![0.0", "Vec::with_capacity"], "{file}");
+            assert!(f.iter().all(|f| f.rule == "pooled-alloc"));
+        }
+        // The buffer pool and the kernel thread pool are the sanctioned
+        // allocators; crates off the hot path are out of scope.
+        assert!(scan_file("crates/tensor/src/pool.rs", src).is_empty());
+        assert!(scan_file("crates/tensor/src/kernels/pool.rs", src).is_empty());
+        assert!(scan_file("crates/data/src/batch.rs", src).is_empty());
+        assert!(scan_file("crates/bench/src/serve.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pooled_alloc_rule_ignores_masked_and_test_code() {
+        let src = "// vec![0.0; n] is documented here\n#[cfg(test)]\nmod tests {\n    fn t() { let v = Vec::with_capacity(3); }\n}\n";
+        assert!(scan_file("crates/tensor/src/tensor.rs", src).is_empty());
     }
 
     #[test]

@@ -505,6 +505,7 @@ impl CdclTrainer {
             graph_verified: false,
             centroids,
             last_centroids: None,
+            step_graph: cdcl_autograd::Graph::new(),
         })
     }
 

@@ -11,7 +11,7 @@ use cdcl_data::{stack, Batcher, Sample, TaskData};
 use cdcl_nn::Module;
 use cdcl_optim::{AdamW, LrSchedule, Optimizer, WarmupCosine};
 use cdcl_telemetry as telemetry;
-use cdcl_tensor::{kernels, Tensor};
+use cdcl_tensor::{kernels, PooledBuf, Tensor};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -57,6 +57,12 @@ pub struct CdclTrainer {
     /// Second-round centroids of the most recent `refresh_pairs` call —
     /// promoted into `centroids` when the task ends.
     pub(crate) last_centroids: Option<Tensor>,
+    /// Per-step tape arena: reset (capacity retained) at the top of every
+    /// warm-up/adaptation step instead of constructing a fresh `Graph`, so
+    /// steady-state steps record and differentiate without allocating
+    /// (DESIGN.md §12). Not part of snapshots — it carries no learner state
+    /// between steps.
+    pub(crate) step_graph: Graph,
 }
 
 impl CdclTrainer {
@@ -76,6 +82,7 @@ impl CdclTrainer {
             graph_verified: false,
             centroids: Vec::new(),
             last_centroids: None,
+            step_graph: Graph::new(),
         }
     }
 
@@ -235,26 +242,21 @@ impl CdclTrainer {
             return None;
         }
         let task = records[0].task;
-        let src_imgs = {
-            let mut data = Vec::new();
-            let shape = records[0].x_source.shape().to_vec();
-            for r in records {
-                data.extend_from_slice(r.x_source.data());
+        // Memory-record staging goes through the tensor pool: rehearsal
+        // batches share shapes across steps, so these buffers recycle.
+        let stack_records = |pick: fn(&MemoryRecord) -> &Tensor| {
+            let shape = pick(records[0]).shape().to_vec();
+            let per = pick(records[0]).len();
+            let mut data = PooledBuf::take_uninit(records.len() * per);
+            for (i, r) in records.iter().enumerate() {
+                data[i * per..(i + 1) * per].copy_from_slice(pick(r).data());
             }
             let mut s = vec![records.len()];
             s.extend_from_slice(&shape);
-            Tensor::from_vec(data, &s)
+            Tensor::from_buf(data, &s)
         };
-        let tgt_imgs = {
-            let mut data = Vec::new();
-            let shape = records[0].x_target.shape().to_vec();
-            for r in records {
-                data.extend_from_slice(r.x_target.data());
-            }
-            let mut s = vec![records.len()];
-            s.extend_from_slice(&shape);
-            Tensor::from_vec(data, &s)
-        };
+        let src_imgs = stack_records(|r| &r.x_source);
+        let tgt_imgs = stack_records(|r| &r.x_target);
         let globals: Vec<usize> = records.iter().map(|r| r.global_label).collect();
 
         let xs = g.input(src_imgs);
@@ -354,7 +356,10 @@ impl CdclTrainer {
             .iter()
             .map(|&l| self.model.class_offset(t) + l)
             .collect();
-        let mut g = Graph::new();
+        // Reuse the per-trainer tape arena (take/put-back so `self` stays
+        // free for the model calls below).
+        let mut g = std::mem::take(&mut self.step_graph);
+        g.reset_for_step();
         let x = g.input(imgs);
         let z = self.model.features_self(&mut g, x, t);
         let mut loss = None;
@@ -373,7 +378,10 @@ impl CdclTrainer {
                 None => l,
             });
         }
-        let Some(loss) = loss else { return };
+        let Some(loss) = loss else {
+            self.step_graph = g;
+            return;
+        };
         self.optimizer.zero_grad();
         g.backward(loss);
         self.verify_first_graph(&g, loss, t, epoch);
@@ -403,6 +411,7 @@ impl CdclTrainer {
             health::GRAD_NORM.set(self.grad_norm());
         }
         self.optimizer.step(lr);
+        self.step_graph = g;
     }
 
     /// One adaptation step on a batch of matched pairs (+ rehearsal).
@@ -426,7 +435,8 @@ impl CdclTrainer {
             .map(|&l| self.model.class_offset(t) + l)
             .collect();
 
-        let mut g = Graph::new();
+        let mut g = std::mem::take(&mut self.step_graph);
+        g.reset_for_step();
         let xs = g.input(src_imgs);
         let xt = g.input(tgt_imgs);
         let zs = self.model.features_self(&mut g, xs, t);
@@ -484,7 +494,10 @@ impl CdclTrainer {
                 }
             }
         }
-        let Some(loss) = loss else { return };
+        let Some(loss) = loss else {
+            self.step_graph = g;
+            return;
+        };
         self.optimizer.zero_grad();
         g.backward(loss);
         self.verify_first_graph(&g, loss, t, epoch);
@@ -527,6 +540,7 @@ impl CdclTrainer {
             health::GRAD_NORM.set(self.grad_norm());
         }
         self.optimizer.step(lr);
+        self.step_graph = g;
     }
 
     /// Rebuilds centroids, pseudo-labels, and the pair set for the epoch

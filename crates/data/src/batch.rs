@@ -1,6 +1,6 @@
 //! Mini-batch assembly over [`Sample`] slices.
 
-use cdcl_tensor::Tensor;
+use cdcl_tensor::{PooledBuf, Tensor};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -12,16 +12,18 @@ pub fn stack(samples: &[&Sample]) -> (Tensor, Vec<usize>) {
     assert!(!samples.is_empty(), "stack of zero samples");
     let shape = samples[0].image.shape().to_vec();
     let per = samples[0].image.len();
-    let mut data = Vec::with_capacity(samples.len() * per);
+    // Batch staging goes through the tensor pool: the same batch shape
+    // recurs every step, so this is a recycled buffer in steady state.
+    let mut data = PooledBuf::take_uninit(samples.len() * per);
     let mut labels = Vec::with_capacity(samples.len());
-    for s in samples {
+    for (i, s) in samples.iter().enumerate() {
         assert_eq!(s.image.shape(), &shape[..], "inconsistent sample shapes");
-        data.extend_from_slice(s.image.data());
+        data[i * per..(i + 1) * per].copy_from_slice(s.image.data());
         labels.push(s.label);
     }
     let mut out_shape = vec![samples.len()];
     out_shape.extend_from_slice(&shape);
-    (Tensor::from_vec(data, &out_shape), labels)
+    (Tensor::from_buf(data, &out_shape), labels)
 }
 
 /// Deterministic shuffled mini-batch iterator over an indexed dataset.

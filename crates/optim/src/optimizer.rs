@@ -50,11 +50,14 @@ impl Optimizer for Sgd {
             let lr = lr * p.lr_scale();
             p.apply_update(|value, grad| {
                 if self.momentum > 0.0 {
-                    // v = m*v + g ; w -= lr * v
-                    let mut new_v = v.scale(self.momentum);
-                    new_v.add_assign_scaled(grad, 1.0);
-                    value.add_assign_scaled(&new_v, -lr);
-                    *v = new_v;
+                    // v = m*v + g ; w -= lr * v. The moment buffer updates
+                    // in place — zero allocations per step (f32 `v*m` is
+                    // commutative, so this is bitwise-identical to the old
+                    // `scale` + `add_assign_scaled` form).
+                    for (vi, gi) in v.data_mut().iter_mut().zip(grad.data()) {
+                        *vi = *vi * self.momentum + gi;
+                    }
+                    value.add_assign_scaled(v, -lr);
                 } else {
                     value.add_assign_scaled(grad, -lr);
                 }

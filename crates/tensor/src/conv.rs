@@ -10,6 +10,7 @@
 //! bitwise identical at every thread count.
 
 use crate::kernels;
+use crate::pool::PooledBuf;
 use crate::Tensor;
 
 /// Static parameters of a 2-D convolution.
@@ -102,7 +103,9 @@ pub fn im2col(x: &Tensor, spec: Conv2dSpec) -> Im2col {
     let k = spec.kernel;
     let col_rows = c * k * k;
     let col_cols = oh * ow;
-    let mut cols = vec![0.0; b * col_rows * col_cols];
+    // Every element (including zero padding) is written below, so the
+    // recycled buffer needs no fill.
+    let mut cols = PooledBuf::take_uninit(b * col_rows * col_cols);
     let xd = x.data();
     kernels::par_chunks_mut(
         &mut cols,
@@ -134,7 +137,7 @@ pub fn im2col(x: &Tensor, spec: Conv2dSpec) -> Im2col {
         },
     );
     Im2col {
-        cols: Tensor::from_vec(cols, &[b, col_rows, col_cols]),
+        cols: Tensor::from_buf(cols, &[b, col_rows, col_cols]),
         batch: b,
         c_in: c,
         in_hw: (h, w),
@@ -153,7 +156,8 @@ pub fn col2im(cols_grad: &Tensor, info: &Im2col) -> Tensor {
     let col_rows = c * k * k;
     let col_cols = oh * ow;
     assert_eq!(cols_grad.shape(), &[b, col_rows, col_cols]);
-    let mut out = vec![0.0; b * c * h * w];
+    // The scatter below *accumulates*, so zero is the semantic initial value.
+    let mut out = PooledBuf::take_zeroed(b * c * h * w);
     let gd = cols_grad.data();
     kernels::par_chunks_mut(&mut out, c * h * w, col_rows * col_cols, |bi, img| {
         let src = &gd[bi * col_rows * col_cols..(bi + 1) * col_rows * col_cols];
@@ -180,7 +184,7 @@ pub fn col2im(cols_grad: &Tensor, info: &Im2col) -> Tensor {
             }
         }
     });
-    Tensor::from_vec(out, &[b, c, h, w])
+    Tensor::from_buf(out, &[b, c, h, w])
 }
 
 impl Tensor {
@@ -247,7 +251,7 @@ impl Tensor {
             self.shape()[3],
         );
         let (oh, ow) = spec.out_hw(h, w);
-        let mut out = vec![0.0; b * c * oh * ow];
+        let mut out = PooledBuf::take_uninit(b * c * oh * ow);
         let mut argmax = vec![0usize; b * c * oh * ow];
         let xd = self.data();
         for bi in 0..b {
@@ -276,7 +280,7 @@ impl Tensor {
             }
         }
         MaxPoolResult {
-            out: Tensor::from_vec(out, &[b, c, oh, ow]),
+            out: Tensor::from_buf(out, &[b, c, oh, ow]),
             argmax,
         }
     }

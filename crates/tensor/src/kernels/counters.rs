@@ -93,6 +93,7 @@ pub fn publish_registry() {
     OBS_GEMM_CALLS.store(snap.gemm_calls);
     OBS_GEMM_FMAS.store(snap.gemm_fmas);
     OBS_POOL_SPAWNS.store(snap.pool_spawns);
+    crate::pool::publish_registry();
 }
 
 #[cfg(test)]

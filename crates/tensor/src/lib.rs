@@ -45,12 +45,14 @@ pub mod check;
 mod conv;
 pub mod kernels;
 mod matmul;
+pub mod pool;
 mod reduce;
 mod shape;
 mod tensor;
 
 pub use check::ShapeError;
 pub use conv::{col2im, im2col, Conv2dSpec, Im2col, MaxPoolResult, Pool2dSpec};
+pub use pool::{PoolStats, PooledBuf};
 pub use shape::{broadcast_shapes, num_elements, strides_for, Shape};
 pub use tensor::Tensor;
 

@@ -5,6 +5,7 @@
 
 use crate::check::{enforce_shape, infer_matmul, infer_matmul_nt, infer_matmul_tn};
 use crate::kernels;
+use crate::pool::PooledBuf;
 use crate::Tensor;
 
 impl Tensor {
@@ -24,24 +25,26 @@ impl Tensor {
             (2, 2) => {
                 let (m, k) = (self.shape()[0], self.shape()[1]);
                 let n = rhs.shape()[1];
-                let mut out = vec![0.0; m * n];
+                // GEMM accumulates (`C += A·B`), so zero *is* the semantic initial
+                // value — take_zeroed does one explicit fill on recycled buffers.
+                let mut out = PooledBuf::take_zeroed(m * n);
                 kernels::gemm_nn(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             (3, 3) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
                 let n = rhs.shape()[2];
-                let mut out = vec![0.0; b * m * n];
+                let mut out = PooledBuf::take_zeroed(b * m * n);
                 kernels::gemm_nn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             (3, 2) => {
                 // Shared right operand: flatten batch into rows.
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
                 let n = rhs.shape()[1];
-                let mut out = vec![0.0; b * m * n];
+                let mut out = PooledBuf::take_zeroed(b * m * n);
                 kernels::gemm_nn(&mut out, self.data(), rhs.data(), b * m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             _ => unreachable!("ranks validated by shape inference"),
         }
@@ -59,23 +62,25 @@ impl Tensor {
             (2, 2) => {
                 let (m, k) = (self.shape()[0], self.shape()[1]);
                 let n = rhs.shape()[0];
-                let mut out = vec![0.0; m * n];
+                // GEMM accumulates (`C += A·B`), so zero *is* the semantic initial
+                // value — take_zeroed does one explicit fill on recycled buffers.
+                let mut out = PooledBuf::take_zeroed(m * n);
                 kernels::gemm_nt(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             (3, 3) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
                 let n = rhs.shape()[1];
-                let mut out = vec![0.0; b * m * n];
+                let mut out = PooledBuf::take_zeroed(b * m * n);
                 kernels::gemm_nt_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             (3, 2) => {
                 let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
                 let n = rhs.shape()[0];
-                let mut out = vec![0.0; b * m * n];
+                let mut out = PooledBuf::take_zeroed(b * m * n);
                 kernels::gemm_nt(&mut out, self.data(), rhs.data(), b * m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             _ => unreachable!("ranks validated by shape inference"),
         }
@@ -92,16 +97,18 @@ impl Tensor {
             (2, 2) => {
                 let (k, m) = (self.shape()[0], self.shape()[1]);
                 let n = rhs.shape()[1];
-                let mut out = vec![0.0; m * n];
+                // GEMM accumulates (`C += A·B`), so zero *is* the semantic initial
+                // value — take_zeroed does one explicit fill on recycled buffers.
+                let mut out = PooledBuf::take_zeroed(m * n);
                 kernels::gemm_tn(&mut out, self.data(), rhs.data(), m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             (3, 3) => {
                 let (b, k, m) = (self.shape()[0], self.shape()[1], self.shape()[2]);
                 let n = rhs.shape()[2];
-                let mut out = vec![0.0; b * m * n];
+                let mut out = PooledBuf::take_zeroed(b * m * n);
                 kernels::gemm_tn_batched(&mut out, self.data(), rhs.data(), b, m, k, n);
-                Tensor::from_vec(out, &out_shape)
+                Tensor::from_buf(out, &out_shape)
             }
             _ => unreachable!("ranks validated by shape inference"),
         }

@@ -1,6 +1,7 @@
 //! Reductions and the softmax family, all along the **last** axis (the only
 //! axis the model reduces over), plus whole-tensor reductions.
 
+use crate::pool::PooledBuf;
 use crate::Tensor;
 
 impl Tensor {
@@ -16,11 +17,11 @@ impl Tensor {
     /// Sum along the last axis; the axis is dropped.
     pub fn sum_last(&self) -> Tensor {
         let (rows, cols) = self.rows_cols();
-        let mut out = Vec::with_capacity(rows);
+        let mut out = PooledBuf::take_uninit(rows);
         for r in 0..rows {
-            out.push(self.data()[r * cols..(r + 1) * cols].iter().sum());
+            out[r] = self.data()[r * cols..(r + 1) * cols].iter().sum();
         }
-        Tensor::from_vec(out, &self.shape()[..self.ndim() - 1])
+        Tensor::from_buf(out, &self.shape()[..self.ndim() - 1])
     }
 
     /// Mean along the last axis; the axis is dropped.
@@ -32,16 +33,14 @@ impl Tensor {
     /// Max along the last axis; the axis is dropped.
     pub fn max_last(&self) -> Tensor {
         let (rows, cols) = self.rows_cols();
-        let mut out = Vec::with_capacity(rows);
+        let mut out = PooledBuf::take_uninit(rows);
         for r in 0..rows {
-            out.push(
-                self.data()[r * cols..(r + 1) * cols]
-                    .iter()
-                    .copied()
-                    .fold(f32::NEG_INFINITY, f32::max),
-            );
+            out[r] = self.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
         }
-        Tensor::from_vec(out, &self.shape()[..self.ndim() - 1])
+        Tensor::from_buf(out, &self.shape()[..self.ndim() - 1])
     }
 
     /// Index of the maximum along the last axis (first maximum wins).
@@ -64,7 +63,8 @@ impl Tensor {
     /// Numerically stable softmax along the last axis.
     pub fn softmax_last(&self) -> Tensor {
         let (rows, cols) = self.rows_cols();
-        let mut out = vec![0.0; self.len()];
+        // Every element is written below, so no fill on the recycled buffer.
+        let mut out = PooledBuf::take_uninit(self.len());
         for r in 0..rows {
             let row = &self.data()[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -77,13 +77,13 @@ impl Tensor {
             let inv = 1.0 / z;
             dst.iter_mut().for_each(|d| *d *= inv);
         }
-        Tensor::from_vec(out, self.shape())
+        Tensor::from_buf(out, self.shape())
     }
 
     /// Numerically stable log-softmax along the last axis.
     pub fn log_softmax_last(&self) -> Tensor {
         let (rows, cols) = self.rows_cols();
-        let mut out = vec![0.0; self.len()];
+        let mut out = PooledBuf::take_uninit(self.len());
         for r in 0..rows {
             let row = &self.data()[r * cols..(r + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -92,22 +92,22 @@ impl Tensor {
                 *d = v - lse;
             }
         }
-        Tensor::from_vec(out, self.shape())
+        Tensor::from_buf(out, self.shape())
     }
 
     /// L2-normalizes each last-axis row (used for cosine distances in the
     /// pseudo-labeling step). Rows with near-zero norm are left unchanged.
     pub fn l2_normalize_last(&self) -> Tensor {
         let (rows, cols) = self.rows_cols();
-        let mut out = self.data().to_vec();
+        let mut out = self.clone();
         for r in 0..rows {
-            let row = &mut out[r * cols..(r + 1) * cols];
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
             let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
             if norm > 1e-12 {
                 row.iter_mut().for_each(|v| *v /= norm);
             }
         }
-        Tensor::from_vec(out, self.shape())
+        out
     }
 }
 

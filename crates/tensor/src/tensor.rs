@@ -4,6 +4,7 @@ use std::fmt;
 
 use rand::Rng;
 
+use crate::pool::PooledBuf;
 use crate::shape::{
     broadcast_shapes, broadcast_strides, num_elements, offset_of, strides_for, unravel, Shape,
 };
@@ -12,10 +13,27 @@ use crate::shape::{
 ///
 /// All operations allocate fresh output tensors; in-place variants are
 /// provided where training loops need them (`add_assign_scaled`, `fill`).
-#[derive(Clone, PartialEq)]
+/// Storage lives in a [`PooledBuf`], so "allocate" usually means "pop a
+/// recycled buffer from the size-classed pool" (see `pool` module /
+/// DESIGN.md §12) — dropping a tensor returns its bytes for the next step.
 pub struct Tensor {
-    data: Vec<f32>,
+    data: PooledBuf,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data[..] == other.data[..]
+    }
 }
 
 impl Tensor {
@@ -23,8 +41,23 @@ impl Tensor {
     // Constructors
     // ---------------------------------------------------------------------
 
-    /// Builds a tensor from a flat row-major buffer.
+    /// Builds a tensor from a flat row-major buffer. The buffer joins the
+    /// pool's recycling regime when the tensor is dropped.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            num_elements(shape),
+            "buffer of {} elements does not fit shape {shape:?}",
+            data.len()
+        );
+        Self {
+            data: PooledBuf::from_vec(data),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Builds a tensor directly over a pooled buffer (no copy).
+    pub fn from_buf(data: PooledBuf, shape: &[usize]) -> Self {
         assert_eq!(
             data.len(),
             num_elements(shape),
@@ -37,10 +70,24 @@ impl Tensor {
         }
     }
 
+    /// A tensor with **unspecified** (but initialised) contents, taken from
+    /// the pool. Every element must be overwritten before it is read —
+    /// callers that cannot guarantee that want [`Tensor::zeros`]. Kernels
+    /// use this for outputs they fully compute, which is what keeps the
+    /// pool bitwise-transparent.
+    pub fn uninit(shape: &[usize]) -> Self {
+        Self {
+            data: PooledBuf::take_uninit(num_elements(shape)),
+            shape: shape.to_vec(),
+        }
+    }
+
     /// A scalar (rank-0) tensor.
     pub fn scalar(v: f32) -> Self {
+        let mut data = PooledBuf::take_uninit(1);
+        data[0] = v;
         Self {
-            data: vec![v],
+            data,
             shape: vec![],
         }
     }
@@ -48,7 +95,7 @@ impl Tensor {
     /// All-zero tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         Self {
-            data: vec![0.0; num_elements(shape)],
+            data: PooledBuf::take_zeroed(num_elements(shape)),
             shape: shape.to_vec(),
         }
     }
@@ -60,8 +107,10 @@ impl Tensor {
 
     /// Tensor filled with `v`.
     pub fn full(shape: &[usize], v: f32) -> Self {
+        let mut data = PooledBuf::take_uninit(num_elements(shape));
+        data.iter_mut().for_each(|x| *x = v);
         Self {
-            data: vec![v; num_elements(shape)],
+            data,
             shape: shape.to_vec(),
         }
     }
@@ -78,25 +127,31 @@ impl Tensor {
     /// Samples i.i.d. `N(0, std^2)` entries (Box–Muller, seeded by `rng`).
     pub fn randn<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], std: f32) -> Self {
         let n = num_elements(shape);
-        let mut data = Vec::with_capacity(n);
-        while data.len() < n {
+        let mut data = PooledBuf::take_uninit(n);
+        let mut i = 0;
+        while i < n {
             let u1: f32 = rng.random::<f32>().max(1e-12);
             let u2: f32 = rng.random::<f32>();
             let r = (-2.0 * u1.ln()).sqrt();
             let theta = 2.0 * std::f32::consts::PI * u2;
-            data.push(r * theta.cos() * std);
-            if data.len() < n {
-                data.push(r * theta.sin() * std);
+            data[i] = r * theta.cos() * std;
+            i += 1;
+            if i < n {
+                data[i] = r * theta.sin() * std;
+                i += 1;
             }
         }
-        Self::from_vec(data, shape)
+        Self::from_buf(data, shape)
     }
 
     /// Samples i.i.d. `U(lo, hi)` entries.
     pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Self {
         let n = num_elements(shape);
-        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
-        Self::from_vec(data, shape)
+        let mut data = PooledBuf::take_uninit(n);
+        for x in data.iter_mut() {
+            *x = rng.random_range(lo..hi);
+        }
+        Self::from_buf(data, shape)
     }
 
     /// One-hot matrix `[labels.len(), classes]`.
@@ -143,9 +198,9 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its buffer.
+    /// Consumes the tensor, returning its buffer (detached from the pool).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Value of a rank-0 or single-element tensor.
@@ -192,7 +247,7 @@ impl Tensor {
         let batch = self.len() / (r * c);
         let mut out_shape = self.shape.clone();
         out_shape.swap(nd - 2, nd - 1);
-        let mut out = vec![0.0; self.len()];
+        let mut out = PooledBuf::take_uninit(self.len());
         for b in 0..batch {
             let src = &self.data[b * r * c..(b + 1) * r * c];
             let dst = &mut out[b * r * c..(b + 1) * r * c];
@@ -202,7 +257,7 @@ impl Tensor {
                 }
             }
         }
-        Self::from_vec(out, &out_shape)
+        Self::from_buf(out, &out_shape)
     }
 
     /// Concatenates tensors along dimension 0. All shapes must agree on the
@@ -215,13 +270,15 @@ impl Tensor {
             assert_eq!(&p.shape[1..], tail, "concat0 trailing shape mismatch");
             rows += p.shape[0];
         }
-        let mut data = Vec::with_capacity(rows * num_elements(tail));
+        let mut data = PooledBuf::take_uninit(rows * num_elements(tail));
+        let mut off = 0;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data[off..off + p.len()].copy_from_slice(&p.data);
+            off += p.len();
         }
         let mut shape = vec![rows];
         shape.extend_from_slice(tail);
-        Self::from_vec(data, &shape)
+        Self::from_buf(data, &shape)
     }
 
     /// Selects rows (dimension-0 slices) by index, in order. Indices may
@@ -229,21 +286,23 @@ impl Tensor {
     pub fn select_rows(&self, indices: &[usize]) -> Self {
         assert!(self.ndim() >= 1, "select_rows on scalar");
         let row = self.len() / self.shape[0].max(1);
-        let mut data = Vec::with_capacity(indices.len() * row);
-        for &i in indices {
+        let mut data = PooledBuf::take_uninit(indices.len() * row);
+        for (k, &i) in indices.iter().enumerate() {
             assert!(i < self.shape[0], "row index {i} out of range");
-            data.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+            data[k * row..(k + 1) * row].copy_from_slice(&self.data[i * row..(i + 1) * row]);
         }
         let mut shape = self.shape.clone();
         shape[0] = indices.len();
-        Self::from_vec(data, &shape)
+        Self::from_buf(data, &shape)
     }
 
     /// Extracts row `i` (dimension-0 slice), dropping the leading dimension.
     pub fn row(&self, i: usize) -> Self {
         assert!(self.ndim() >= 1 && i < self.shape[0], "row out of range");
         let row = self.len() / self.shape[0];
-        Self::from_vec(self.data[i * row..(i + 1) * row].to_vec(), &self.shape[1..])
+        let mut data = PooledBuf::take_uninit(row);
+        data.copy_from_slice(&self.data[i * row..(i + 1) * row]);
+        Self::from_buf(data, &self.shape[1..])
     }
 
     // ---------------------------------------------------------------------
@@ -252,27 +311,25 @@ impl Tensor {
 
     fn binary(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         if self.shape == rhs.shape {
-            // Fast path: same shape, tight loop.
-            let data = self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| f(*a, *b))
-                .collect();
-            return Tensor::from_vec(data, &self.shape);
+            // Fast path: same shape, tight loop over a recycled buffer.
+            let mut data = PooledBuf::take_uninit(self.len());
+            for ((o, a), b) in data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+                *o = f(*a, *b);
+            }
+            return Tensor::from_buf(data, &self.shape);
         }
         let out_shape = broadcast_shapes(&self.shape, &rhs.shape);
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&rhs.shape, &out_shape);
         let n = num_elements(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        for flat in 0..n {
+        let mut data = PooledBuf::take_uninit(n);
+        for (flat, o) in data.iter_mut().enumerate() {
             let idx = unravel(flat, &out_shape);
             let a = self.data[offset_of(&idx, &sa)];
             let b = rhs.data[offset_of(&idx, &sb)];
-            data.push(f(a, b));
+            *o = f(a, b);
         }
-        Tensor::from_vec(data, &out_shape)
+        Tensor::from_buf(data, &out_shape)
     }
 
     /// Element-wise sum with broadcasting.
@@ -297,7 +354,11 @@ impl Tensor {
 
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|v| f(*v)).collect(), &self.shape)
+        let mut data = PooledBuf::take_uninit(self.len());
+        for (o, v) in data.iter_mut().zip(self.data.iter()) {
+            *o = f(*v);
+        }
+        Tensor::from_buf(data, &self.shape)
     }
 
     /// Multiplies every element by `c`.
@@ -377,7 +438,7 @@ impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
         if self.len() <= 16 {
-            write!(f, " {:?}", self.data)
+            write!(f, " {:?}", &self.data[..])
         } else {
             write!(
                 f,
@@ -422,6 +483,26 @@ mod tests {
     fn one_hot_rows() {
         let t = Tensor::one_hot(&[2, 0], 3);
         assert_eq!(t.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn uninit_has_shape_and_full_writes_all() {
+        let mut t = Tensor::uninit(&[4, 4]);
+        t.fill(3.0);
+        assert_eq!(t.sum(), 48.0);
+        let f = Tensor::full(&[2, 2], 0.5);
+        assert_eq!(f.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn zeros_are_zero_even_from_recycled_buffers() {
+        // Dirty a pooled buffer, drop it, and check zeros() re-zeroes.
+        for _ in 0..4 {
+            let t = Tensor::full(&[64], 9.0);
+            drop(t);
+            let z = Tensor::zeros(&[64]);
+            assert!(z.data().iter().all(|v| *v == 0.0));
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property-based tests for the size-classed buffer pool (DESIGN.md §12).
+//!
+//! These drive owned [`BufferPool`] instances — not the process-wide pool —
+//! so hit/miss accounting is exact even when the test harness runs suites
+//! in parallel (other tests allocating through the global pool would
+//! otherwise pollute the counters).
+
+use cdcl_tensor::pool::BufferPool;
+use proptest::prelude::*;
+
+proptest! {
+    /// Routing invariant: whatever class serves the request, the caller
+    /// always gets exactly `n` elements backed by capacity >= `n`, for any
+    /// request size (including sub-MIN_CLASS and over-MAX_CLASS bypasses).
+    #[test]
+    fn take_returns_buffer_geq_requested_len(n in 0usize..100_000) {
+        let pool = BufferPool::new();
+        let a = pool.take_uninit(n);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.capacity() >= n);
+        let z = pool.take_zeroed(n);
+        prop_assert_eq!(z.len(), n);
+        prop_assert!(z.iter().all(|v| *v == 0.0));
+    }
+
+    /// Recycling a buffer and re-requesting a *smaller-or-equal* size from
+    /// the same class must still satisfy the length/capacity contract —
+    /// this is the capacity-based give-routing guarantee (a buffer filed
+    /// under class `c` always has capacity >= `class_size(c)`).
+    #[test]
+    fn recycled_buffers_still_satisfy_requests(
+        first in 1usize..10_000,
+        second in 1usize..10_000,
+    ) {
+        let pool = BufferPool::new();
+        pool.give(pool.take_uninit(first));
+        let b = pool.take_uninit(second);
+        prop_assert_eq!(b.len(), second);
+        prop_assert!(b.capacity() >= second);
+    }
+
+    /// Two live handles never alias: writing a distinct pattern through one
+    /// must never show through the other, across an arbitrary interleaving
+    /// of takes and gives.
+    #[test]
+    fn live_handles_never_alias(sizes in prop::collection::vec(1usize..4096, 2..8)) {
+        let pool = BufferPool::new();
+        // Prime the free lists so later takes are recycles.
+        let primed: Vec<Vec<f32>> = sizes.iter().map(|&n| pool.take_uninit(n)).collect();
+        for v in primed {
+            pool.give(v);
+        }
+        let mut live: Vec<Vec<f32>> = Vec::new();
+        for (tag, &n) in sizes.iter().enumerate() {
+            let mut v = pool.take_uninit(n);
+            v.iter_mut().for_each(|x| *x = tag as f32);
+            live.push(v);
+        }
+        for (tag, v) in live.iter().enumerate() {
+            prop_assert!(
+                v.iter().all(|x| *x == tag as f32),
+                "buffer {} contaminated by another live handle", tag
+            );
+        }
+    }
+
+    /// Steady state: once each shape in the working set has been seen once,
+    /// every subsequent round is a 100% hit rate with zero new heap bytes —
+    /// the zero-alloc contract the trainer's step loop relies on.
+    #[test]
+    fn repeated_shape_workload_hits_every_time(
+        shapes in prop::collection::vec(1usize..50_000, 1..6),
+        rounds in 2usize..10,
+    ) {
+        let pool = BufferPool::new();
+        // Warm-up round: populate one buffer per shape.
+        let warm: Vec<Vec<f32>> = shapes.iter().map(|&n| pool.take_uninit(n)).collect();
+        for v in warm {
+            pool.give(v);
+        }
+        let warm_stats = pool.stats();
+        for _ in 0..rounds {
+            let taken: Vec<Vec<f32>> = shapes.iter().map(|&n| pool.take_zeroed(n)).collect();
+            for v in taken {
+                pool.give(v);
+            }
+        }
+        let delta = pool.stats().delta_since(&warm_stats);
+        prop_assert!(delta.misses == 0, "steady state must not touch the allocator");
+        prop_assert_eq!(delta.alloc_bytes, 0);
+        prop_assert_eq!(delta.hits, (shapes.len() * rounds) as u64);
+        prop_assert!((delta.hit_rate() - 1.0).abs() < f64::EPSILON);
+    }
+}
