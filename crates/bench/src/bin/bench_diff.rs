@@ -73,7 +73,10 @@ fn direction_for(path: &str) -> Direction {
         || key.ends_with("hit_rate")
     {
         Direction::HigherBetter
-    } else if path.contains("latency") || key.ends_with("per_step") {
+    } else if path.contains("latency")
+        || key.ends_with("per_step")
+        || matches!(key, "p50" | "p90" | "p95" | "p99")
+    {
         // Allocation-profile keys (`allocs_per_step`, `alloc_bytes_per_step`)
         // gate downward: the zero-alloc steady state must not regress.
         Direction::LowerBetter

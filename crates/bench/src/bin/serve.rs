@@ -1,11 +1,13 @@
-//! `cdcl-serve`: batched TIL/CIL inference over a `cdcl-snapshot` file.
+//! `cdcl-serve`: multi-tenant batched TIL/CIL inference over a registry of
+//! `cdcl-snapshot` files (DESIGN.md §13).
 //!
-//! Loads a checkpoint written by the trainer (or `save_snapshot`), re-runs
-//! the graph verifier over every task's frozen `K_i`/`b_i` before answering
-//! anything, then serves JSON-lines prediction requests with a dynamic
-//! micro-batching queue — requests accumulate until `--max-batch` is
-//! reached, a blank line arrives, or the stream ends, and each flush stacks
-//! same-shaped work into one forward pass per `(mode, task)` group.
+//! Loads one checkpoint per `--model <id>=<path>` (or one under the id
+//! `default` via `--snapshot <path>`), re-runs the graph verifier over
+//! every task's frozen `K_i`/`b_i` before answering anything, then serves
+//! JSON-lines prediction requests with a dynamic micro-batching queue —
+//! requests accumulate until `--max-batch` is reached, a blank line
+//! arrives, or the stream ends, and each flush stacks same-shaped work
+//! into one forward pass per `(model version, mode, task)` group.
 //!
 //! ```text
 //! cargo run --release -p cdcl-bench --bin cdcl-serve -- \
@@ -13,29 +15,39 @@
 //!     < requests.jsonl > responses.jsonl
 //! ```
 //!
-//! Request lines (`id` echoes back; `task` is required for `"til"`):
+//! Request lines (`id` echoes back; `task` is required for `"til"`;
+//! `model` may be omitted when exactly one model is loaded):
 //!
 //! ```text
 //! {"id": 1, "mode": "til", "task": 0, "image": [0.0, ...]}   // c*h*w floats
-//! {"id": 2, "mode": "cil", "image": [0.0, ...]}
+//! {"id": 2, "model": "default", "mode": "cil", "image": [0.0, ...]}
 //! ```
 //!
 //! Responses carry `pred` (argmax class — task-local for TIL, global for
-//! CIL) and the full probability row; malformed requests get
-//! `{"ok": false, "error": ...}` instead of aborting the server, and a
-//! batch whose output probabilities contain NaN/Inf is answered with
-//! errors (counted in `cdcl_serve_nonfinite_total`) rather than garbage
-//! predictions. With `--tcp ADDR` the same protocol runs over a
-//! `std::net` accept loop (single-threaded, one connection at a time — the
-//! kernel pool already parallelizes the forward pass); a connection
+//! CIL), the answering `model`/`version`, and the full probability row;
+//! malformed requests get `{"ok": false, "error": ...}` instead of
+//! aborting the server, and a batch whose output probabilities contain
+//! NaN/Inf is answered with errors (counted in
+//! `cdcl_serve_nonfinite_total`) rather than garbage predictions. With
+//! `--tcp ADDR` the same protocol runs over a `std::net` accept loop with
+//! `--threads` workers; a failed accept is logged and counted
+//! (`cdcl_serve_accept_errors_total`), never fatal, and a connection
 //! opening with `GET /metrics` is answered with the Prometheus exposition
-//! of the `cdcl_serve_*` registry metrics. On any stream the bare line
-//! `METRICS` returns the registry as one JSON object, and
-//! `--metrics-every N` prints a registry summary to stderr every `N`
-//! requests. Per-batch latency goes to `cdcl-telemetry` as `serve_batch`
-//! events and is summarized in `--bench-out` (`BENCH_serve.json`). The
-//! engine lives in `cdcl_bench::serve` so the TCP integration test can
-//! drive it in-process.
+//! of the `cdcl_serve_*` registry metrics (including the per-model
+//! `cdcl_serve_model_*{model="…"}` families). On any stream the bare
+//! line `METRICS` returns the registry as one JSON object, `MODELS` lists
+//! the loaded models/versions, and `RELOAD <model> <path>` atomically
+//! hot-swaps a newer snapshot into a model's slot — in-flight requests
+//! complete on the version they started with. Admission control
+//! (`--max-inflight`, `--max-queue`) sheds excess load with
+//! `{"ok":false,"error":"busy: …"}` responses instead of queueing
+//! unboundedly. `--metrics-every N` prints a registry summary to stderr
+//! every `N` requests. Per-batch latency goes to `cdcl-telemetry` as
+//! `serve_batch` events and is summarized in `--bench-out`
+//! (`BENCH_serve.json`, with throughput measured over wall-clock serving
+//! time). The engine lives in `cdcl_bench::serve` so the integration
+//! tests can drive it in-process; `serve-load` is the companion load
+//! generator.
 
 fn main() {
     let args = cdcl_bench::serve::parse_args();

@@ -1,0 +1,48 @@
+//! `serve-load`: the load generator for `cdcl-serve --tcp` (DESIGN.md §13).
+//!
+//! Drives `--conns` concurrent client connections, each pipelining
+//! `--requests` JSONL prediction requests in windows of `--window`, and
+//! verifies every response (ids echoed in order, `ok:true` with a
+//! prediction, no drops). Writes `BENCH_serve_load.json` with sustained
+//! RPS over wall-clock and p50/p95/p99 request round-trip latency — the
+//! series the CI `bench-diff` soft gate tracks.
+//!
+//! ```text
+//! cargo run --release -p cdcl-bench --bin cdcl-serve -- \
+//!     --snapshot ckpts/task001.cdclsnap --tcp 127.0.0.1:7071 --conns 4 &
+//! cargo run --release -p cdcl-bench --bin serve-load -- \
+//!     --addr 127.0.0.1:7071 --conns 4 --requests 200 --window 16
+//! ```
+//!
+//! The image length is probed from the server when `--image-floats` is
+//! omitted, so the generator needs no knowledge of the snapshot's input
+//! shape.
+
+use cdcl_bench::serve::load;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = load::parse_load_args_from(&argv).unwrap_or_else(|e| {
+        eprintln!("serve-load: {e}");
+        std::process::exit(2);
+    });
+    match load::run_load(&args) {
+        Ok(report) => {
+            cdcl_bench::maybe_write_json(&args.bench_out, &report);
+            eprintln!(
+                "serve-load: {} requests over {} conns in {:.2}s -> {:.1} rps, latency_us p50 {:.0} p99 {:.0} ({} busy)",
+                report.sent,
+                report.conns,
+                report.duration_secs,
+                report.rps,
+                report.latency_us.p50,
+                report.latency_us.p99,
+                report.busy_responses
+            );
+        }
+        Err(e) => {
+            eprintln!("serve-load: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Admission control: per-model in-flight quotas (DESIGN.md §13).
+//!
+//! A request is *admitted* when it enters a connection's pending queue and
+//! stays admitted until its response has been computed — so the quota
+//! bounds queued + executing work per model across **all** connections,
+//! which is exactly the unbounded-queueing failure mode the backpressure
+//! exists to prevent. Shed requests are answered `ok:false` with a
+//! `busy: …` error instead of waiting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One model's admission state. `max_inflight == 0` means unlimited.
+#[derive(Debug, Default)]
+pub struct Admission {
+    max_inflight: usize,
+    inflight: AtomicUsize,
+}
+
+impl Admission {
+    /// A quota of `max_inflight` concurrently admitted requests
+    /// (0 = unlimited).
+    pub fn new(max_inflight: usize) -> Self {
+        Self {
+            max_inflight,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to admit one request; the returned [`Ticket`] releases the
+    /// slot on drop. `None` means the model is at quota and the request
+    /// must be shed.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Ticket> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if self.max_inflight > 0 && prev >= self.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(Ticket {
+            admission: Arc::clone(self),
+        })
+    }
+
+    /// Requests currently admitted (queued or executing).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// The configured quota (0 = unlimited).
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+}
+
+/// RAII admission slot: dropping it (response written, or request thrown
+/// away on a dropped connection) frees one unit of the model's quota.
+#[derive(Debug)]
+pub struct Ticket {
+    admission: Arc<Admission>,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_bounds_inflight_and_tickets_release() {
+        let a = Arc::new(Admission::new(2));
+        let t1 = a.try_acquire().expect("first admit");
+        let _t2 = a.try_acquire().expect("second admit");
+        assert_eq!(a.inflight(), 2);
+        assert!(a.try_acquire().is_none(), "third request must be shed");
+        assert_eq!(a.inflight(), 2, "failed acquire leaks no slot");
+        drop(t1);
+        assert_eq!(a.inflight(), 1);
+        let _t3 = a.try_acquire().expect("freed slot admits again");
+    }
+
+    #[test]
+    fn zero_quota_is_unlimited() {
+        let a = Arc::new(Admission::new(0));
+        let tickets: Vec<_> = (0..64).map(|_| a.try_acquire()).collect();
+        assert!(tickets.iter().all(|t| t.is_some()));
+        assert_eq!(a.inflight(), 64);
+    }
+
+    #[test]
+    fn contended_acquire_never_exceeds_quota() {
+        let a = Arc::new(Admission::new(3));
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = &a;
+                let admitted = &admitted;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(t) = a.try_acquire() {
+                            let now = a.inflight();
+                            assert!(now <= 3, "quota exceeded: {now}");
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                            drop(t);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.inflight(), 0, "all tickets released");
+        assert!(admitted.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! The `serve-load` generator (DESIGN.md §13): sustained multi-connection
+//! load against a running `cdcl-serve --tcp` instance.
+//!
+//! Each of `--conns` client threads opens one TCP connection and drives
+//! `--requests` pipelined JSONL requests through it in windows of
+//! `--window` (send a window, terminate it with a blank flush line, read
+//! the window's responses back). Every response is verified — `ok:true`,
+//! ids echoed in send order, a prediction present — so the run doubles as
+//! a correctness check under concurrency: one dropped, duplicated, or
+//! reordered response fails the whole run. The report
+//! (`BENCH_serve_load.json`) claims sustained RPS over wall-clock and the
+//! p50/p95/p99 request round-trip, which is what the CI `bench-diff` soft
+//! gate tracks.
+//!
+//! Request images are generated deterministically from the request id (no
+//! RNG, no timestamps), so two runs against the same snapshot exercise
+//! identical inputs.
+
+use super::LatencySummary;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parsed `serve-load` command line.
+#[derive(Debug)]
+pub struct LoadArgs {
+    /// Server address (`host:port`) of a running `cdcl-serve --tcp`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// Pipelining window: requests written before the blank flush line.
+    pub window: usize,
+    /// Target model id (omitted when the server has exactly one model).
+    pub model: Option<String>,
+    /// `"cil"` or `"til"`.
+    pub mode: String,
+    /// Task id (TIL mode).
+    pub task: usize,
+    /// Floats per request image; 0 = probe the server for the expected
+    /// length before starting.
+    pub image_floats: usize,
+    pub bench_out: Option<String>,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            conns: 4,
+            requests: 200,
+            window: 16,
+            model: None,
+            mode: "cil".to_string(),
+            task: 0,
+            image_floats: 0,
+            bench_out: Some("BENCH_serve_load.json".to_string()),
+        }
+    }
+}
+
+/// The `serve-load` usage text.
+pub fn load_usage() -> String {
+    "usage: serve-load --addr <host:port>\n\
+     \x20   [--conns <n>] [--requests <per-conn>] [--window <n>]\n\
+     \x20   [--model <id>] [--mode til|cil] [--task <n>]\n\
+     \x20   [--image-floats <n>] [--bench-out <path|none>]"
+        .to_string()
+}
+
+fn flag_value(argv: &[String], i: usize) -> Result<&str, String> {
+    argv.get(i + 1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{} needs a value\n{}", argv[i], load_usage()))
+}
+
+fn flag_usize(argv: &[String], i: usize) -> Result<usize, String> {
+    let v = flag_value(argv, i)?;
+    v.parse().map_err(|_| {
+        format!(
+            "{} expects a non-negative integer, got {v:?}\n{}",
+            argv[i],
+            load_usage()
+        )
+    })
+}
+
+/// Parses a `serve-load` argument vector; every CLI mistake is a usage
+/// error, never a panic.
+pub fn parse_load_args_from(argv: &[String]) -> Result<LoadArgs, String> {
+    let mut args = LoadArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = flag_value(argv, i)?.to_string(),
+            "--conns" => {
+                args.conns = flag_usize(argv, i)?;
+                if args.conns == 0 {
+                    return Err(format!("--conns must be positive\n{}", load_usage()));
+                }
+            }
+            "--requests" => {
+                args.requests = flag_usize(argv, i)?;
+                if args.requests == 0 {
+                    return Err(format!("--requests must be positive\n{}", load_usage()));
+                }
+            }
+            "--window" => {
+                args.window = flag_usize(argv, i)?;
+                if args.window == 0 {
+                    return Err(format!("--window must be positive\n{}", load_usage()));
+                }
+            }
+            "--model" => args.model = Some(flag_value(argv, i)?.to_string()),
+            "--mode" => {
+                let mode = flag_value(argv, i)?;
+                if mode != "til" && mode != "cil" {
+                    return Err(format!("--mode expects til or cil\n{}", load_usage()));
+                }
+                args.mode = mode.to_string();
+            }
+            "--task" => args.task = flag_usize(argv, i)?,
+            "--image-floats" => args.image_floats = flag_usize(argv, i)?,
+            "--bench-out" => {
+                args.bench_out = match flag_value(argv, i)? {
+                    "none" => None,
+                    path => Some(path.to_string()),
+                };
+            }
+            other => return Err(format!("unknown argument {other}\n{}", load_usage())),
+        }
+        i += 2;
+    }
+    if args.addr.is_empty() {
+        return Err(format!("--addr <host:port> is required\n{}", load_usage()));
+    }
+    Ok(args)
+}
+
+/// Server responses as the client sees them (a deserializable mirror of
+/// the server's `Response`; absent fields decode to `None`).
+#[derive(Debug, Deserialize)]
+struct ClientResponse {
+    id: u64,
+    ok: bool,
+    pred: Option<usize>,
+    error: Option<String>,
+}
+
+/// The `BENCH_serve_load.json` payload.
+#[derive(Debug, Serialize)]
+pub struct LoadReport {
+    pub addr: String,
+    pub conns: usize,
+    pub requests_per_conn: usize,
+    pub window: usize,
+    pub image_floats: usize,
+    /// Requests sent (all of them got a response, or the run failed).
+    pub sent: u64,
+    pub ok_responses: u64,
+    /// `ok:false` busy responses (admission shed; still counted answered).
+    pub busy_responses: u64,
+    /// Wall-clock duration of the whole load run.
+    pub duration_secs: f64,
+    /// Answered requests over wall-clock duration.
+    pub rps: f64,
+    /// Request round-trip latency (microseconds), measured per pipelined
+    /// window from first byte written to last response read.
+    pub latency_us: LatencySummary,
+}
+
+/// Deterministic pseudo-image: request id and element index hash to a
+/// value in `[0, 1)` — stable across runs, no RNG.
+fn image_for(id: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|j| ((id.wrapping_mul(31).wrapping_add(j as u64 * 7)) % 97) as f32 / 97.0)
+        .collect()
+}
+
+/// Asks the server how long an image it expects by sending an
+/// intentionally empty one and parsing the validation error
+/// (`… model expects N (c=…, h=…, w=…)`).
+fn probe_image_len(addr: &str, model: Option<&str>) -> Result<usize, String> {
+    let conn = TcpStream::connect(addr).map_err(|e| format!("serve-load: connect {addr}: {e}"))?;
+    let cloned = conn
+        .try_clone()
+        .map_err(|e| format!("serve-load: clone probe connection: {e}"))?;
+    let mut reader = BufReader::new(cloned);
+    let mut writer = BufWriter::new(conn);
+    let model_field = match model {
+        Some(m) => format!("\"model\":\"{m}\","),
+        None => String::new(),
+    };
+    writeln!(
+        writer,
+        "{{\"id\":0,{model_field}\"mode\":\"cil\",\"image\":[]}}"
+    )
+    .and_then(|_| writeln!(writer))
+    .and_then(|_| writer.flush())
+    .map_err(|e| format!("serve-load: probe write: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("serve-load: probe read: {e}"))?;
+    let resp: ClientResponse = serde_json::from_str(line.trim())
+        .map_err(|e| format!("serve-load: probe response unparsable: {e} ({line:?})"))?;
+    if resp.ok {
+        return Ok(0); // a model expecting zero-length images; unlikely
+    }
+    let err = resp.error.unwrap_or_default();
+    let tail = err
+        .split("model expects ")
+        .nth(1)
+        .ok_or_else(|| format!("serve-load: probe failed: {err}"))?;
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits
+        .parse()
+        .map_err(|_| format!("serve-load: cannot parse image length from {err:?}"))
+}
+
+/// One client connection's worth of load: `requests` pipelined in windows,
+/// every response verified for order and integrity. Returns the window
+/// round-trip latencies (one sample per request).
+fn drive_connection(
+    args: &LoadArgs,
+    conn_idx: usize,
+    image_floats: usize,
+    sent: &AtomicU64,
+    ok_responses: &AtomicU64,
+    busy_responses: &AtomicU64,
+) -> Result<Vec<f64>, String> {
+    let conn = TcpStream::connect(&args.addr)
+        .map_err(|e| format!("conn {conn_idx}: connect {}: {e}", args.addr))?;
+    let cloned = conn
+        .try_clone()
+        .map_err(|e| format!("conn {conn_idx}: clone: {e}"))?;
+    let mut reader = BufReader::new(cloned);
+    let mut writer = BufWriter::new(conn);
+    let mut latencies = Vec::with_capacity(args.requests);
+    let model_field = match &args.model {
+        Some(m) => format!("\"model\":\"{m}\","),
+        None => String::new(),
+    };
+    let task_field = if args.mode == "til" {
+        format!("\"task\":{},", args.task)
+    } else {
+        String::new()
+    };
+    let mut line = String::new();
+    let mut issued = 0usize;
+    while issued < args.requests {
+        let window = args.window.min(args.requests - issued);
+        let started = Instant::now();
+        let mut expected_ids = Vec::with_capacity(window);
+        for k in 0..window {
+            // Ids are globally unique and encode (connection, sequence) so
+            // cross-connection mixups are detectable.
+            let id = (conn_idx as u64 + 1) * 1_000_000 + (issued + k) as u64;
+            expected_ids.push(id);
+            let image = image_for(id, image_floats);
+            let image_json: Vec<String> = image.iter().map(|v| format!("{v}")).collect();
+            writeln!(
+                writer,
+                "{{\"id\":{id},{model_field}\"mode\":\"{}\",{task_field}\"image\":[{}]}}",
+                args.mode,
+                image_json.join(",")
+            )
+            .map_err(|e| format!("conn {conn_idx}: write: {e}"))?;
+        }
+        writeln!(writer)
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("conn {conn_idx}: flush: {e}"))?;
+        sent.fetch_add(window as u64, Ordering::Relaxed);
+        for &expect in &expected_ids {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("conn {conn_idx}: read: {e}"))?;
+            if n == 0 {
+                return Err(format!(
+                    "conn {conn_idx}: server closed with responses outstanding (dropped request {expect})"
+                ));
+            }
+            let resp: ClientResponse = serde_json::from_str(line.trim())
+                .map_err(|e| format!("conn {conn_idx}: garbled response: {e} ({line:?})"))?;
+            if resp.id != expect {
+                return Err(format!(
+                    "conn {conn_idx}: out-of-order response: expected id {expect}, got {}",
+                    resp.id
+                ));
+            }
+            if resp.ok {
+                if resp.pred.is_none() {
+                    return Err(format!(
+                        "conn {conn_idx}: ok response without a prediction (id {expect})"
+                    ));
+                }
+                ok_responses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let err = resp.error.unwrap_or_default();
+                if err.starts_with("busy") {
+                    busy_responses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    return Err(format!("conn {conn_idx}: request {expect} failed: {err}"));
+                }
+            }
+        }
+        let window_us = started.elapsed().as_secs_f64() * 1e6;
+        for _ in 0..window {
+            latencies.push(window_us);
+        }
+        issued += window;
+    }
+    Ok(latencies)
+}
+
+/// Runs the full load: `conns` concurrent client threads, every response
+/// verified. Errs if any connection saw a dropped, garbled, reordered, or
+/// non-busy-failed response.
+pub fn run_load(args: &LoadArgs) -> Result<LoadReport, String> {
+    let image_floats = if args.image_floats > 0 {
+        args.image_floats
+    } else {
+        probe_image_len(&args.addr, args.model.as_deref())?
+    };
+    let sent = AtomicU64::new(0);
+    let ok_responses = AtomicU64::new(0);
+    let busy_responses = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for conn_idx in 0..args.conns {
+            let (sent, ok_responses, busy_responses) = (&sent, &ok_responses, &busy_responses);
+            let (latencies, errors) = (&latencies, &errors);
+            s.spawn(move || {
+                match drive_connection(
+                    args,
+                    conn_idx,
+                    image_floats,
+                    sent,
+                    ok_responses,
+                    busy_responses,
+                ) {
+                    Ok(lat) => match latencies.lock() {
+                        Ok(mut all) => all.extend(lat),
+                        Err(poisoned) => poisoned.into_inner().extend(lat),
+                    },
+                    Err(e) => match errors.lock() {
+                        Ok(mut all) => all.push(e),
+                        Err(poisoned) => poisoned.into_inner().push(e),
+                    },
+                }
+            });
+        }
+    });
+    let duration_secs = started.elapsed().as_secs_f64();
+    let errors = match errors.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !errors.is_empty() {
+        return Err(errors.join("; "));
+    }
+    let latencies = match latencies.into_inner() {
+        Ok(v) => v,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let ok = ok_responses.load(Ordering::Relaxed);
+    let busy = busy_responses.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        addr: args.addr.clone(),
+        conns: args.conns,
+        requests_per_conn: args.requests,
+        window: args.window,
+        image_floats,
+        sent: sent.load(Ordering::Relaxed),
+        ok_responses: ok,
+        busy_responses: busy,
+        duration_secs,
+        rps: if duration_secs > 0.0 {
+            (ok + busy) as f64 / duration_secs
+        } else {
+            0.0
+        },
+        latency_us: LatencySummary::from_samples(latencies),
+    })
+}

@@ -1,0 +1,1090 @@
+//! The `cdcl-serve` engine: multi-tenant batched TIL/CIL inference over a
+//! registry of snapshots (DESIGN.md §13).
+//!
+//! This module tree is the whole server minus `main` — the `cdcl-serve`
+//! bin is a thin wrapper, and the integration tests drive [`run_tcp`] /
+//! [`serve_stream`] in-process. The pieces:
+//!
+//! * [`registry`] — the [`SnapshotRegistry`]: many `.cdclsnap` models
+//!   keyed by model-id, each behind an `RwLock<Arc<LoadedModel>>` so the
+//!   `RELOAD` verb swaps versions atomically while in-flight requests
+//!   finish on the version they started with;
+//! * [`admission`] — per-model in-flight quotas: beyond `--max-inflight`
+//!   admitted requests a model sheds load with `ok:false` / `busy: …`
+//!   instead of queueing unboundedly (plus the `--max-queue` cap on any
+//!   one connection's pending queue);
+//! * [`metrics`] — the `cdcl_serve_*` registry series, including the
+//!   per-model `cdcl_serve_model_*{model="…"}` families;
+//! * [`load`] — the `serve-load` generator measuring sustained RPS and
+//!   tail latency against the threaded accept loop
+//!   (`BENCH_serve_load.json`).
+//!
+//! The TCP accept loop runs `--threads` workers over one nonblocking
+//! listener; a failed `accept()`/`try_clone()` is logged and counted
+//! (`cdcl_serve_accept_errors_total`), never fatal. Heavy compute stays in
+//! the zero-dep kernel pool — connection workers only stage batches and
+//! run forward passes, which parallelize internally. Observability
+//! (DESIGN.md §11): every micro-batch feeds the global and per-model
+//! histograms/counters, `GET /metrics` on the listener answers the
+//! Prometheus exposition, the bare line `METRICS` returns the registry as
+//! one JSON object, `MODELS` lists the loaded models/versions, and
+//! `--metrics-every N` prints a summary to stderr every `N` requests.
+//! Output probabilities are screened per batch: a row containing NaN/Inf
+//! becomes an error response and bumps `cdcl_serve_nonfinite_total`.
+
+pub mod admission;
+pub mod load;
+pub mod metrics;
+pub mod registry;
+
+use cdcl_core::CdclTrainer;
+use cdcl_telemetry as telemetry;
+use cdcl_tensor::{pool, PooledBuf, Tensor};
+use metrics::{
+    ACCEPT_ERRORS_TOTAL, BATCHES_TOTAL, BATCH_LATENCY_US, BATCH_SIZE, BUSY_TOTAL, FAILED_TOTAL,
+    NONFINITE_TOTAL, QUEUE_DEPTH, REQUESTS_TOTAL, SERVE_ALLOC_BYTES,
+};
+use registry::{LoadedModel, ModelSlot, SnapshotRegistry, DEFAULT_MODEL};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One JSON-lines prediction request.
+#[derive(Debug, Deserialize)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response (0 when omitted).
+    pub id: Option<u64>,
+    /// Registry model id; may be omitted when exactly one model is loaded.
+    pub model: Option<String>,
+    /// `"til"` or `"cil"`.
+    pub mode: Option<String>,
+    /// Task id (TIL only).
+    pub task: Option<usize>,
+    /// Flattened `c*h*w` image.
+    pub image: Option<Vec<f32>>,
+}
+
+/// One JSON-lines prediction response.
+#[derive(Debug, Serialize)]
+pub struct Response {
+    pub id: u64,
+    pub ok: bool,
+    /// Registry id of the model that answered.
+    pub model: Option<String>,
+    /// Snapshot version that answered (bumped by every `RELOAD`).
+    pub version: Option<u64>,
+    pub mode: Option<String>,
+    pub task: Option<usize>,
+    /// Argmax class: task-local for TIL, global for CIL.
+    pub pred: Option<usize>,
+    /// Full probability row (softmax).
+    pub probs: Option<Vec<f32>>,
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn failure(id: u64, error: String) -> Self {
+        Self {
+            id,
+            ok: false,
+            model: None,
+            version: None,
+            mode: None,
+            task: None,
+            pred: None,
+            probs: None,
+            error: Some(error),
+        }
+    }
+}
+
+/// Latency summary written to `--bench-out` (per forward micro-batch for
+/// `BENCH_serve.json`, per request round-trip for `BENCH_serve_load.json`).
+#[derive(Debug, Serialize)]
+pub struct LatencySummary {
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Sorts and folds raw microsecond samples.
+    pub fn from_samples(mut lat: Vec<f64>) -> Self {
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let pct = |q: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+            lat[idx]
+        };
+        Self {
+            mean: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<f64>() / lat.len() as f64
+            },
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: lat.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The `BENCH_serve.json` payload.
+#[derive(Debug, Serialize)]
+pub struct ServeReport {
+    pub snapshot: String,
+    pub models: usize,
+    pub tasks: usize,
+    pub total_classes: usize,
+    pub max_batch: usize,
+    pub requests: u64,
+    pub failed_requests: u64,
+    pub busy_requests: u64,
+    pub batches: u64,
+    pub mean_batch_size: f64,
+    pub latency_us: LatencySummary,
+    /// Wall-clock serving duration (listener open → loop exit).
+    pub wall_secs: f64,
+    /// Served requests over **wall-clock** serving time — not summed
+    /// per-batch forward latency, which ignores queueing/IO time and
+    /// double-counts once batches run concurrently on the threaded loop.
+    pub throughput_rps: f64,
+}
+
+/// Running serve statistics, shared by every connection worker.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    requests: AtomicU64,
+    failed: AtomicU64,
+    busy: AtomicU64,
+    /// `(batch_size, latency_us)` per forward pass.
+    batches: Mutex<Vec<(usize, f64)>>,
+}
+
+impl ServeStats {
+    /// Requests seen (including malformed and shed ones).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with a non-busy error response.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by admission control (`busy: …` responses).
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn inc_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn inc_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed forward pass.
+    pub fn add_batch(&self, batch_size: usize, latency_us: f64) {
+        lock_batches(&self.batches).push((batch_size, latency_us));
+    }
+
+    /// Forward passes executed so far.
+    pub fn batch_count(&self) -> u64 {
+        lock_batches(&self.batches).len() as u64
+    }
+
+    /// Requests that went through a forward pass.
+    pub fn served(&self) -> u64 {
+        lock_batches(&self.batches)
+            .iter()
+            .map(|&(n, _)| n as u64)
+            .sum()
+    }
+
+    /// Folds the run into the `--bench-out` report. `wall_secs` is the
+    /// wall-clock duration of the serving loop — the denominator of the
+    /// throughput claim.
+    pub fn report(
+        &self,
+        snapshot: &str,
+        trainer: &CdclTrainer,
+        max_batch: usize,
+        models: usize,
+        wall_secs: f64,
+    ) -> ServeReport {
+        let batches = lock_batches(&self.batches).clone();
+        let served: u64 = batches.iter().map(|&(n, _)| n as u64).sum();
+        let lat: Vec<f64> = batches.iter().map(|&(_, us)| us).collect();
+        ServeReport {
+            snapshot: snapshot.to_string(),
+            models,
+            tasks: trainer.model().num_tasks(),
+            total_classes: trainer.model().total_classes(),
+            max_batch,
+            requests: self.requests(),
+            failed_requests: self.failed(),
+            busy_requests: self.busy(),
+            batches: batches.len() as u64,
+            mean_batch_size: if batches.is_empty() {
+                0.0
+            } else {
+                served as f64 / batches.len() as f64
+            },
+            latency_us: LatencySummary::from_samples(lat),
+            wall_secs,
+            throughput_rps: if wall_secs > 0.0 {
+                served as f64 / wall_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Poison-tolerant batch-list lock: holders only push, so a panicked
+/// holder cannot leave the Vec inconsistent.
+fn lock_batches(m: &Mutex<Vec<(usize, f64)>>) -> std::sync::MutexGuard<'_, Vec<(usize, f64)>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Parsed `cdcl-serve` command line.
+#[derive(Debug)]
+pub struct ServeArgs {
+    /// `(model_id, snapshot_path)` pairs, registration order preserved;
+    /// `--snapshot P` is shorthand for `--model default=P`.
+    pub models: Vec<(String, PathBuf)>,
+    pub tcp: Option<String>,
+    pub max_batch: usize,
+    pub bench_out: Option<String>,
+    /// TCP mode: exit after this many connections (0 = forever).
+    pub conns: usize,
+    /// Stderr metrics summary every N requests (0 = never).
+    pub metrics_every: usize,
+    /// TCP accept-loop workers.
+    pub threads: usize,
+    /// Per-model admitted-request quota (0 = unlimited).
+    pub max_inflight: usize,
+    /// Per-connection pending-queue cap; beyond it requests are shed busy.
+    pub max_queue: usize,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            models: Vec::new(),
+            tcp: None,
+            max_batch: 32,
+            bench_out: Some("BENCH_serve.json".to_string()),
+            conns: 1,
+            metrics_every: 0,
+            threads: 4,
+            max_inflight: 0,
+            max_queue: 256,
+        }
+    }
+}
+
+/// The `cdcl-serve` usage text printed on any CLI error.
+pub fn serve_usage() -> String {
+    "usage: cdcl-serve --snapshot <path.cdclsnap> | --model <id>=<path.cdclsnap> ...\n\
+     \x20   [--tcp <addr>] [--threads <n>] [--conns <n>]\n\
+     \x20   [--max-batch <n>] [--max-inflight <n>] [--max-queue <n>]\n\
+     \x20   [--bench-out <path|none>] [--metrics-every <n>]"
+        .to_string()
+}
+
+/// Returns the value following flag `argv[i]`, or a usage error when the
+/// flag is the last argument — the bug class where `--snapshot` as the
+/// final token used to die with an out-of-bounds panic.
+fn flag_value(argv: &[String], i: usize) -> Result<&str, String> {
+    argv.get(i + 1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{} needs a value\n{}", argv[i], serve_usage()))
+}
+
+fn flag_usize(argv: &[String], i: usize) -> Result<usize, String> {
+    let v = flag_value(argv, i)?;
+    v.parse().map_err(|_| {
+        format!(
+            "{} expects a non-negative integer, got {v:?}\n{}",
+            argv[i],
+            serve_usage()
+        )
+    })
+}
+
+/// Parses a `cdcl-serve` argument vector. All CLI mistakes — a flag
+/// missing its value, a malformed number, an unknown flag, no model —
+/// come back as a usage error, never a panic.
+pub fn parse_args_from(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--snapshot" => {
+                let path = flag_value(argv, i)?;
+                args.models
+                    .push((DEFAULT_MODEL.to_string(), PathBuf::from(path)));
+            }
+            "--model" => {
+                let spec = flag_value(argv, i)?;
+                let (id, path) = spec.split_once('=').ok_or_else(|| {
+                    format!(
+                        "--model expects <id>=<path>, got {spec:?}\n{}",
+                        serve_usage()
+                    )
+                })?;
+                if !registry::valid_model_id(id) {
+                    return Err(format!(
+                        "invalid model id {id:?} (1-64 chars of [A-Za-z0-9._-])\n{}",
+                        serve_usage()
+                    ));
+                }
+                args.models.push((id.to_string(), PathBuf::from(path)));
+            }
+            "--tcp" => args.tcp = Some(flag_value(argv, i)?.to_string()),
+            "--max-batch" => {
+                args.max_batch = flag_usize(argv, i)?;
+                if args.max_batch == 0 {
+                    return Err(format!("--max-batch must be positive\n{}", serve_usage()));
+                }
+            }
+            "--bench-out" => {
+                args.bench_out = match flag_value(argv, i)? {
+                    "none" => None,
+                    path => Some(path.to_string()),
+                };
+            }
+            "--conns" => args.conns = flag_usize(argv, i)?,
+            "--metrics-every" => args.metrics_every = flag_usize(argv, i)?,
+            "--threads" => {
+                args.threads = flag_usize(argv, i)?;
+                if args.threads == 0 {
+                    return Err(format!("--threads must be positive\n{}", serve_usage()));
+                }
+            }
+            "--max-inflight" => args.max_inflight = flag_usize(argv, i)?,
+            "--max-queue" => {
+                args.max_queue = flag_usize(argv, i)?;
+                if args.max_queue == 0 {
+                    return Err(format!("--max-queue must be positive\n{}", serve_usage()));
+                }
+            }
+            other => {
+                return Err(format!("unknown argument {other}\n{}", serve_usage()));
+            }
+        }
+        i += 2;
+    }
+    if args.models.is_empty() {
+        return Err(format!(
+            "--snapshot <path.cdclsnap> (or --model <id>=<path>) is required\n{}",
+            serve_usage()
+        ));
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for (id, _) in &args.models {
+        if seen.contains(&id.as_str()) {
+            return Err(format!("model id {id:?} given twice\n{}", serve_usage()));
+        }
+        seen.push(id);
+    }
+    Ok(args)
+}
+
+/// Parses `std::env::args`, exiting with the usage text on any CLI error
+/// (bench binaries fail fast, but with a diagnosis — not an out-of-bounds
+/// panic).
+pub fn parse_args() -> ServeArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    parse_args_from(&argv).unwrap_or_else(|e| {
+        eprintln!("cdcl-serve: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Validates one parsed request against the model version that will serve
+/// it. Returns the batching key `(is_til, task)` on success.
+fn validate(trainer: &CdclTrainer, req: &Request) -> Result<(bool, usize), String> {
+    let model = trainer.model();
+    let (c, h, w) = trainer.input_dims();
+    let image = req.image.as_ref().ok_or("missing `image`")?;
+    if image.len() != c * h * w {
+        return Err(format!(
+            "image has {} floats, model expects {} (c={c}, h={h}, w={w})",
+            image.len(),
+            c * h * w
+        ));
+    }
+    if !image.iter().all(|v| v.is_finite()) {
+        return Err("image contains non-finite values".to_string());
+    }
+    match req.mode.as_deref() {
+        Some("til") => {
+            let task = req.task.ok_or("`til` requests need `task`")?;
+            if task >= model.num_tasks() {
+                return Err(format!(
+                    "task {task} out of range (snapshot has {} tasks)",
+                    model.num_tasks()
+                ));
+            }
+            Ok((true, task))
+        }
+        Some("cil") => Ok((false, 0)),
+        other => Err(format!(
+            "unknown mode {other:?} (expected \"til\" or \"cil\")"
+        )),
+    }
+}
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One queued request: either admitted (holding its model slot and
+/// admission ticket until the response is computed) or already rejected
+/// (unknown model, quota, queue cap) and awaiting its in-order response.
+enum Pending {
+    Admitted {
+        id: u64,
+        req: Request,
+        slot: Arc<ModelSlot>,
+        /// Held for its `Drop`: releases the admission slot when the flush
+        /// clears this entry (or the connection is torn down).
+        _ticket: admission::Ticket,
+    },
+    Rejected {
+        id: u64,
+        error: String,
+        /// True for load-shedding rejections (counted busy, not failed).
+        busy: bool,
+        /// The slot the request routed to, when it resolved that far.
+        slot: Option<Arc<ModelSlot>>,
+    },
+}
+
+/// One `(model version, mode, task)` micro-batch within a flush.
+struct Group {
+    model: Arc<LoadedModel>,
+    slot: Arc<ModelSlot>,
+    is_til: bool,
+    task: usize,
+    members: Vec<usize>,
+}
+
+/// Runs the accumulated queue: answers rejected entries in place, groups
+/// admitted ones by `(model version, mode, task)`, executes one forward
+/// pass per group against the version captured at flush time (a concurrent
+/// `RELOAD` cannot tear a batch), screens outputs for NaN/Inf, and writes
+/// responses in arrival order.
+fn flush_batch(
+    pending: &mut Vec<Pending>,
+    out: &mut dyn Write,
+    stats: &ServeStats,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    QUEUE_DEPTH.observe(pending.len() as f64);
+    // Drain in place at the end (not `mem::take`) so the connection's
+    // request-staging Vec keeps its capacity across flushes.
+    let queue: &[Pending] = pending;
+    let mut responses: Vec<Option<Response>> = (0..queue.len()).map(|_| None).collect();
+    // Model versions captured once per slot per flush, so every member of
+    // a group validates and executes against the same immutable snapshot.
+    let mut captured: Vec<(*const ModelSlot, Arc<LoadedModel>)> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (i, entry) in queue.iter().enumerate() {
+        stats.inc_requests();
+        REQUESTS_TOTAL.inc();
+        match entry {
+            Pending::Rejected {
+                id,
+                error,
+                busy,
+                slot,
+            } => {
+                if *busy {
+                    stats.inc_busy();
+                    BUSY_TOTAL.inc();
+                    if let Some(slot) = slot {
+                        slot.metrics.requests.add(1);
+                        slot.metrics.busy.add(1);
+                    }
+                } else {
+                    stats.inc_failed();
+                    FAILED_TOTAL.inc();
+                    if let Some(slot) = slot {
+                        slot.metrics.requests.add(1);
+                        slot.metrics.failed.add(1);
+                    }
+                }
+                responses[i] = Some(Response::failure(*id, error.clone()));
+            }
+            Pending::Admitted { id, req, slot, .. } => {
+                slot.metrics.requests.add(1);
+                let key = Arc::as_ptr(slot);
+                let model = match captured.iter().find(|(p, _)| *p == key) {
+                    Some((_, m)) => m.clone(),
+                    None => {
+                        let m = slot.current();
+                        captured.push((key, m.clone()));
+                        m
+                    }
+                };
+                match validate(&model.trainer, req) {
+                    Ok((is_til, task)) => {
+                        match groups.iter_mut().find(|g| {
+                            Arc::ptr_eq(&g.model, &model) && g.is_til == is_til && g.task == task
+                        }) {
+                            Some(g) => g.members.push(i),
+                            None => groups.push(Group {
+                                model,
+                                slot: slot.clone(),
+                                is_til,
+                                task,
+                                members: vec![i],
+                            }),
+                        }
+                    }
+                    Err(e) => {
+                        stats.inc_failed();
+                        FAILED_TOTAL.inc();
+                        slot.metrics.failed.add(1);
+                        let mut resp = Response::failure(*id, e);
+                        resp.model = Some(model.id.clone());
+                        resp.version = Some(model.version);
+                        responses[i] = Some(resp);
+                    }
+                }
+            }
+        }
+    }
+
+    for g in &groups {
+        let trainer = &g.model.trainer;
+        let (c, h, w) = trainer.input_dims();
+        let n = g.members.len();
+        // Batch staging comes from the tensor pool; after warm-up the same
+        // batch shapes recur, so this is a recycled buffer and the
+        // `cdcl_serve_alloc_bytes_total` delta below stays zero. `validate`
+        // guaranteed every member image is exactly `c*h*w` long.
+        let alloc_before = pool::pool_stats().alloc_bytes;
+        let mut data = PooledBuf::take_uninit(n * c * h * w);
+        SERVE_ALLOC_BYTES.add(pool::pool_stats().alloc_bytes.saturating_sub(alloc_before));
+        for (row, &i) in g.members.iter().enumerate() {
+            let img = match &queue[i] {
+                Pending::Admitted { req, .. } => req.image.as_deref().unwrap_or(&[]),
+                Pending::Rejected { .. } => &[],
+            };
+            data[row * c * h * w..row * c * h * w + img.len()].copy_from_slice(img);
+        }
+        let images = Tensor::from_buf(data, &[n, c, h, w]);
+        let started = Instant::now();
+        let probs = if g.is_til {
+            trainer.model().predict_til(&images, g.task)
+        } else {
+            trainer.model().predict_cil(&images)
+        };
+        let latency_us = started.elapsed().as_secs_f64() * 1e6;
+        stats.add_batch(n, latency_us);
+        BATCHES_TOTAL.inc();
+        BATCH_SIZE.observe(n as f64);
+        BATCH_LATENCY_US.observe(latency_us);
+        g.slot.metrics.latency_us.observe(latency_us);
+        if telemetry::enabled() {
+            telemetry::Event::new("serve_batch")
+                .name(if g.is_til { "til" } else { "cil" })
+                .task(g.task)
+                .str_field("model", &g.model.id)
+                .u64_field("version", g.model.version)
+                .u64_field("batch", n as u64)
+                .f64_field("latency_us", latency_us)
+                .emit();
+        }
+        let classes = probs.shape()[1];
+        for (row, &i) in g.members.iter().enumerate() {
+            let id = match &queue[i] {
+                Pending::Admitted { id, .. } | Pending::Rejected { id, .. } => *id,
+            };
+            let p = &probs.data()[row * classes..(row + 1) * classes];
+            let mut resp = row_response(id, g.is_til, g.task, p, stats);
+            if !resp.ok {
+                g.slot.metrics.failed.add(1);
+            }
+            resp.model = Some(g.model.id.clone());
+            resp.version = Some(g.model.version);
+            responses[i] = Some(resp);
+        }
+    }
+
+    // Dropping the entries releases every admission ticket; refresh the
+    // per-model in-flight gauges afterwards.
+    let mut touched: Vec<Arc<ModelSlot>> = Vec::new();
+    for entry in queue.iter() {
+        let slot = match entry {
+            Pending::Admitted { slot, .. } => Some(slot),
+            Pending::Rejected { slot, .. } => slot.as_ref(),
+        };
+        if let Some(slot) = slot {
+            if !touched.iter().any(|s| Arc::ptr_eq(s, slot)) {
+                touched.push(slot.clone());
+            }
+        }
+    }
+    pending.clear();
+    for slot in &touched {
+        slot.metrics.inflight.set(slot.admission.inflight() as f64);
+    }
+    for resp in responses.into_iter().flatten() {
+        let line = serde_json::to_string(&resp).expect("serialize response");
+        writeln!(out, "{line}")?;
+    }
+    out.flush()
+}
+
+/// Builds the response for one probability row, running the NaN/Inf
+/// watchdog: a corrupted snapshot or numeric blow-up must surface as an
+/// error response (and bump `cdcl_serve_nonfinite_total`), not a
+/// confidently-wrong argmax. Public so the integration test can exercise
+/// the screening directly — in debug builds the autograd graph asserts
+/// finiteness on every node, so non-finite probabilities cannot be
+/// produced through a real forward pass there; this path is the
+/// release-mode guard.
+#[doc(hidden)]
+pub fn row_response(id: u64, is_til: bool, task: usize, p: &[f32], stats: &ServeStats) -> Response {
+    if !p.iter().all(|v| v.is_finite()) {
+        stats.inc_failed();
+        FAILED_TOTAL.inc();
+        NONFINITE_TOTAL.inc();
+        if telemetry::enabled() {
+            telemetry::Event::new("serve")
+                .name("nonfinite_output")
+                .task(task)
+                .u64_field("request_id", id)
+                .emit();
+        }
+        return Response::failure(
+            id,
+            "model produced non-finite output probabilities".to_string(),
+        );
+    }
+    Response {
+        id,
+        ok: true,
+        model: None,
+        version: None,
+        mode: Some(if is_til { "til" } else { "cil" }.to_string()),
+        task: is_til.then_some(task),
+        pred: Some(argmax(p)),
+        probs: Some(p.to_vec()),
+        error: None,
+    }
+}
+
+/// One-line registry summary for `--metrics-every` stderr reporting.
+fn metrics_summary_line(stats: &ServeStats) -> String {
+    format!(
+        "cdcl-serve: metrics: {} requests ({} failed, {} busy, {} nonfinite), {} batches, latency_us p50 {:.0} p99 {:.0}, batch_size p50 {:.1}",
+        stats.requests(),
+        stats.failed(),
+        stats.busy(),
+        NONFINITE_TOTAL.get(),
+        stats.batch_count(),
+        BATCH_LATENCY_US.percentile(0.50),
+        BATCH_LATENCY_US.percentile(0.99),
+        BATCH_SIZE.percentile(0.50),
+    )
+}
+
+/// Renders the registry for exposition, mirroring the kernel counters in
+/// first so `/metrics` and `METRICS` always see current GEMM volume.
+fn registry_prometheus() -> String {
+    cdcl_tensor::kernels::publish_registry();
+    cdcl_obs::global().render_prometheus()
+}
+
+fn registry_json() -> String {
+    cdcl_tensor::kernels::publish_registry();
+    cdcl_obs::global().render_json()
+}
+
+/// JSON-escapes a message for the hand-assembled verb responses.
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).expect("serialize string")
+}
+
+/// The serve loop over one request stream: queue lines, flush at
+/// `max_batch`, on a blank line, and at end-of-stream. Verbs on any
+/// stream: `METRICS` (registry as one JSON object), `MODELS` (loaded
+/// models/versions), and `RELOAD <model> <path>` (atomic hot-swap: the
+/// snapshot is loaded and fully verified before the swap, so failure
+/// leaves the serving version untouched). `first_line` carries a line the
+/// caller already consumed while sniffing the protocol (TCP dispatch);
+/// stdio passes `None`.
+fn serve_lines(
+    srv: &SnapshotRegistry,
+    first_line: Option<String>,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+    args: &ServeArgs,
+    stats: &ServeStats,
+) -> std::io::Result<()> {
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut line = String::new();
+    let mut reported_at = 0u64;
+    let mut first = first_line;
+    loop {
+        let current = match first.take() {
+            Some(l) => l,
+            None => {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    break; // EOF
+                }
+                line.clone()
+            }
+        };
+        let trimmed = current.trim();
+        if trimmed.is_empty() {
+            flush_batch(&mut pending, writer, stats)?;
+        } else if trimmed == "METRICS" {
+            // Flush first so the answer reflects every request seen so far.
+            flush_batch(&mut pending, writer, stats)?;
+            writeln!(writer, "{{\"ok\":true,\"metrics\":{}}}", registry_json())?;
+            writer.flush()?;
+        } else if trimmed == "MODELS" {
+            flush_batch(&mut pending, writer, stats)?;
+            writeln!(writer, "{{\"ok\":true,\"models\":{}}}", srv.models_json())?;
+            writer.flush()?;
+        } else if let Some(rest) = trimmed.strip_prefix("RELOAD") {
+            // In-flight requests must complete on the version they were
+            // admitted against: flush before swapping.
+            flush_batch(&mut pending, writer, stats)?;
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let reply = if parts.len() != 2 {
+                format!(
+                    "{{\"ok\":false,\"verb\":\"reload\",\"error\":{}}}",
+                    json_str("RELOAD expects: RELOAD <model> <path.cdclsnap>")
+                )
+            } else {
+                match srv.load(parts[0], Path::new(parts[1])) {
+                    Ok((slot, version)) => {
+                        let m = slot.current();
+                        format!(
+                            "{{\"ok\":true,\"verb\":\"reload\",\"model\":\"{}\",\"version\":{},\"tasks\":{}}}",
+                            slot.id(),
+                            version,
+                            m.trainer.model().num_tasks()
+                        )
+                    }
+                    Err(e) => format!(
+                        "{{\"ok\":false,\"verb\":\"reload\",\"error\":{}}}",
+                        json_str(&e)
+                    ),
+                }
+            };
+            writeln!(writer, "{reply}")?;
+            writer.flush()?;
+        } else {
+            match serde_json::from_str::<Request>(trimmed) {
+                Ok(req) => {
+                    let id = req.id.unwrap_or(0);
+                    if pending.len() >= args.max_queue {
+                        pending.push(Pending::Rejected {
+                            id,
+                            error: format!("busy: queue full ({} pending)", args.max_queue),
+                            busy: true,
+                            slot: None,
+                        });
+                    } else {
+                        match srv.get(req.model.as_deref()) {
+                            Ok(slot) => match slot.admission.try_acquire() {
+                                Some(ticket) => {
+                                    slot.metrics.inflight.set(slot.admission.inflight() as f64);
+                                    pending.push(Pending::Admitted {
+                                        id,
+                                        req,
+                                        slot,
+                                        _ticket: ticket,
+                                    });
+                                }
+                                None => {
+                                    let error = format!(
+                                        "busy: model {} at in-flight quota ({})",
+                                        slot.id(),
+                                        slot.admission.max_inflight()
+                                    );
+                                    pending.push(Pending::Rejected {
+                                        id,
+                                        error,
+                                        busy: true,
+                                        slot: Some(slot),
+                                    });
+                                }
+                            },
+                            Err(e) => pending.push(Pending::Rejected {
+                                id,
+                                error: e,
+                                busy: false,
+                                slot: None,
+                            }),
+                        }
+                    }
+                    if pending.len() >= args.max_batch {
+                        flush_batch(&mut pending, writer, stats)?;
+                    }
+                }
+                Err(e) => {
+                    stats.inc_requests();
+                    stats.inc_failed();
+                    REQUESTS_TOTAL.inc();
+                    FAILED_TOTAL.inc();
+                    let resp = Response::failure(0, format!("bad request line: {e}"));
+                    let out = serde_json::to_string(&resp).expect("serialize response");
+                    writeln!(writer, "{out}")?;
+                    writer.flush()?;
+                }
+            }
+        }
+        if args.metrics_every > 0 && stats.requests() >= reported_at + args.metrics_every as u64 {
+            reported_at = stats.requests();
+            eprintln!("{}", metrics_summary_line(stats));
+        }
+    }
+    flush_batch(&mut pending, writer, stats)
+}
+
+/// The serve loop over one already-open stream (stdio mode, tests).
+pub fn serve_stream(
+    srv: &SnapshotRegistry,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+    args: &ServeArgs,
+    stats: &ServeStats,
+) -> std::io::Result<()> {
+    serve_lines(srv, None, reader, writer, args, stats)
+}
+
+/// Answers an HTTP `GET /metrics` scrape: consumes the request headers,
+/// writes a minimal HTTP/1.0 response carrying the Prometheus exposition,
+/// and lets the connection close.
+fn serve_http_metrics(
+    request_line: &str,
+    reader: &mut dyn BufRead,
+    writer: &mut dyn Write,
+) -> std::io::Result<()> {
+    // Drain headers until the blank line so the client sees a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", registry_prometheus())
+    } else {
+        (
+            "404 Not Found",
+            format!("no such path {path}; try /metrics\n"),
+        )
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Handles one accepted connection: sniffs the first line (HTTP `GET` →
+/// `/metrics` scrape, anything else → the JSONL protocol) and runs it to
+/// completion. All failures are connection-local.
+fn handle_conn(srv: &SnapshotRegistry, conn: TcpStream, args: &ServeArgs, stats: &ServeStats) {
+    // Accepted sockets can inherit the listener's nonblocking flag on some
+    // platforms; the per-connection protocol wants plain blocking IO.
+    if let Err(e) = conn.set_nonblocking(false) {
+        ACCEPT_ERRORS_TOTAL.inc();
+        eprintln!("cdcl-serve: cannot configure accepted connection (dropping it): {e}");
+        return;
+    }
+    let peer = conn.peer_addr().map(|a| a.to_string());
+    let cloned = match conn.try_clone() {
+        Ok(c) => c,
+        Err(e) => {
+            // A failed clone (EMFILE under fd pressure) costs this
+            // connection, never the server.
+            ACCEPT_ERRORS_TOTAL.inc();
+            eprintln!("cdcl-serve: cannot clone connection {peer:?} (dropping it): {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(cloned);
+    let mut writer = BufWriter::new(conn);
+    let mut first = String::new();
+    let result = match reader.read_line(&mut first) {
+        Ok(0) => Ok(()),
+        Ok(_) if first.starts_with("GET ") => serve_http_metrics(&first, &mut reader, &mut writer),
+        Ok(_) => serve_lines(srv, Some(first), &mut reader, &mut writer, args, stats),
+        Err(e) => Err(e),
+    };
+    if let Err(e) = result {
+        eprintln!("cdcl-serve: connection {peer:?} dropped: {e}");
+    }
+}
+
+/// The TCP accept loop: `args.threads` workers share one nonblocking
+/// listener, each accepting and serving connections independently — heavy
+/// compute inside a connection still fans out through the kernel pool.
+/// Exits after `args.conns` connections in total (0 = run forever).
+///
+/// A failed `accept()` (transient `EMFILE`, `ECONNABORTED`, …) is logged,
+/// counted in `cdcl_serve_accept_errors_total`, and survived: one bad
+/// accept must never kill a server holding live connections.
+pub fn run_tcp(
+    srv: &SnapshotRegistry,
+    listener: TcpListener,
+    args: &ServeArgs,
+    stats: &ServeStats,
+) {
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("cdcl-serve: cannot set listener nonblocking: {e}");
+        return;
+    }
+    let stop = AtomicBool::new(false);
+    let accepted = AtomicUsize::new(0);
+    let workers = args.threads.max(1);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let (listener, stop, accepted) = (&listener, &stop, &accepted);
+            s.spawn(move || loop {
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let n = accepted.fetch_add(1, Ordering::AcqRel) + 1;
+                        if args.conns > 0 && n >= args.conns {
+                            stop.store(true, Ordering::Release);
+                        }
+                        if args.conns > 0 && n > args.conns {
+                            // A racing worker over-accepted past the
+                            // connection budget; close it unserved.
+                            continue;
+                        }
+                        handle_conn(srv, conn, args, stats);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => {
+                        ACCEPT_ERRORS_TOTAL.inc();
+                        eprintln!("cdcl-serve: accept failed (continuing): {e}");
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The full `cdcl-serve` entry point: load + re-verify every model of the
+/// registry, serve stdio or TCP, then write the bench report.
+pub fn run(args: &ServeArgs) {
+    cdcl_obs::set_enabled(true);
+    let srv = SnapshotRegistry::new(args.max_inflight);
+    for (id, path) in &args.models {
+        match srv.load(id, path) {
+            Ok((slot, version)) => {
+                let m = slot.current();
+                eprintln!(
+                    "cdcl-serve: loaded model {id} v{version} from {} ({} tasks, {} classes), frozen params re-verified",
+                    path.display(),
+                    m.trainer.model().num_tasks(),
+                    m.trainer.model().total_classes()
+                );
+            }
+            Err(e) => {
+                eprintln!("cdcl-serve: model {id}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let stats = ServeStats::default();
+    let serving = Instant::now();
+    match &args.tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut reader = BufReader::new(stdin.lock());
+            let mut writer = BufWriter::new(stdout.lock());
+            serve_stream(&srv, &mut reader, &mut writer, args, &stats).expect("serve stdin/stdout");
+        }
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(addr).unwrap_or_else(|e| panic!("cdcl-serve: bind {addr}: {e}"));
+            eprintln!(
+                "cdcl-serve: listening on {addr} ({} workers, {} models)",
+                args.threads,
+                srv.len()
+            );
+            run_tcp(&srv, listener, args, &stats);
+        }
+    }
+    let wall_secs = serving.elapsed().as_secs_f64();
+
+    let primary = srv.primary().expect("registry has at least one model");
+    let m = primary.current();
+    let snapshot_label = m
+        .path
+        .as_ref()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|| primary.id().to_string());
+    let report = stats.report(
+        &snapshot_label,
+        &m.trainer,
+        args.max_batch,
+        srv.len(),
+        wall_secs,
+    );
+    crate::maybe_write_json(&args.bench_out, &report);
+    telemetry::flush();
+    eprintln!(
+        "cdcl-serve: {} requests ({} failed, {} busy) in {} batches, mean batch {:.2}, p50 {:.0}us, {:.1} rps over {:.2}s wall",
+        report.requests,
+        report.failed_requests,
+        report.busy_requests,
+        report.batches,
+        report.mean_batch_size,
+        report.latency_us.p50,
+        report.throughput_rps,
+        report.wall_secs,
+    );
+}

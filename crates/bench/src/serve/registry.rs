@@ -1,0 +1,273 @@
+//! The snapshot registry: many models, each hot-swappable (DESIGN.md §13).
+//!
+//! A [`SnapshotRegistry`] maps model ids to [`ModelSlot`]s. Each slot holds
+//! the currently served [`LoadedModel`] behind an `RwLock<Arc<…>>`: request
+//! execution clones the `Arc` (a pointer copy under a read lock) and runs
+//! the whole forward pass against that immutable version, while `RELOAD`
+//! builds and verifies the replacement **off-lock** and then swaps the
+//! `Arc` under the write lock — in-flight requests finish on the version
+//! they started with and nothing is dropped. Every candidate version goes
+//! through [`CdclTrainer::verify_frozen_serving`] and an input-shape
+//! compatibility check before it can be swapped in.
+
+use super::admission::Admission;
+use super::metrics;
+use cdcl_core::CdclTrainer;
+use cdcl_obs::{CounterCore, GaugeCore, HistogramCore};
+use cdcl_telemetry as telemetry;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The model id unadorned requests route to when exactly one model is
+/// loaded, and the id `--snapshot` registers its model under.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Poison-tolerant read lock: a panicked holder cannot half-update an
+/// `Arc` swap or a push-only Vec, so recovering the guard is sound.
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Model ids become metric label values and RELOAD verb operands, so they
+/// are restricted to a shell-and-Prometheus-safe alphabet.
+pub fn valid_model_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+/// One immutable, verified snapshot version being served.
+pub struct LoadedModel {
+    /// Registry id this version serves under.
+    pub id: String,
+    /// Monotone per-slot version, starting at 1; bumped by every reload.
+    pub version: u64,
+    /// Source path (`None` for models registered from memory in tests).
+    pub path: Option<PathBuf>,
+    /// The restored learner (model + config + centroids).
+    pub trainer: CdclTrainer,
+}
+
+/// The per-model metric series, resolved from the §13 families once at
+/// slot registration so record sites never lock the metrics registry.
+pub struct ModelMetrics {
+    pub requests: Arc<CounterCore>,
+    pub failed: Arc<CounterCore>,
+    pub busy: Arc<CounterCore>,
+    pub reloads: Arc<CounterCore>,
+    pub latency_us: Arc<HistogramCore>,
+    pub inflight: Arc<GaugeCore>,
+}
+
+impl ModelMetrics {
+    fn for_model(id: &str) -> Self {
+        Self {
+            requests: metrics::MODEL_REQUESTS_TOTAL.with(id),
+            failed: metrics::MODEL_FAILED_TOTAL.with(id),
+            busy: metrics::MODEL_BUSY_TOTAL.with(id),
+            reloads: metrics::MODEL_RELOADS_TOTAL.with(id),
+            latency_us: metrics::MODEL_LATENCY_US.with(id),
+            inflight: metrics::MODEL_INFLIGHT.with(id),
+        }
+    }
+}
+
+/// One registered model: the swappable current version plus its admission
+/// state and metric series. Slots are append-only — a model, once
+/// registered, stays addressable for the life of the server.
+pub struct ModelSlot {
+    id: String,
+    current: RwLock<Arc<LoadedModel>>,
+    /// Per-model in-flight quota (shared with every admitted [`super::admission::Ticket`]).
+    pub admission: Arc<Admission>,
+    /// Pre-resolved per-model metric series.
+    pub metrics: ModelMetrics,
+}
+
+impl ModelSlot {
+    /// The registry id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The currently served version — an `Arc` clone under a read lock, so
+    /// a concurrent `RELOAD` never invalidates the returned model.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        read_lock(&self.current).clone()
+    }
+
+    /// Atomically replaces the served version. In-flight requests keep
+    /// their `Arc` to the old version and complete on it.
+    fn swap(&self, next: Arc<LoadedModel>) {
+        *write_lock(&self.current) = next;
+    }
+}
+
+/// All models this server instance is serving.
+pub struct SnapshotRegistry {
+    models: RwLock<Vec<Arc<ModelSlot>>>,
+    /// Per-model quota applied to every slot (0 = unlimited).
+    max_inflight: usize,
+}
+
+impl SnapshotRegistry {
+    /// An empty registry whose slots shed load beyond `max_inflight`
+    /// admitted requests per model (0 = unlimited).
+    pub fn new(max_inflight: usize) -> Self {
+        Self {
+            models: RwLock::new(Vec::new()),
+            max_inflight,
+        }
+    }
+
+    /// Registers `trainer` under `id`, or hot-swaps it into the existing
+    /// slot of that id. The candidate is re-verified (frozen contract) and,
+    /// on a swap, checked for input-shape compatibility with the version it
+    /// replaces. Returns the slot and the version now being served.
+    pub fn insert_trainer(
+        &self,
+        id: &str,
+        trainer: CdclTrainer,
+        path: Option<PathBuf>,
+    ) -> Result<(Arc<ModelSlot>, u64), String> {
+        if !valid_model_id(id) {
+            return Err(format!(
+                "invalid model id {id:?} (1-64 chars of [A-Za-z0-9._-])"
+            ));
+        }
+        trainer.verify_frozen_serving()?;
+        let existing = self.find(id);
+        match existing {
+            Some(slot) => {
+                let old = slot.current();
+                if old.trainer.input_dims() != trainer.input_dims() {
+                    return Err(format!(
+                        "model {id}: incompatible input shape {:?} (serving {:?})",
+                        trainer.input_dims(),
+                        old.trainer.input_dims()
+                    ));
+                }
+                let version = old.version + 1;
+                slot.swap(Arc::new(LoadedModel {
+                    id: id.to_string(),
+                    version,
+                    path,
+                    trainer,
+                }));
+                slot.metrics.reloads.add(1);
+                metrics::RELOADS_TOTAL.inc();
+                if telemetry::enabled() {
+                    telemetry::Event::new("serve")
+                        .name("model_reloaded")
+                        .str_field("model", id)
+                        .u64_field("version", version)
+                        .emit();
+                }
+                Ok((slot, version))
+            }
+            None => {
+                let slot = Arc::new(ModelSlot {
+                    id: id.to_string(),
+                    current: RwLock::new(Arc::new(LoadedModel {
+                        id: id.to_string(),
+                        version: 1,
+                        path,
+                        trainer,
+                    })),
+                    admission: Arc::new(Admission::new(self.max_inflight)),
+                    metrics: ModelMetrics::for_model(id),
+                });
+                write_lock(&self.models).push(slot.clone());
+                Ok((slot, 1))
+            }
+        }
+    }
+
+    /// Loads the snapshot at `path` and registers (or hot-swaps) it under
+    /// `id`. This is the `RELOAD <model> <path>` verb: the load, CRC
+    /// validation, and frozen re-verification all happen before the swap,
+    /// so a bad file can never displace a serving version.
+    pub fn load(&self, id: &str, path: &Path) -> Result<(Arc<ModelSlot>, u64), String> {
+        let trainer = CdclTrainer::resume_from(path)
+            .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+        self.insert_trainer(id, trainer, Some(path.to_path_buf()))
+    }
+
+    fn find(&self, id: &str) -> Option<Arc<ModelSlot>> {
+        read_lock(&self.models).iter().find(|s| s.id == id).cloned()
+    }
+
+    /// Resolves a request's model id. `None` routes to the sole model when
+    /// exactly one is loaded (single-tenant back-compat) and is an error
+    /// otherwise.
+    pub fn get(&self, id: Option<&str>) -> Result<Arc<ModelSlot>, String> {
+        match id {
+            Some(id) => self
+                .find(id)
+                .ok_or_else(|| format!("unknown model {id:?} (see MODELS)")),
+            None => {
+                let models = read_lock(&self.models);
+                match models.len() {
+                    0 => Err("no models loaded".to_string()),
+                    1 => Ok(models[0].clone()),
+                    n => Err(format!(
+                        "request needs \"model\" ({n} models loaded; see MODELS)"
+                    )),
+                }
+            }
+        }
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        read_lock(&self.models).len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first-registered model (the `--snapshot`/first `--model` one):
+    /// what the single-model bench report describes.
+    pub fn primary(&self) -> Option<Arc<ModelSlot>> {
+        read_lock(&self.models).first().cloned()
+    }
+
+    /// The `MODELS` verb payload: a JSON array of
+    /// `{"model","version","tasks","classes","path","inflight"}`.
+    pub fn models_json(&self) -> String {
+        let slots: Vec<Arc<ModelSlot>> = read_lock(&self.models).clone();
+        let rows: Vec<String> = slots
+            .iter()
+            .map(|slot| {
+                let m = slot.current();
+                format!(
+                    "{{\"model\":\"{}\",\"version\":{},\"tasks\":{},\"classes\":{},\"path\":{},\"inflight\":{}}}",
+                    slot.id,
+                    m.version,
+                    m.trainer.model().num_tasks(),
+                    m.trainer.model().total_classes(),
+                    match &m.path {
+                        Some(p) => format!("\"{}\"", p.display().to_string().replace('\\', "/")),
+                        None => "null".to_string(),
+                    },
+                    slot.admission.inflight(),
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+}

@@ -1,15 +1,15 @@
 //! `cdcl-serve` observability, driven over a real TCP round-trip: a JSONL
 //! connection feeds the batcher, then an HTTP `GET /metrics` scrape on the
 //! same listener must return Prometheus text with batch-latency histogram
-//! buckets and derived p50/p99 gauges. Also covers the `METRICS` stdin
-//! verb and the NaN/Inf output watchdog.
+//! buckets, derived p50/p99 gauges, and the per-model labeled families.
+//! Also covers the `METRICS` stdin verb and the NaN/Inf output watchdog.
 
+use cdcl_bench::serve::registry::SnapshotRegistry;
 use cdcl_bench::serve::{run_tcp, serve_stream, ServeArgs, ServeStats};
 use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
 use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::path::PathBuf;
 use std::sync::Mutex;
 
 /// Registry state is process-global; tests must not overlap.
@@ -26,23 +26,26 @@ fn smoke_trainer() -> CdclTrainer {
     trainer
 }
 
+/// A single-model registry serving `trainer` under the id `default`.
+fn smoke_registry(trainer: CdclTrainer) -> SnapshotRegistry {
+    let srv = SnapshotRegistry::new(0);
+    srv.insert_trainer("default", trainer, None)
+        .expect("register smoke model");
+    srv
+}
+
 fn serve_args(max_batch: usize, conns: usize) -> ServeArgs {
     ServeArgs {
-        snapshot: PathBuf::new(),
-        tcp: None,
         max_batch,
         bench_out: None,
         conns,
-        metrics_every: 0,
+        ..ServeArgs::default()
     }
 }
 
 /// A valid request line with a zero image of the model's input shape.
 fn request_line(trainer: &CdclTrainer, id: u64, mode: &str) -> String {
-    let (c, (h, w)) = (
-        trainer.config().backbone.in_channels,
-        trainer.config().backbone.in_hw,
-    );
+    let (c, h, w) = trainer.input_dims();
     let zeros = vec!["0.0"; c * h * w].join(",");
     match mode {
         "til" => format!(r#"{{"id":{id},"mode":"til","task":0,"image":[{zeros}]}}"#),
@@ -55,26 +58,28 @@ fn tcp_round_trip_then_metrics_scrape() {
     let _g = SERVE_GUARD.lock().unwrap_or_else(|p| p.into_inner());
     cdcl_obs::set_enabled(true);
     let trainer = smoke_trainer();
+    let lines: Vec<String> = (1..=3u64)
+        .map(|id| request_line(&trainer, id, if id % 2 == 0 { "cil" } else { "til" }))
+        .collect();
+    let srv = smoke_registry(trainer);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr");
     let args = serve_args(2, 2);
+    let stats = ServeStats::default();
 
     std::thread::scope(|s| {
-        let trainer = &trainer;
-        let args = &args;
+        let (srv, args, stats) = (&srv, &args, &stats);
         s.spawn(move || {
-            let mut stats = ServeStats::default();
-            run_tcp(trainer, listener, args, &mut stats);
-            assert!(stats.requests >= 3, "server saw the JSONL requests");
-            assert!(!stats.batches.is_empty(), "server executed batches");
+            run_tcp(srv, listener, args, stats);
+            assert!(stats.requests() >= 3, "server saw the JSONL requests");
+            assert!(stats.batch_count() > 0, "server executed batches");
         });
 
         // Connection 1: three JSONL requests (max_batch=2 forces two
         // flushes), then EOF.
         let mut conn = TcpStream::connect(addr).expect("connect");
-        for id in 1..=3u64 {
-            let mode = if id % 2 == 0 { "cil" } else { "til" };
-            writeln!(conn, "{}", request_line(trainer, id, mode)).expect("send request");
+        for line in &lines {
+            writeln!(conn, "{line}").expect("send request");
         }
         conn.shutdown(Shutdown::Write).expect("half-close");
         let mut responses = String::new();
@@ -85,6 +90,10 @@ fn tcp_round_trip_then_metrics_scrape() {
         assert_eq!(lines.len(), 3, "one response per request: {responses}");
         for line in &lines {
             assert!(line.contains("\"ok\":true"), "request failed: {line}");
+            assert!(
+                line.contains("\"model\":\"default\"") && line.contains("\"version\":1"),
+                "response must name the answering model/version: {line}"
+            );
         }
 
         // Connection 2: an HTTP scrape on the same listener.
@@ -110,6 +119,13 @@ fn tcp_round_trip_then_metrics_scrape() {
         assert!(scrape.contains("cdcl_serve_requests_total"));
         assert!(scrape.contains("cdcl_serve_batch_size"));
         assert!(scrape.contains("cdcl_serve_queue_depth"));
+        // Per-model labeled families carry the registry id.
+        assert!(
+            scrape.contains("cdcl_serve_model_requests_total{model=\"default\"}"),
+            "per-model request series missing:\n{scrape}"
+        );
+        assert!(scrape.contains("cdcl_serve_model_latency_us_bucket{model=\"default\",le=\""));
+        assert!(scrape.contains("cdcl_serve_model_inflight{model=\"default\"}"));
         // The scrape publishes the kernel counters too.
         assert!(scrape.contains("cdcl_kernel_gemm_calls_total"));
     });
@@ -121,17 +137,12 @@ fn metrics_verb_answers_registry_json_inline() {
     cdcl_obs::set_enabled(true);
     let trainer = smoke_trainer();
     let input = format!("{}\nMETRICS\n", request_line(&trainer, 7, "cil"));
+    let srv = smoke_registry(trainer);
     let mut reader = std::io::Cursor::new(input.into_bytes());
     let mut out = Vec::new();
-    let mut stats = ServeStats::default();
-    serve_stream(
-        &trainer,
-        &mut reader,
-        &mut out,
-        &serve_args(8, 1),
-        &mut stats,
-    )
-    .expect("serve in-memory stream");
+    let stats = ServeStats::default();
+    serve_stream(&srv, &mut reader, &mut out, &serve_args(8, 1), &stats)
+        .expect("serve in-memory stream");
     let text = String::from_utf8(out).expect("utf8 output");
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 2, "prediction + metrics lines: {text}");
@@ -148,18 +159,18 @@ fn nonfinite_outputs_become_errors_not_predictions() {
     // graph asserts finiteness on every node, so NaN probabilities cannot
     // come out of a real forward pass here — but a release-mode numeric
     // blow-up lands exactly on this screening path.
-    let mut stats = ServeStats::default();
-    let bad = cdcl_bench::serve::row_response(9, false, 0, &[0.5, f32::NAN], &mut stats);
+    let stats = ServeStats::default();
+    let bad = cdcl_bench::serve::row_response(9, false, 0, &[0.5, f32::NAN], &stats);
     let line = serde_json::to_string(&bad).expect("serialize response");
     assert!(
         line.contains("\"ok\":false") && line.contains("non-finite"),
         "garbage prediction shipped instead of an error: {line}"
     );
-    assert_eq!(stats.failed, 1);
-    let good = cdcl_bench::serve::row_response(10, true, 0, &[0.25, 0.75], &mut stats);
+    assert_eq!(stats.failed(), 1);
+    let good = cdcl_bench::serve::row_response(10, true, 0, &[0.25, 0.75], &stats);
     let line = serde_json::to_string(&good).expect("serialize response");
     assert!(line.contains("\"ok\":true") && line.contains("\"pred\":1"));
-    assert_eq!(stats.failed, 1, "finite rows pass the watchdog");
+    assert_eq!(stats.failed(), 1, "finite rows pass the watchdog");
     // The cumulative process-wide counter recorded the event.
     let exposition = cdcl_obs::global().render_prometheus();
     let count: u64 = exposition

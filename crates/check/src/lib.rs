@@ -367,10 +367,13 @@ fn atomic_write_applies(rel_path: &str) -> bool {
 }
 
 /// Metric handle constructors whose first argument registers the name.
-const METRIC_CTORS: [(&str, &str); 3] = [
+const METRIC_CTORS: [(&str, &str); 6] = [
     ("Counter::new(\"", "counter"),
     ("Gauge::new(\"", "gauge"),
     ("Histogram::new(\"", "histogram"),
+    ("CounterFamily::new(\"", "counter family"),
+    ("GaugeFamily::new(\"", "gauge family"),
+    ("HistogramFamily::new(\"", "histogram family"),
 ];
 
 /// Registry string lookups banned outside `crates/obs`: recording through
@@ -410,7 +413,7 @@ fn metric_name_ok(kind: &str, name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
-        && (kind != "counter" || name.ends_with("_total"))
+        && (!kind.starts_with("counter") || name.ends_with("_total"))
 }
 
 /// Applies the metric-names rule to one line. Constructor calls and lookups
@@ -758,6 +761,23 @@ mod tests {
         // A doc comment mentioning a constructor must not trip the rule.
         let doc = "/// Register with `Counter::new(\"whatever\")` or `.gauge(\"x\")`.\nfn f() {}\n";
         assert!(scan_file("crates/core/src/health.rs", doc).is_empty());
+        // Labeled families are held to the same naming convention.
+        let fam_ok = "static A: CounterFamily = CounterFamily::new(\"cdcl_serve_model_requests_total\");\n\
+                      static B: GaugeFamily = GaugeFamily::new(\"cdcl_serve_model_inflight\");\n\
+                      static C: HistogramFamily = HistogramFamily::new(\"cdcl_serve_model_latency_us\");\n";
+        assert!(scan_file("crates/bench/src/serve/metrics.rs", fam_ok).is_empty());
+        let fam_bad = "static A: CounterFamily = CounterFamily::new(\"model_requests\");\n\
+                       static B: HistogramFamily = HistogramFamily::new(\"cdcl_modelLatency\");\n";
+        let f = scan_file("crates/bench/src/serve/metrics.rs", fam_bad);
+        let needles: Vec<&str> = f.iter().map(|f| f.needle.as_str()).collect();
+        assert_eq!(
+            needles,
+            [
+                "counter family name `model_requests`",
+                "histogram family name `cdcl_modelLatency`",
+            ],
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -109,6 +109,45 @@ impl CdclTrainer {
         &self.centroids
     }
 
+    /// The `(channels, height, width)` shape one inference image must
+    /// flatten to. Serving code (request validation, snapshot-registry
+    /// compatibility checks) routes through this instead of reaching into
+    /// the backbone config.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        let (h, w) = self.config.backbone.in_hw;
+        (self.config.backbone.in_channels, h, w)
+    }
+
+    /// Re-verifies every task of a restored model through the graph
+    /// verifier before it is put behind a serving endpoint: one
+    /// forward-only graph per task (through that task's `K_i`/`b_i` and
+    /// TIL head) is checked for shape consistency and the §IV-A freezing
+    /// contract over [`CdclModel::expected_frozen_params`]. A snapshot that
+    /// passed the loader's structural validation but violates the freezing
+    /// invariants is refused here.
+    pub fn verify_frozen_serving(&self) -> Result<(), String> {
+        let frozen = self.model.expected_frozen_params();
+        let (c, h, w) = self.input_dims();
+        for t in 0..self.model.num_tasks() {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::zeros(&[1, c, h, w]));
+            let z = self.model.features_self(&mut g, x, t);
+            let til = self.model.til_logits(&mut g, z, t);
+            let lp = g.log_softmax_last(til);
+            let loss = g.nll_loss(lp, &[0]);
+            g.verify(loss, &frozen)
+                .map_err(|e| format!("snapshot failed graph re-verification for task {t}: {e}"))?;
+        }
+        if telemetry::enabled() {
+            telemetry::Event::new("serve")
+                .name("frozen_reverified")
+                .u64_field("tasks", self.model.num_tasks() as u64)
+                .u64_field("frozen_params", frozen.len() as u64)
+                .emit();
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Feature / probability extraction (inference mode, chunked)
     // ------------------------------------------------------------------

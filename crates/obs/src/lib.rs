@@ -235,8 +235,29 @@ impl Core {
 #[derive(Debug)]
 struct Entry {
     name: String,
+    /// `Some((key, value))` for one series of a labeled family (per-model
+    /// serving metrics); `None` for the ordinary unlabeled metrics.
+    label: Option<(String, String)>,
     help: String,
     core: Core,
+}
+
+/// One row of [`Registry::sorted`]: `(name, label, help, core)`.
+type SortedEntry = (String, Option<(String, String)>, String, Core);
+
+/// The lazily-built `label value -> core` cache behind each metric family.
+type FamilyCache<C> = OnceLock<Mutex<Vec<(String, Arc<C>)>>>;
+
+/// Label values are interpolated into Prometheus sample lines and JSON
+/// keys; characters that could break either encoding are replaced with
+/// `_` at registration time.
+fn sanitize_label_value(v: &str) -> String {
+    v.chars()
+        .map(|c| match c {
+            '"' | '\\' | '\n' | '{' | '}' => '_',
+            c => c,
+        })
+        .collect()
 }
 
 /// A set of named metrics with deterministic (name-sorted) exposition.
@@ -253,14 +274,22 @@ impl Registry {
         Self::default()
     }
 
-    fn register(&self, name: &str, help: &str, make: impl FnOnce() -> Core) -> Core {
+    fn register(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        help: &str,
+        make: impl FnOnce() -> Core,
+    ) -> Core {
+        let label = label.map(|(k, v)| (k.to_string(), sanitize_label_value(v)));
         let mut entries = lock_entries(&self.entries);
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
+        if let Some(e) = entries.iter().find(|e| e.name == name && e.label == label) {
             return e.core.clone();
         }
         let core = make();
         entries.push(Entry {
             name: name.to_string(),
+            label,
             help: help.to_string(),
             core: core.clone(),
         });
@@ -272,7 +301,28 @@ impl Registry {
     /// detached core so recording still works, but only the first
     /// registration is exposed — `debug_assert!`ed as a programming bug.
     pub fn counter(&self, name: &str, help: &str) -> Arc<CounterCore> {
-        match self.register(name, help, || Core::Counter(Arc::default())) {
+        self.counter_entry(name, None, help)
+    }
+
+    /// Registers (or finds) one `{label_key="label_value"}` series of the
+    /// counter family `name` (per-model serving metrics).
+    pub fn labeled_counter(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Arc<CounterCore> {
+        self.counter_entry(name, Some((label_key, label_value)), help)
+    }
+
+    fn counter_entry(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        help: &str,
+    ) -> Arc<CounterCore> {
+        match self.register(name, label, help, || Core::Counter(Arc::default())) {
             Core::Counter(c) => c,
             other => {
                 debug_assert!(
@@ -287,7 +337,22 @@ impl Registry {
 
     /// Registers (or finds) the gauge `name`.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<GaugeCore> {
-        match self.register(name, help, || Core::Gauge(Arc::default())) {
+        self.gauge_entry(name, None, help)
+    }
+
+    /// Registers (or finds) one labeled series of the gauge family `name`.
+    pub fn labeled_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Arc<GaugeCore> {
+        self.gauge_entry(name, Some((label_key, label_value)), help)
+    }
+
+    fn gauge_entry(&self, name: &str, label: Option<(&str, &str)>, help: &str) -> Arc<GaugeCore> {
+        match self.register(name, label, help, || Core::Gauge(Arc::default())) {
             Core::Gauge(g) => g,
             other => {
                 debug_assert!(
@@ -302,7 +367,28 @@ impl Registry {
 
     /// Registers (or finds) the histogram `name`.
     pub fn histogram(&self, name: &str, help: &str) -> Arc<HistogramCore> {
-        match self.register(name, help, || Core::Histogram(Arc::default())) {
+        self.histogram_entry(name, None, help)
+    }
+
+    /// Registers (or finds) one labeled series of the histogram family
+    /// `name`.
+    pub fn labeled_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> Arc<HistogramCore> {
+        self.histogram_entry(name, Some((label_key, label_value)), help)
+    }
+
+    fn histogram_entry(
+        &self,
+        name: &str,
+        label: Option<(&str, &str)>,
+        help: &str,
+    ) -> Arc<HistogramCore> {
+        match self.register(name, label, help, || Core::Histogram(Arc::default())) {
             Core::Histogram(h) => h,
             other => {
                 debug_assert!(
@@ -315,29 +401,47 @@ impl Registry {
         }
     }
 
-    /// Snapshots the entries sorted by name (exposition is deterministic
-    /// regardless of registration order).
-    fn sorted(&self) -> Vec<(String, String, Core)> {
+    /// Snapshots the entries sorted by name, then label value (exposition
+    /// is deterministic regardless of registration order; all series of a
+    /// labeled family are contiguous).
+    fn sorted(&self) -> Vec<SortedEntry> {
         let entries = lock_entries(&self.entries);
-        let mut v: Vec<(String, String, Core)> = entries
+        let mut v: Vec<SortedEntry> = entries
             .iter()
-            .map(|e| (e.name.clone(), e.help.clone(), e.core.clone()))
+            .map(|e| {
+                (
+                    e.name.clone(),
+                    e.label.clone(),
+                    e.help.clone(),
+                    e.core.clone(),
+                )
+            })
             .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         v
     }
 
     /// Prometheus text exposition (format v0.0.4). Histograms render
     /// cumulative `_bucket{le=...}` lines, `_sum`/`_count`, plus derived
-    /// `_p50`/`_p90`/`_p99` gauges from bucket interpolation.
+    /// `_p50`/`_p90`/`_p99` gauges from bucket interpolation. Labeled
+    /// families share one `# HELP`/`# TYPE` block; each series carries its
+    /// `{key="value"}` pair on every sample line.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, help, core) in self.sorted() {
-            out.push_str(&format!("# HELP {name} {help}\n"));
-            out.push_str(&format!("# TYPE {name} {}\n", core.kind()));
+        let mut prev_name: Option<String> = None;
+        for (name, label, help, core) in self.sorted() {
+            let first_of_name = prev_name.as_deref() != Some(name.as_str());
+            if first_of_name {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+                out.push_str(&format!("# TYPE {name} {}\n", core.kind()));
+            }
+            let suffix = match &label {
+                Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+                None => String::new(),
+            };
             match core {
-                Core::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
-                Core::Gauge(g) => out.push_str(&format!("{name} {}\n", fmt_f64(g.get()))),
+                Core::Counter(c) => out.push_str(&format!("{name}{suffix} {}\n", c.get())),
+                Core::Gauge(g) => out.push_str(&format!("{name}{suffix} {}\n", fmt_f64(g.get()))),
                 Core::Histogram(h) => {
                     let counts = h.bucket_counts();
                     let mut cum = 0u64;
@@ -348,29 +452,41 @@ impl Registry {
                         } else {
                             "+Inf".to_string()
                         };
-                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                        let le_labels = match &label {
+                            Some((k, v)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
+                            None => format!("{{le=\"{le}\"}}"),
+                        };
+                        out.push_str(&format!("{name}_bucket{le_labels} {cum}\n"));
                     }
-                    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum())));
-                    out.push_str(&format!("{name}_count {cum}\n"));
-                    for (suffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                    out.push_str(&format!("{name}_sum{suffix} {}\n", fmt_f64(h.sum())));
+                    out.push_str(&format!("{name}_count{suffix} {cum}\n"));
+                    for (psuffix, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
                         let v = hist::percentile(&counts, q);
-                        out.push_str(&format!("# TYPE {name}_{suffix} gauge\n"));
-                        out.push_str(&format!("{name}_{suffix} {}\n", fmt_f64(v)));
+                        if first_of_name {
+                            out.push_str(&format!("# TYPE {name}_{psuffix} gauge\n"));
+                        }
+                        out.push_str(&format!("{name}_{psuffix}{suffix} {}\n", fmt_f64(v)));
                     }
                 }
             }
+            prev_name = Some(name);
         }
         out
     }
 
     /// One-line JSON exposition: `{"counters":{...},"gauges":{...},
     /// "histograms":{name:{count,sum,p50,p90,p99,buckets:[[le,n],...]}}}`
-    /// with only non-empty buckets listed (non-cumulative counts).
+    /// with only non-empty buckets listed (non-cumulative counts). A
+    /// labeled series keys as `name{key="value"}` (quotes escaped).
     pub fn render_json(&self) -> String {
         let mut counters = String::new();
         let mut gauges = String::new();
         let mut hists = String::new();
-        for (name, _, core) in self.sorted() {
+        for (base, label, _, core) in self.sorted() {
+            let name = match &label {
+                Some((k, v)) => format!("{base}{{{k}=\\\"{v}\\\"}}"),
+                None => base,
+            };
             match core {
                 Core::Counter(c) => {
                     push_sep(&mut counters);
@@ -612,6 +728,122 @@ impl Drop for HistTimer<'_> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Labeled families
+// ----------------------------------------------------------------------
+
+/// Poison-tolerant family-cache lock (same reasoning as the registry).
+fn lock_family<T>(m: &Mutex<Vec<(String, T)>>) -> MutexGuard<'_, Vec<(String, T)>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A `const`-constructible **family** of counters sharing one name and one
+/// label key, fanned out by label value — the per-model serving series
+/// (`cdcl_serve_model_requests_total{model="…"}`). [`CounterFamily::with`]
+/// resolves a value to its [`CounterCore`]; callers cache the `Arc` (one
+/// resolution per model slot), so record sites stay lock-free. Cores record
+/// unconditionally — holders that need the disabled-layer fast path gate on
+/// [`enabled`] themselves (the servers that use families always enable the
+/// layer at startup).
+pub struct CounterFamily {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    cores: FamilyCache<CounterCore>,
+}
+
+impl CounterFamily {
+    /// Declares a counter family (name discipline as [`Counter::new`];
+    /// `label` is the label *key*, e.g. `"model"`).
+    pub const fn new(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label,
+            cores: OnceLock::new(),
+        }
+    }
+
+    /// The series for `value`, registering it on first use.
+    pub fn with(&self, value: &str) -> Arc<CounterCore> {
+        let cache = self.cores.get_or_init(|| Mutex::new(Vec::new()));
+        let mut cache = lock_family(cache);
+        if let Some((_, core)) = cache.iter().find(|(v, _)| v == value) {
+            return core.clone();
+        }
+        let core = global().labeled_counter(self.name, self.help, self.label, value);
+        cache.push((value.to_string(), core.clone()));
+        core
+    }
+}
+
+/// A `const`-constructible family of gauges (see [`CounterFamily`]).
+pub struct GaugeFamily {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    cores: FamilyCache<GaugeCore>,
+}
+
+impl GaugeFamily {
+    /// Declares a gauge family.
+    pub const fn new(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label,
+            cores: OnceLock::new(),
+        }
+    }
+
+    /// The series for `value`, registering it on first use.
+    pub fn with(&self, value: &str) -> Arc<GaugeCore> {
+        let cache = self.cores.get_or_init(|| Mutex::new(Vec::new()));
+        let mut cache = lock_family(cache);
+        if let Some((_, core)) = cache.iter().find(|(v, _)| v == value) {
+            return core.clone();
+        }
+        let core = global().labeled_gauge(self.name, self.help, self.label, value);
+        cache.push((value.to_string(), core.clone()));
+        core
+    }
+}
+
+/// A `const`-constructible family of histograms (see [`CounterFamily`]).
+pub struct HistogramFamily {
+    name: &'static str,
+    help: &'static str,
+    label: &'static str,
+    cores: FamilyCache<HistogramCore>,
+}
+
+impl HistogramFamily {
+    /// Declares a histogram family.
+    pub const fn new(name: &'static str, help: &'static str, label: &'static str) -> Self {
+        Self {
+            name,
+            help,
+            label,
+            cores: OnceLock::new(),
+        }
+    }
+
+    /// The series for `value`, registering it on first use.
+    pub fn with(&self, value: &str) -> Arc<HistogramCore> {
+        let cache = self.cores.get_or_init(|| Mutex::new(Vec::new()));
+        let mut cache = lock_family(cache);
+        if let Some((_, core)) = cache.iter().find(|(v, _)| v == value) {
+            return core.clone();
+        }
+        let core = global().labeled_histogram(self.name, self.help, self.label, value);
+        cache.push((value.to_string(), core.clone()));
+        core
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -747,5 +979,88 @@ cdcl_golden_latency_us_bucket{le=\"10\"} 3
         assert_eq!(fmt_f64_json(f64::INFINITY), "\"inf\"");
         assert_eq!(fmt_f64_json(f64::NEG_INFINITY), "\"-inf\"");
         assert_eq!(fmt_f64_json(2.0), "2");
+    }
+
+    #[test]
+    fn labeled_series_share_one_help_type_block() {
+        let r = Registry::new();
+        r.labeled_counter(
+            "cdcl_lab_requests_total",
+            "Per-model requests",
+            "model",
+            "beta",
+        )
+        .add(2);
+        r.labeled_counter(
+            "cdcl_lab_requests_total",
+            "Per-model requests",
+            "model",
+            "alpha",
+        )
+        .add(5);
+        let text = r.render_prometheus();
+        assert_eq!(
+            text,
+            "# HELP cdcl_lab_requests_total Per-model requests\n\
+             # TYPE cdcl_lab_requests_total counter\n\
+             cdcl_lab_requests_total{model=\"alpha\"} 5\n\
+             cdcl_lab_requests_total{model=\"beta\"} 2\n"
+        );
+    }
+
+    #[test]
+    fn labeled_histogram_merges_label_with_le_and_keys_json() {
+        let r = Registry::new();
+        let h = r.labeled_histogram("cdcl_lab_lat_us", "lat", "model", "m1");
+        h.observe(3.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("cdcl_lab_lat_us_bucket{model=\"m1\",le=\"5\"} 1\n"));
+        assert!(text.contains("cdcl_lab_lat_us_sum{model=\"m1\"} 3\n"));
+        assert!(text.contains("cdcl_lab_lat_us_count{model=\"m1\"} 1\n"));
+        assert!(text.contains("cdcl_lab_lat_us_p50{model=\"m1\"} "));
+        let json = r.render_json();
+        assert!(
+            json.contains("\"cdcl_lab_lat_us{model=\\\"m1\\\"}\":{\"count\":1"),
+            "labeled JSON key missing: {json}"
+        );
+    }
+
+    #[test]
+    fn labeled_and_unlabeled_same_name_stay_distinct() {
+        let r = Registry::new();
+        let plain = r.counter("cdcl_lab_mixed_total", "c");
+        let labeled = r.labeled_counter("cdcl_lab_mixed_total", "c", "model", "x");
+        plain.add(1);
+        labeled.add(10);
+        let text = r.render_prometheus();
+        assert!(text.contains("cdcl_lab_mixed_total 1\n"));
+        assert!(text.contains("cdcl_lab_mixed_total{model=\"x\"} 10\n"));
+    }
+
+    #[test]
+    fn family_handles_cache_per_value_cores() {
+        let _g = guard();
+        static FAM: CounterFamily =
+            CounterFamily::new("cdcl_test_family_total", "per-model", "model");
+        let a = FAM.with("m0");
+        let b = FAM.with("m0");
+        let c = FAM.with("m1");
+        a.add(2);
+        b.add(3);
+        c.add(7);
+        assert_eq!(FAM.with("m0").get(), 5, "same value resolves one core");
+        assert_eq!(FAM.with("m1").get(), 7);
+    }
+
+    #[test]
+    fn hostile_label_values_are_sanitized() {
+        let r = Registry::new();
+        r.labeled_counter("cdcl_lab_esc_total", "c", "model", "a\"b\\c\nd{e}")
+            .add(1);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("cdcl_lab_esc_total{model=\"a_b_c_d_e_\"} 1\n"),
+            "unsanitized label leaked: {text}"
+        );
     }
 }
