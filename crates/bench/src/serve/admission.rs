@@ -31,8 +31,10 @@ impl Admission {
     /// slot on drop. `None` means the model is at quota and the request
     /// must be shed.
     pub fn try_acquire(self: &Arc<Self>) -> Option<Ticket> {
+        // ordering: flag — inflight ticket counter; AcqRel makes admit/release atomic handoffs.
         let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
         if self.max_inflight > 0 && prev >= self.max_inflight {
+            // ordering: flag — rollback of the optimistic increment above.
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             return None;
         }
@@ -43,6 +45,7 @@ impl Admission {
 
     /// Requests currently admitted (queued or executing).
     pub fn inflight(&self) -> usize {
+        // ordering: flag — snapshot for metrics/limit checks; staleness only over- or under-admits by one.
         self.inflight.load(Ordering::Acquire)
     }
 
@@ -61,6 +64,7 @@ pub struct Ticket {
 
 impl Drop for Ticket {
     fn drop(&mut self) {
+        // ordering: flag — ticket release on drop; pairs with the AcqRel in try_admit.
         self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }

@@ -274,6 +274,7 @@ fn drive_connection(
         writeln!(writer)
             .and_then(|_| writer.flush())
             .map_err(|e| format!("conn {conn_idx}: flush: {e}"))?;
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         sent.fetch_add(window as u64, Ordering::Relaxed);
         for &expect in &expected_ids {
             line.clear();
@@ -299,10 +300,12 @@ fn drive_connection(
                         "conn {conn_idx}: ok response without a prediction (id {expect})"
                     ));
                 }
+                // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
                 ok_responses.fetch_add(1, Ordering::Relaxed);
             } else {
                 let err = resp.error.unwrap_or_default();
                 if err.starts_with("busy") {
+                    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
                     busy_responses.fetch_add(1, Ordering::Relaxed);
                 } else {
                     return Err(format!("conn {conn_idx}: request {expect} failed: {err}"));
@@ -370,6 +373,7 @@ pub fn run_load(args: &LoadArgs) -> Result<LoadReport, String> {
         Ok(v) => v,
         Err(poisoned) => poisoned.into_inner(),
     };
+    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
     let ok = ok_responses.load(Ordering::Relaxed);
     let busy = busy_responses.load(Ordering::Relaxed);
     Ok(LoadReport {
@@ -378,6 +382,7 @@ pub fn run_load(args: &LoadArgs) -> Result<LoadReport, String> {
         requests_per_conn: args.requests,
         window: args.window,
         image_floats,
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         sent: sent.load(Ordering::Relaxed),
         ok_responses: ok,
         busy_responses: busy,

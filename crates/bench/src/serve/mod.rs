@@ -173,44 +173,50 @@ pub struct ServeStats {
 impl ServeStats {
     /// Requests seen (including malformed and shed ones).
     pub fn requests(&self) -> u64 {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.requests.load(Ordering::Relaxed)
     }
 
     /// Requests answered with a non-busy error response.
     pub fn failed(&self) -> u64 {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.failed.load(Ordering::Relaxed)
     }
 
     /// Requests shed by admission control (`busy: …` responses).
     pub fn busy(&self) -> u64 {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.busy.load(Ordering::Relaxed)
     }
 
     fn inc_requests(&self) {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
     fn inc_failed(&self) {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
     fn inc_busy(&self) {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.busy.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one executed forward pass.
     pub fn add_batch(&self, batch_size: usize, latency_us: f64) {
-        lock_batches(&self.batches).push((batch_size, latency_us));
+        lock_batches(&self.batches, "serve.batches").push((batch_size, latency_us));
     }
 
     /// Forward passes executed so far.
     pub fn batch_count(&self) -> u64 {
-        lock_batches(&self.batches).len() as u64
+        lock_batches(&self.batches, "serve.batches").len() as u64
     }
 
     /// Requests that went through a forward pass.
     pub fn served(&self) -> u64 {
-        lock_batches(&self.batches)
+        lock_batches(&self.batches, "serve.batches")
             .iter()
             .map(|&(n, _)| n as u64)
             .sum()
@@ -227,7 +233,7 @@ impl ServeStats {
         models: usize,
         wall_secs: f64,
     ) -> ServeReport {
-        let batches = lock_batches(&self.batches).clone();
+        let batches = lock_batches(&self.batches, "serve.batches").clone();
         let served: u64 = batches.iter().map(|&(n, _)| n as u64).sum();
         let lat: Vec<f64> = batches.iter().map(|&(_, us)| us).collect();
         ServeReport {
@@ -258,11 +264,15 @@ impl ServeStats {
 
 /// Poison-tolerant batch-list lock: holders only push, so a panicked
 /// holder cannot leave the Vec inconsistent.
-fn lock_batches(m: &Mutex<Vec<(usize, f64)>>) -> std::sync::MutexGuard<'_, Vec<(usize, f64)>> {
-    match m.lock() {
+fn lock_batches<'m>(
+    m: &'m Mutex<Vec<(usize, f64)>>,
+    name: &'static str,
+) -> cdcl_obs::lockhook::Witnessed<std::sync::MutexGuard<'m, Vec<(usize, f64)>>> {
+    let guard = match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    cdcl_obs::lockhook::witness_acquired(guard, name)
 }
 
 /// Parsed `cdcl-serve` command line.
@@ -984,13 +994,16 @@ pub fn run_tcp(
         for _ in 0..workers {
             let (listener, stop, accepted) = (&listener, &stop, &accepted);
             s.spawn(move || loop {
+                // ordering: flag — stop latch; pairs with the Release store below, and a late accept is harmless.
                 if stop.load(Ordering::Acquire) {
                     break;
                 }
                 match listener.accept() {
                     Ok((conn, _)) => {
+                        // ordering: flag — admission count gating the stop latch; AcqRel orders it with the latch store.
                         let n = accepted.fetch_add(1, Ordering::AcqRel) + 1;
                         if args.conns > 0 && n >= args.conns {
+                            // ordering: flag — stop latch publication; pairs with the Acquire load above.
                             stop.store(true, Ordering::Release);
                         }
                         if args.conns > 0 && n > args.conns {

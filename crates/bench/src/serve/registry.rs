@@ -24,18 +24,26 @@ pub const DEFAULT_MODEL: &str = "default";
 
 /// Poison-tolerant read lock: a panicked holder cannot half-update an
 /// `Arc` swap or a push-only Vec, so recovering the guard is sound.
-fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    match l.read() {
+fn read_lock<'l, T>(
+    l: &'l RwLock<T>,
+    name: &'static str,
+) -> cdcl_obs::lockhook::Witnessed<RwLockReadGuard<'l, T>> {
+    let guard = match l.read() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    cdcl_obs::lockhook::witness_acquired(guard, name)
 }
 
-fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    match l.write() {
+fn write_lock<'l, T>(
+    l: &'l RwLock<T>,
+    name: &'static str,
+) -> cdcl_obs::lockhook::Witnessed<RwLockWriteGuard<'l, T>> {
+    let guard = match l.write() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    cdcl_obs::lockhook::witness_acquired(guard, name)
 }
 
 /// Model ids become metric label values and RELOAD verb operands, so they
@@ -105,13 +113,13 @@ impl ModelSlot {
     /// The currently served version — an `Arc` clone under a read lock, so
     /// a concurrent `RELOAD` never invalidates the returned model.
     pub fn current(&self) -> Arc<LoadedModel> {
-        read_lock(&self.current).clone()
+        read_lock(&self.current, "registry.current").clone()
     }
 
     /// Atomically replaces the served version. In-flight requests keep
     /// their `Arc` to the old version and complete on it.
     fn swap(&self, next: Arc<LoadedModel>) {
-        *write_lock(&self.current) = next;
+        *write_lock(&self.current, "registry.current") = next;
     }
 }
 
@@ -189,7 +197,7 @@ impl SnapshotRegistry {
                     admission: Arc::new(Admission::new(self.max_inflight)),
                     metrics: ModelMetrics::for_model(id),
                 });
-                write_lock(&self.models).push(slot.clone());
+                write_lock(&self.models, "registry.models").push(slot.clone());
                 Ok((slot, 1))
             }
         }
@@ -206,7 +214,10 @@ impl SnapshotRegistry {
     }
 
     fn find(&self, id: &str) -> Option<Arc<ModelSlot>> {
-        read_lock(&self.models).iter().find(|s| s.id == id).cloned()
+        read_lock(&self.models, "registry.models")
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
     }
 
     /// Resolves a request's model id. `None` routes to the sole model when
@@ -218,7 +229,7 @@ impl SnapshotRegistry {
                 .find(id)
                 .ok_or_else(|| format!("unknown model {id:?} (see MODELS)")),
             None => {
-                let models = read_lock(&self.models);
+                let models = read_lock(&self.models, "registry.models");
                 match models.len() {
                     0 => Err("no models loaded".to_string()),
                     1 => Ok(models[0].clone()),
@@ -232,7 +243,7 @@ impl SnapshotRegistry {
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        read_lock(&self.models).len()
+        read_lock(&self.models, "registry.models").len()
     }
 
     /// True when no model is registered.
@@ -243,13 +254,13 @@ impl SnapshotRegistry {
     /// The first-registered model (the `--snapshot`/first `--model` one):
     /// what the single-model bench report describes.
     pub fn primary(&self) -> Option<Arc<ModelSlot>> {
-        read_lock(&self.models).first().cloned()
+        read_lock(&self.models, "registry.models").first().cloned()
     }
 
     /// The `MODELS` verb payload: a JSON array of
     /// `{"model","version","tasks","classes","path","inflight"}`.
     pub fn models_json(&self) -> String {
-        let slots: Vec<Arc<ModelSlot>> = read_lock(&self.models).clone();
+        let slots = read_lock(&self.models, "registry.models");
         let rows: Vec<String> = slots
             .iter()
             .map(|slot| {
@@ -268,6 +279,7 @@ impl SnapshotRegistry {
                 )
             })
             .collect();
+        drop(slots);
         format!("[{}]", rows.join(","))
     }
 }

@@ -1,0 +1,95 @@
+//! Runtime lock-order witness cross-validation (DESIGN.md §14).
+//!
+//! Installs the `cdcl-check` recorder behind the `cdcl-obs` lock hook,
+//! drives the two blocking-sensitive subsystems the static analysis
+//! watches — the size-classed buffer pool and the serving snapshot
+//! registry — and then checks the contract both ways that matter:
+//!
+//! * the workload actually exercised the instrumented locks (otherwise
+//!   the validation below would pass vacuously), and
+//! * every (held → acquired) edge observed at runtime exists in the
+//!   static lock-order graph. A runtime edge the static pass cannot see
+//!   means the analyzer lost a guard scope or a call path.
+//!
+//! Kept as a single `#[test]` so the process-global recorder sees one
+//! deterministic workload rather than interleavings of parallel tests.
+
+use cdcl_bench::serve::registry::SnapshotRegistry;
+use cdcl_check::{lockorder, witness};
+use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+use std::path::Path;
+
+fn smoke_trainer() -> CdclTrainer {
+    let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+    let mut config = CdclConfig::smoke();
+    config.epochs = 1;
+    config.warmup_epochs = 1;
+    let mut trainer = CdclTrainer::new(config);
+    trainer.learn_task(&stream.tasks[0]);
+    trainer
+}
+
+#[test]
+fn runtime_lock_edges_exist_in_static_graph() {
+    witness::install();
+    witness::reset();
+
+    // --- Pool workload: take/give cycles through every wrapper path. ---
+    let pool = cdcl_tensor::pool::global();
+    let a = pool.take_uninit(1024);
+    let b = pool.take_zeroed(4096);
+    pool.give(a);
+    pool.give(b);
+    pool.clear();
+
+    // --- Registry workload: insert, swap, and the MODELS verb (which
+    // reads each slot's current version *under* the models read lock —
+    // the one real nested acquisition in the serving plane). ---
+    let registry = SnapshotRegistry::new(0);
+    registry
+        .insert_trainer("default", smoke_trainer(), None)
+        .expect("register model");
+    // Hold the Arc returned before the reload so the displaced version's
+    // last reference is not dropped under the registry's write guard.
+    let slot = registry.get(Some("default")).expect("slot exists");
+    let before_reload = slot.current();
+    let _json = registry.models_json();
+    let _primary = registry.primary();
+    assert_eq!(registry.len(), 1);
+    drop(before_reload);
+
+    // --- The workload exercised the instrumented locks. ---
+    let seen = witness::seen_locks();
+    for label in ["pool.classes", "registry.models", "registry.current"] {
+        assert!(
+            seen.contains(&label.to_string()),
+            "never saw {label}: {seen:?}"
+        );
+    }
+    let edges = witness::edges();
+    assert!(
+        edges.contains(&(
+            "registry.models".to_string(),
+            "registry.current".to_string()
+        )),
+        "models_json must nest current under models: {edges:?}"
+    );
+
+    // --- Cross-validation: runtime ⊆ static. ---
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = lockorder::analyze_workspace(root);
+    assert!(
+        !report.fns.is_empty(),
+        "static analysis saw no functions — wrong root?"
+    );
+    let missing = witness::missing_from_static(&report);
+    assert!(
+        missing.is_empty(),
+        "runtime lock edges missing from the static graph: {missing:?}"
+    );
+}

@@ -1,0 +1,455 @@
+//! Atomic-ordering contract audit (DESIGN.md §14).
+//!
+//! Every `Ordering::<level>` use site in library code must be covered by a
+//! *contract comment* declaring why that ordering is sufficient:
+//!
+//! ```text
+//! // ordering: stat — counters are telemetry only; no data is published
+//! self.hits.fetch_add(1, Ordering::Relaxed);
+//! ```
+//!
+//! The grammar is `// ordering: <category> — <free text>`, with four
+//! categories:
+//!
+//! * `stat` — pure statistics (counters, gauges); torn or stale reads only
+//!   skew a report. Any ordering is sound, `Relaxed` expected.
+//! * `flag` — an advisory state flag (enabled bits, stop signals, quota
+//!   counters) where a stale read is handled by the surrounding protocol
+//!   (typically a mutex or a re-check). Any ordering accepted.
+//! * `lazy-init` — idempotent racy initialisation: double-computation is
+//!   benign, so `Relaxed` is sound.
+//! * `publish` — the atomic *publishes non-atomic data* to another thread.
+//!   This is the one category with hard requirements: `Relaxed` is an
+//!   **error** (the classic store→load publication bug), as is a `store`
+//!   with `Acquire` or a `load` with `Release`.
+//!
+//! One comment covers the whole contiguous cluster of ordering-bearing
+//! statements below it — annotating all four lines of a stats block once
+//! is the intended style. An undocumented site is an error; the shared
+//! `lint-allow.txt` is the escape hatch of last resort.
+//!
+//! Sites are found on the token stream (`Ordering` `::` `<level>`), so
+//! `use` imports, `cmp::Ordering::Less`, and mentions inside strings or
+//! comments can never trip the audit, and `#[cfg(test)]` items are
+//! excluded by the same token-tree regions as every other pass.
+
+use crate::lexer::{lex, line_in_regions, test_line_regions, Tok, TokKind};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// The five atomic memory orderings.
+const LEVELS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The contract categories, in documentation order.
+pub const CATEGORIES: [&str; 4] = ["stat", "flag", "lazy-init", "publish"];
+
+/// Atomic methods whose ordering argument we classify as store-side,
+/// load-side, or read-modify-write.
+const ATOMIC_METHODS: [&str; 11] = [
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+    "load",
+    "store",
+    "swap",
+];
+
+/// One `Ordering::<level>` use site.
+#[derive(Debug)]
+struct Site {
+    line: usize,
+    level: String,
+    /// Nearest atomic method called earlier in the same statement.
+    method: Option<String>,
+}
+
+/// A statement containing at least one ordering site.
+#[derive(Debug)]
+struct Stmt {
+    start_line: usize,
+    end_line: usize,
+    sites: Vec<Site>,
+}
+
+/// Audits one file; returns findings for undocumented sites, unknown
+/// contract categories, and publication contracts with unsound levels.
+pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let all = lex(source);
+    let regions = test_line_regions(&all);
+
+    // Comment text per line (start line for multi-line block comments).
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    for t in &all {
+        if t.is_comment() {
+            comments.entry(t.line).or_default().push_str(&t.text);
+        }
+    }
+    // Lines bearing non-comment code (the upward walk stops at these).
+    let mut code_lines: BTreeMap<usize, ()> = BTreeMap::new();
+    let toks: Vec<&Tok> = all.iter().filter(|t| !t.is_comment()).collect();
+    for t in &toks {
+        code_lines.insert(t.line, ());
+    }
+
+    // Collect ordering-bearing statements.
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut cur_start = toks.first().map_or(1, |t| t.line);
+    let mut cur_sites: Vec<Site> = Vec::new();
+    let mut last_method: Option<String> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            if !cur_sites.is_empty() {
+                stmts.push(Stmt {
+                    start_line: cur_start,
+                    end_line: t.line,
+                    sites: std::mem::take(&mut cur_sites),
+                });
+            }
+            cur_start = toks.get(i + 1).map_or(t.line, |n| n.line);
+            last_method = None;
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident
+            && ATOMIC_METHODS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            last_method = Some(t.text.clone());
+        }
+        if t.is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| n.kind == TokKind::Ident && LEVELS.contains(&n.text.as_str()))
+        {
+            let lvl = toks[i + 3];
+            if !line_in_regions(&regions, lvl.line) {
+                cur_sites.push(Site {
+                    line: lvl.line,
+                    level: lvl.text.clone(),
+                    method: last_method.clone(),
+                });
+            }
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    if !cur_sites.is_empty() {
+        let end = toks.last().map_or(cur_start, |t| t.line);
+        stmts.push(Stmt {
+            start_line: cur_start,
+            end_line: end,
+            sites: cur_sites,
+        });
+    }
+
+    // Line → statement-start for every line of an ordering-bearing
+    // statement (the upward walk skips over sibling clusters).
+    let mut covered: BTreeMap<usize, usize> = BTreeMap::new();
+    for s in &stmts {
+        for l in s.start_line..=s.end_line {
+            covered.insert(l, s.start_line);
+        }
+    }
+
+    let src_lines: Vec<&str> = source.lines().collect();
+    let excerpt = |line: usize| -> String {
+        src_lines
+            .get(line.saturating_sub(1))
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+
+    let mut findings = Vec::new();
+    for s in &stmts {
+        let contract = find_contract(s, &comments, &code_lines, &covered);
+        for site in &s.sites {
+            let needle = format!("Ordering::{}", site.level);
+            match &contract {
+                None => findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: site.line,
+                    rule: "atomic-ordering",
+                    needle,
+                    excerpt: format!(
+                        "undocumented atomic ordering — add `// ordering: \
+                         <stat|flag|lazy-init|publish> — why` ({})",
+                        excerpt(site.line)
+                    ),
+                }),
+                Some(cat) if !CATEGORIES.contains(&cat.as_str()) => findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: site.line,
+                    rule: "atomic-ordering",
+                    needle,
+                    excerpt: format!(
+                        "unknown ordering-contract category `{cat}` \
+                         (expected stat|flag|lazy-init|publish)"
+                    ),
+                }),
+                Some(cat) if cat == "publish" => {
+                    if let Some(problem) = publish_problem(site) {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line: site.line,
+                            rule: "atomic-ordering",
+                            needle,
+                            excerpt: format!("{problem} ({})", excerpt(site.line)),
+                        });
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Why a `publish`-contract site is unsound, if it is.
+fn publish_problem(site: &Site) -> Option<String> {
+    if site.level == "Relaxed" {
+        return Some(
+            "`Relaxed` on a publication site — a Relaxed store→load pair \
+             publishes no non-atomic data; use Release (store) / Acquire (load)"
+                .to_string(),
+        );
+    }
+    match site.method.as_deref() {
+        Some("store") if site.level == "Acquire" => {
+            Some("`store(Acquire)` is invalid — publication stores need Release".to_string())
+        }
+        Some("load") if site.level == "Release" => {
+            Some("`load(Release)` is invalid — publication loads need Acquire".to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Resolves the contract covering statement `s`: a trailing comment on one
+/// of its own lines, or the nearest comment-only line walking upward —
+/// skipping sibling ordering-bearing statements so one comment covers a
+/// whole cluster. A blank line or unrelated code line ends the search.
+fn find_contract(
+    s: &Stmt,
+    comments: &BTreeMap<usize, String>,
+    code_lines: &BTreeMap<usize, ()>,
+    covered: &BTreeMap<usize, usize>,
+) -> Option<String> {
+    for l in s.start_line..=s.end_line {
+        if let Some(cat) = comments.get(&l).and_then(|c| parse_contract(c)) {
+            return Some(cat);
+        }
+    }
+    let mut l = s.start_line.saturating_sub(1);
+    while l > 0 {
+        if let Some(&start) = covered.get(&l) {
+            if start <= l {
+                // A sibling cluster: a contract may trail on its lines.
+                for cl in start..=l {
+                    if let Some(cat) = comments.get(&cl).and_then(|c| parse_contract(c)) {
+                        return Some(cat);
+                    }
+                }
+                l = start.saturating_sub(1);
+                continue;
+            }
+        }
+        match comments.get(&l) {
+            Some(c) if !code_lines.contains_key(&l) => {
+                if let Some(cat) = parse_contract(c) {
+                    return Some(cat);
+                }
+                l -= 1;
+            }
+            // Code line without a contract, or a blank line: stop.
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Extracts the category from a contract comment, if present:
+/// `// ordering: stat — …` → `stat`.
+fn parse_contract(comment: &str) -> Option<String> {
+    let rest = comment.split("ordering:").nth(1)?;
+    let cat: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .collect();
+    if cat.is_empty() {
+        None
+    } else {
+        Some(cat)
+    }
+}
+
+/// Audits every `.rs` file under `crates/*/src`.
+pub fn audit_workspace(root: &std::path::Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for path in crate::collect_rs_files(root) {
+        let rel = crate::rel_path(root, &path);
+        if let Ok(src) = std::fs::read_to_string(&path) {
+            findings.extend(audit_source(&rel, &src));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit(src: &str) -> Vec<Finding> {
+        audit_source("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn undocumented_site_is_flagged() {
+        let src = "fn f(x: &AtomicU64) -> u64 { x.load(Ordering::Relaxed) }";
+        let f = audit(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "atomic-ordering");
+        assert!(f[0].excerpt.contains("undocumented"));
+    }
+
+    #[test]
+    fn trailing_and_preceding_contracts_cover() {
+        let trailing =
+            "fn f(x: &AtomicU64) { x.store(0, Ordering::Relaxed); // ordering: stat — counter\n}";
+        assert!(audit(trailing).is_empty());
+        let preceding = "
+            fn f(x: &AtomicU64) {
+                // ordering: stat — counter only
+                x.store(0, Ordering::Relaxed);
+            }
+        ";
+        assert!(audit(preceding).is_empty());
+    }
+
+    #[test]
+    fn one_comment_covers_a_cluster() {
+        let src = "
+            fn f(s: &S) {
+                // ordering: stat — all four are report-only counters
+                s.hits.store(0, Ordering::Relaxed);
+                s.misses.store(0, Ordering::Relaxed);
+                s.alloc
+                    .fetch_add(1, Ordering::Relaxed);
+                s.resident.store(0, Ordering::Relaxed);
+            }
+        ";
+        assert!(audit(src).is_empty(), "{:?}", audit(src));
+    }
+
+    #[test]
+    fn blank_line_breaks_the_cluster() {
+        let src = "
+            fn f(s: &S) {
+                // ordering: stat — covers only the adjacent statement
+                s.hits.store(0, Ordering::Relaxed);
+
+                s.other.store(0, Ordering::Relaxed);
+            }
+        ";
+        let f = audit(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn relaxed_publication_is_an_error() {
+        let src = "
+            fn f(x: &AtomicPtr<T>) {
+                // ordering: publish — hands the buffer to the reader
+                x.store(p, Ordering::Relaxed);
+            }
+        ";
+        let f = audit(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].excerpt.contains("Relaxed"), "{f:?}");
+        // Release on the same contract is sound.
+        let ok = "
+            fn f(x: &AtomicPtr<T>) {
+                // ordering: publish — hands the buffer to the reader
+                x.store(p, Ordering::Release);
+            }
+        ";
+        assert!(audit(ok).is_empty());
+    }
+
+    #[test]
+    fn inverted_publish_levels_are_errors() {
+        let store = "
+            // ordering: publish — x
+            fn f(x: &AtomicU64) { x.store(1, Ordering::Acquire); }
+        ";
+        // (contract inside the fn, store side)
+        let src = "
+            fn f(x: &AtomicU64) {
+                // ordering: publish — x
+                x.store(1, Ordering::Acquire);
+            }
+        ";
+        assert_eq!(audit(src).len(), 1);
+        let load = "
+            fn f(x: &AtomicU64) {
+                // ordering: publish — x
+                let v = x.load(Ordering::Release);
+            }
+        ";
+        assert_eq!(audit(load).len(), 1);
+        let _ = store;
+    }
+
+    #[test]
+    fn unknown_category_is_an_error() {
+        let src = "
+            fn f(x: &AtomicU64) {
+                // ordering: because-i-said-so
+                x.store(1, Ordering::Relaxed);
+            }
+        ";
+        let f = audit(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].excerpt.contains("unknown"));
+    }
+
+    #[test]
+    fn imports_cmp_strings_and_tests_do_not_trip() {
+        let src = "
+            use std::sync::atomic::{AtomicU64, Ordering};
+            fn f(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }
+            fn g() -> &'static str { \"Ordering::Relaxed\" }
+            // Ordering::Relaxed mentioned in a comment
+            #[cfg(test)]
+            mod tests {
+                fn t(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }
+            }
+        ";
+        assert!(audit(src).is_empty(), "{:?}", audit(src));
+    }
+
+    #[test]
+    fn cas_pair_shares_one_statement_and_contract() {
+        let src = "
+            fn f(x: &AtomicU64) {
+                // ordering: stat — float add loop, value is report-only
+                while x
+                    .compare_exchange_weak(c, n, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {}
+            }
+        ";
+        assert!(audit(src).is_empty(), "{:?}", audit(src));
+    }
+}

@@ -1,0 +1,189 @@
+//! `cdcl-analyze` — the concurrency-soundness passes (DESIGN.md §14).
+//!
+//! Usage (from anywhere in the workspace):
+//!
+//! ```text
+//! cargo run -p cdcl-check --bin cdcl-analyze [-- --json | --self-test]
+//! ```
+//!
+//! Runs the token-level lock-order/deadlock analysis and the
+//! atomic-ordering audit over every `.rs` file under `crates/*/src` and
+//! exits non-zero on any finding. `--json` prints findings as one JSON
+//! object per line (same shape as `cdcl-lint --json`). `--graph` dumps
+//! the lock-order edge list instead of auditing. `--self-test`
+//! instead feeds the planted violations under `crates/check/tests/fixtures/`
+//! through both passes and fails unless every plant trips and the clean
+//! fixture stays clean — the CI gate that proves the analyzer can still
+//! see the bugs it exists to catch.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cdcl_check::{atomics, lockorder, Finding};
+
+fn run_workspace(root: &Path, json: bool, graph: bool) -> ExitCode {
+    let report = lockorder::analyze_workspace(root);
+    if graph {
+        for e in &report.edges {
+            println!(
+                "{} -> {}  ({}:{} via {})",
+                e.from, e.to, e.file, e.line, e.via
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut findings = report.findings.clone();
+    findings.extend(atomics::audit_workspace(root));
+    findings.sort();
+
+    for f in &findings {
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
+    }
+    if !json {
+        println!(
+            "cdcl-analyze: {} finding(s); lock graph: {} fn(s), {} edge(s)",
+            findings.len(),
+            report.fns.len(),
+            report.edges.len()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One self-test case: a fixture file fed to a pass under a fake
+/// workspace-relative path, with an expectation on what it reports.
+struct Case {
+    fixture: &'static str,
+    /// Path the analyzer believes the file lives at (scope rules key off
+    /// this, e.g. guard-blocking only fires inside its watched dirs).
+    mapped: &'static str,
+    /// Rule name that must appear (None = must be completely clean).
+    expect_rule: Option<&'static str>,
+}
+
+const CASES: [Case; 5] = [
+    Case {
+        fixture: "lock_cycle.rs",
+        mapped: "crates/fixture/src/lock_cycle.rs",
+        expect_rule: Some("lock-order"),
+    },
+    Case {
+        fixture: "guard_blocking.rs",
+        mapped: "crates/bench/src/serve/fixture_guard_blocking.rs",
+        expect_rule: Some("guard-blocking"),
+    },
+    Case {
+        fixture: "atomic_undocumented.rs",
+        mapped: "crates/fixture/src/atomic_undocumented.rs",
+        expect_rule: Some("atomic-ordering"),
+    },
+    Case {
+        fixture: "atomic_relaxed_publish.rs",
+        mapped: "crates/fixture/src/atomic_relaxed_publish.rs",
+        expect_rule: Some("atomic-ordering"),
+    },
+    Case {
+        fixture: "clean.rs",
+        mapped: "crates/bench/src/serve/fixture_clean.rs",
+        expect_rule: None,
+    },
+];
+
+fn fixture_findings(mapped: &str, source: &str) -> Vec<Finding> {
+    let report = lockorder::analyze_sources(&[(mapped.to_string(), source.to_string())]);
+    let mut findings = report.findings;
+    findings.extend(atomics::audit_source(mapped, source));
+    findings
+}
+
+fn run_self_test(root: &Path) -> ExitCode {
+    let dir = root.join("crates/check/tests/fixtures");
+    let mut failures = 0usize;
+    for case in &CASES {
+        let path = dir.join(case.fixture);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("self-test: cannot read {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let findings = fixture_findings(case.mapped, &source);
+        match case.expect_rule {
+            Some(rule) => {
+                if findings.iter().any(|f| f.rule == rule) {
+                    println!("self-test: {} trips {rule} — ok", case.fixture);
+                } else {
+                    eprintln!(
+                        "self-test: {} did NOT trip {rule}; findings: {:?}",
+                        case.fixture,
+                        findings.iter().map(|f| &f.rule).collect::<Vec<_>>()
+                    );
+                    failures += 1;
+                }
+            }
+            None => {
+                if findings.is_empty() {
+                    println!("self-test: {} stays clean — ok", case.fixture);
+                } else {
+                    eprintln!(
+                        "self-test: clean fixture {} produced findings:",
+                        case.fixture
+                    );
+                    for f in &findings {
+                        eprintln!("  {f}");
+                    }
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("cdcl-analyze --self-test: all {} cases pass", CASES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cdcl-analyze --self-test: {failures} case(s) failed");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    // CARGO_MANIFEST_DIR = crates/check; the workspace root is two up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let Some(root) = manifest.parent().and_then(Path::parent) else {
+        eprintln!("cdcl-analyze: cannot locate workspace root from {manifest:?}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut json = false;
+    let mut self_test = false;
+    let mut graph = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-test" => self_test = true,
+            "--graph" => graph = true,
+            other => {
+                eprintln!(
+                    "cdcl-analyze: unknown flag {other} (expected --json, --graph or --self-test)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if self_test {
+        run_self_test(root)
+    } else {
+        run_workspace(root, json, graph)
+    }
+}

@@ -3,13 +3,17 @@
 //! Usage (from anywhere in the workspace):
 //!
 //! ```text
-//! cargo run -p cdcl-check --bin cdcl-lint
+//! cargo run -p cdcl-check --bin cdcl-lint [-- --json | --allow-stale]
 //! ```
 //!
 //! Scans every `.rs` file under `crates/*/src`, prints each violation with
 //! file/line/rule provenance, and exits non-zero if any violation is not
-//! vetted by `lint-allow.txt` at the workspace root. Run by the CI
-//! `static-analysis` job.
+//! vetted by `lint-allow.txt` at the workspace root — or if an allowlist
+//! entry matched nothing (stale entries hide future regressions behind
+//! dead vetting; delete them, or pass `--allow-stale` while mid-refactor).
+//! `--json` emits one JSON object per finding
+//! (`{"file","line","rule","needle","excerpt"}`) for the CI artifact.
+//! Run by the CI `static-analysis` job.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -24,6 +28,19 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    let mut json = false;
+    let mut allow_stale = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--allow-stale" => allow_stale = true,
+            other => {
+                eprintln!("cdcl-lint: unknown flag {other} (expected --json or --allow-stale)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let allow_path = root.join("lint-allow.txt");
     let allow = match std::fs::read_to_string(&allow_path) {
         Ok(text) => Allowlist::parse(&text),
@@ -33,17 +50,25 @@ fn main() -> ExitCode {
     let (violations, allowed) = lint_workspace(root, &allow);
 
     for f in &violations {
-        println!("{f}");
+        if json {
+            println!("{}", f.to_json());
+        } else {
+            println!("{f}");
+        }
     }
-    for stale in allow.unused(&allowed) {
-        println!("warning: stale lint-allow entry (matched nothing): {stale}");
+    let stale = allow.unused(&allowed);
+    for entry in &stale {
+        eprintln!("stale lint-allow entry (matched nothing): {entry}");
     }
-    println!(
-        "cdcl-lint: {} violation(s), {} allowlisted",
-        violations.len(),
-        allowed.len()
-    );
-    if violations.is_empty() {
+    if !json {
+        println!(
+            "cdcl-lint: {} violation(s), {} allowlisted, {} stale allow entr(ies)",
+            violations.len(),
+            allowed.len(),
+            stale.len()
+        );
+    }
+    if violations.is_empty() && (stale.is_empty() || allow_stale) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

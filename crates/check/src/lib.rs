@@ -39,13 +39,23 @@
 //! Before pattern matching, each file is *masked*: the contents of string
 //! literals, char literals, and comments are blanked out (newlines kept), so
 //! a pattern inside a doc comment or an error message never trips a rule.
-//! `#[cfg(test)]` item bodies are excluded by brace tracking. The
+//! `#[cfg(test)]` items are excluded by real token-tree tracking. The
 //! phase-spans rule is the one exception — span names live inside string
 //! literals, so it scans the raw text.
 //!
-//! The engine is dependency-free (std only) and wholly line/char-oriented —
-//! it is not a Rust parser, and the patterns are chosen so the approximation
-//! errs on the side of flagging.
+//! Since PR 8 the engine is token-based: every file is lexed once by
+//! [`lexer`] (zero-dep, handles raw strings, nested block comments, and the
+//! char/lifetime ambiguity) and masking, test regions, and the deeper
+//! concurrency passes — [`lockorder`] (lock-order graph, deadlock cycles,
+//! guards across blocking calls), [`atomics`] (ordering-contract audit),
+//! and the [`witness`] runtime recorder — all read the same token stream.
+//! It is still not a Rust parser, and the approximations are chosen to err
+//! on the side of flagging.
+
+pub mod atomics;
+pub mod lexer;
+pub mod lockorder;
+pub mod witness;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -67,7 +77,7 @@ pub const REQUIRED_SPANS: [&str; 12] = [
 ];
 
 /// One rule violation at a specific line of a specific file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -88,6 +98,38 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: [{}] `{}` — {}",
             self.file, self.line, self.rule, self.needle, self.excerpt
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the check crate is dependency-free by
+/// design, so it cannot use the vendored serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// One-line JSON object for `--json` output modes (and CI artifacts).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"needle\":\"{}\",\"excerpt\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            json_escape(self.rule),
+            json_escape(&self.needle),
+            json_escape(&self.excerpt)
         )
     }
 }
@@ -151,174 +193,12 @@ impl Allowlist {
 // ----------------------------------------------------------------------
 
 /// Replaces the *contents* of string literals, char literals, and comments
-/// with spaces (newlines kept), so byte offsets and line numbers survive but
-/// text inside them can never match a rule pattern.
+/// with spaces (newlines kept), so char offsets and line numbers survive but
+/// text inside them can never match a rule pattern. Implemented on the
+/// token stream from [`lexer`] — one lex serves masking, test-region
+/// exclusion, and the concurrency passes alike.
 pub fn mask_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let mut out: Vec<char> = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < b.len() {
-        let c = b[i];
-        // Line comment (also doc comments).
-        if c == '/' && b.get(i + 1) == Some(&'/') {
-            while i < b.len() && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment, possibly nested.
-        if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 0;
-            while i < b.len() {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string r"..." / r#"..."# (optionally byte br...). Raw
-        // identifiers (r#fn) fall through: no quote after the hashes.
-        if c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')) {
-            let start = if c == 'b' { i + 2 } else { i + 1 };
-            let mut j = start;
-            while b.get(j) == Some(&'#') {
-                j += 1;
-            }
-            if b.get(j) == Some(&'"') {
-                let hashes = j - start;
-                out.extend(&b[i..=j]);
-                i = j + 1;
-                // Scan to `"` followed by `hashes` times `#`.
-                'raw: while i < b.len() {
-                    if b[i] == '"' && b[i + 1..].iter().take(hashes).all(|&h| h == '#') {
-                        out.push('"');
-                        out.extend(std::iter::repeat('#').take(hashes));
-                        i += 1 + hashes;
-                        break 'raw;
-                    }
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary string literal (also byte string b"...").
-        if c == '"' {
-            out.push('"');
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' && i + 1 < b.len() {
-                    // `\<newline>` is a line continuation: keep the newline
-                    // so line numbers stay aligned.
-                    out.push(' ');
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push('"');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: 'x' or '\x' is a literal; 'ident is a
-        // lifetime and passes through unmasked.
-        if c == '\'' {
-            let is_char = match b.get(i + 1) {
-                Some('\\') => true,
-                Some(_) => {
-                    // 'a' has the closing quote right after one char;
-                    // lifetimes ('a, 'static) do not.
-                    b.get(i + 2) == Some(&'\'')
-                }
-                None => false,
-            };
-            if is_char {
-                out.push('\'');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == '\\' && i + 1 < b.len() {
-                        out.push(' ');
-                        out.push(blank(b[i + 1]));
-                        i += 2;
-                    } else if b[i] == '\'' {
-                        out.push('\'');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(' ');
-                        i += 1;
-                    }
-                }
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out.into_iter().collect()
-}
-
-/// Char ranges (byte offsets into the *masked* text's char vec) covered by
-/// `#[cfg(test)]` items, found by brace tracking from each attribute.
-fn test_regions(masked: &str) -> Vec<(usize, usize)> {
-    const ATTR: &str = "#[cfg(test)]";
-    let chars: Vec<char> = masked.chars().collect();
-    let mut regions = Vec::new();
-    let mut search_from = 0;
-    while let Some(rel) = masked
-        .get(char_to_byte(masked, search_from)..)
-        .and_then(|s| s.find(ATTR))
-    {
-        let attr_byte = char_to_byte(masked, search_from) + rel;
-        let attr_char = masked[..attr_byte].chars().count();
-        // Next `{` opens the annotated item (mod/fn); skip to its match.
-        let mut i = attr_char + ATTR.chars().count();
-        while i < chars.len() && chars[i] != '{' {
-            i += 1;
-        }
-        let open = i;
-        let mut depth = 0;
-        while i < chars.len() {
-            match chars[i] {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        regions.push((open, i));
-        search_from = i.max(attr_char + 1);
-    }
-    regions
-}
-
-fn char_to_byte(s: &str, char_idx: usize) -> usize {
-    s.char_indices().nth(char_idx).map_or(s.len(), |(b, _)| b)
+    lexer::mask(src)
 }
 
 // ----------------------------------------------------------------------
@@ -460,18 +340,13 @@ fn metric_line_findings(masked_line: &str, raw_line: &str) -> Vec<String> {
 /// `#[cfg(test)]` regions. `rel_path` is the workspace-relative path with
 /// forward slashes.
 pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
-    let masked = mask_source(source);
-    let regions = test_regions(&masked);
+    let toks = lexer::lex(source);
+    let masked = lexer::mask_with(source, &toks);
+    let regions = lexer::test_line_regions(&toks);
     let mut findings = Vec::new();
 
-    let mut char_pos = 0usize;
     for (lineno, line) in masked.lines().enumerate() {
-        let line_start = char_pos;
-        char_pos += line.chars().count() + 1;
-        let in_test = regions
-            .iter()
-            .any(|&(a, b)| line_start >= a && line_start <= b);
-        if in_test {
+        if lexer::line_in_regions(&regions, lineno + 1) {
             continue;
         }
         let mut push = |rule: &'static str, needle: &str| {

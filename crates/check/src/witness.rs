@@ -1,0 +1,140 @@
+//! Runtime lock-order witness (DESIGN.md §14).
+//!
+//! The static [`crate::lockorder`] graph is an over-approximation built
+//! from tokens; this module records what *actually* happens when the test
+//! suites run, through the [`cdcl_obs::lockhook`] hook that the
+//! instrumented lock wrappers (pool, serve registry, batch stats) call
+//! with their canonical labels. The cross-validation contract is
+//! one-directional:
+//!
+//! > every (held → acquired) edge observed at runtime must exist in the
+//! > static graph.
+//!
+//! A runtime edge the static pass cannot see means the analyzer lost
+//! track of a guard scope or a call path — exactly the regression this
+//! witness exists to catch. (The converse is fine: the static graph may
+//! contain edges no test exercises.)
+//!
+//! Debug/test builds only in practice: nothing installs the hook outside
+//! tests, so production runs pay one atomic load per acquisition.
+
+use cdcl_obs::lockhook::{self, LockEvent};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+
+/// Observed (held, acquired) label pairs, process-global.
+static EDGES: Mutex<BTreeSet<(String, String)>> = Mutex::new(BTreeSet::new());
+/// Every label ever seen, so tests can assert the workload actually
+/// exercised the locks it meant to.
+static SEEN: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+
+thread_local! {
+    /// Per-thread stack of currently held lock labels.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lock_set<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The hook: on acquire, record an edge from every label this thread
+/// already holds; on release, pop the newest matching label.
+fn record(ev: LockEvent, name: &'static str) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        match ev {
+            LockEvent::Acquired => {
+                {
+                    let mut edges = lock_set(&EDGES);
+                    for &prior in held.iter() {
+                        edges.insert((prior.to_string(), name.to_string()));
+                    }
+                }
+                lock_set(&SEEN).insert(name.to_string());
+                held.push(name);
+            }
+            LockEvent::Released => {
+                if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                    held.remove(pos);
+                }
+            }
+        }
+    });
+}
+
+/// Installs the recorder as the process-global lock hook. Idempotent.
+pub fn install() {
+    let _ = lockhook::install(record);
+}
+
+/// Clears recorded edges and labels (start of a witnessed workload).
+pub fn reset() {
+    lock_set(&EDGES).clear();
+    lock_set(&SEEN).clear();
+}
+
+/// The observed edge set.
+pub fn edges() -> Vec<(String, String)> {
+    lock_set(&EDGES).iter().cloned().collect()
+}
+
+/// Every lock label observed so far.
+pub fn seen_locks() -> Vec<String> {
+    lock_set(&SEEN).iter().cloned().collect()
+}
+
+/// Validates the observed edges against a static report: returns the
+/// runtime edges missing from the static graph (empty = validated).
+pub fn missing_from_static(report: &crate::lockorder::LockReport) -> Vec<(String, String)> {
+    edges()
+        .into_iter()
+        .filter(|(from, to)| !report.has_edge(from, to))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The hook is process-global, so this test serialises against any
+    // other witness user in the same binary via the EDGES mutex contents.
+    #[test]
+    fn records_nesting_edges_and_validates() {
+        install();
+        reset();
+        record(LockEvent::Acquired, "outer");
+        record(LockEvent::Acquired, "inner");
+        record(LockEvent::Released, "inner");
+        record(LockEvent::Released, "outer");
+        // Non-nested acquisition: no edge.
+        record(LockEvent::Acquired, "solo");
+        record(LockEvent::Released, "solo");
+        let e = edges();
+        assert!(
+            e.contains(&("outer".to_string(), "inner".to_string())),
+            "{e:?}"
+        );
+        assert_eq!(e.len(), 1, "{e:?}");
+        assert!(seen_locks().contains(&"solo".to_string()));
+
+        let report = crate::lockorder::analyze_sources(&[(
+            "crates/x/src/lib.rs".to_string(),
+            "fn f(s: &S) { let a = s.outer.lock(); let b = s.inner.lock(); }".to_string(),
+        )]);
+        assert!(missing_from_static(&report).is_empty());
+        reset();
+        record(LockEvent::Acquired, "inner");
+        record(LockEvent::Acquired, "outer");
+        record(LockEvent::Released, "outer");
+        record(LockEvent::Released, "inner");
+        assert_eq!(
+            missing_from_static(&report),
+            [("inner".to_string(), "outer".to_string())]
+        );
+        reset();
+    }
+}

@@ -1,0 +1,11 @@
+// Planted violation for the atomic-ordering pass: a site whose contract
+// declares the `publish` category but uses Relaxed, which cannot order the
+// published data with the flag. Never compiled.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub static PTR: AtomicUsize = AtomicUsize::new(0);
+
+pub fn publish(p: usize) {
+    // ordering: publish — hands the initialised block to readers.
+    PTR.store(p, Ordering::Relaxed);
+}

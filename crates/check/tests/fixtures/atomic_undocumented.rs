@@ -1,0 +1,9 @@
+// Planted violation for the atomic-ordering pass: an Ordering site with
+// no `// ordering:` contract comment and no allowlist entry. Never compiled.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    COUNT.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,27 @@
+// Negative fixture: consistent lock order, no blocking calls under guards,
+// and a documented atomic — both passes must report nothing here. Never
+// compiled.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub struct S {
+    pub outer: Mutex<u32>,
+    pub inner: Mutex<u32>,
+}
+
+pub fn nested_consistent(s: &S) {
+    let go = s.outer.lock();
+    let gi = s.inner.lock();
+    // ordering: stat — monotonic counter; readers tolerate staleness.
+    HITS.fetch_add(1, Ordering::Relaxed);
+    let _ = (go, gi);
+}
+
+pub fn reader(s: &S) {
+    let go = s.outer.lock();
+    drop(go);
+    let gi = s.inner.lock();
+    let _ = gi;
+}

@@ -1,0 +1,13 @@
+// Planted violation for the guard-blocking pass: a socket read while a
+// mutex guard is live, inside a blocking-sensitive scope (the self-test
+// maps this file to a crates/bench/src/serve/ path). Never compiled.
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u8>>, conn: &mut TcpStream) {
+    let g = m.lock();
+    let mut buf = [0u8; 16];
+    let _ = conn.read(&mut buf);
+    let _ = g;
+}

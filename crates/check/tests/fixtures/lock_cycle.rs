@@ -1,0 +1,22 @@
+// Planted violation for the lock-order pass: two functions acquire the
+// same pair of mutexes in opposite orders, producing the cycle a -> b -> a.
+// This file is never compiled; cdcl-analyze --self-test feeds it to the
+// analyzer and asserts the cycle is reported.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn ab(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    let _ = (ga, gb);
+}
+
+pub fn ba(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    let _ = (ga, gb);
+}

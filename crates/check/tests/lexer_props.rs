@@ -1,0 +1,158 @@
+//! Property-based tests for the token-level lexer behind the lint and
+//! analysis passes (DESIGN.md §14).
+//!
+//! The invariants the rest of the engine leans on:
+//!
+//! 1. `lex` never panics, whatever bytes it is fed (the linter must
+//!    survive any file in the tree, including broken work-in-progress).
+//! 2. `mask` is shape-preserving: same char count, newlines in the same
+//!    places — line/column provenance computed on the masked text maps
+//!    1:1 onto the original.
+//! 3. Tokens tile: spans are in order, non-overlapping, within bounds.
+
+use cdcl_check::lexer::{lex, mask, TokKind};
+use proptest::prelude::*;
+
+/// Fragments biased toward the constructs the lexer special-cases, so
+/// random concatenations routinely produce raw strings, nested comments,
+/// lifetimes next to char literals, and unterminated variants of each.
+const FRAGMENTS: [&str; 16] = [
+    "fn f() { }",
+    "// line comment\n",
+    "/* block /* nested */ still */",
+    "/* unterminated",
+    "let s = \"str with // not a comment\";",
+    "let r = r#\"raw \" quote\"#;",
+    "let r2 = r##\"sharp \"# inside\"##;",
+    "let b = b\"bytes\";",
+    "let c = 'x';",
+    "let e = '\\n';",
+    "fn g<'a>(x: &'a str) -> &'a str { x }",
+    "let n = 0x1f_u64 + 1.5e-3;",
+    "\"unterminated string",
+    "#[cfg(test)]\nmod t { fn h() {} }",
+    "\n",
+    "'",
+];
+
+/// A soup of fragments plus raw printable-ASCII noise.
+fn source_from(picks: Vec<usize>, noise: Vec<u8>) -> String {
+    let mut s = String::new();
+    for (i, p) in picks.iter().enumerate() {
+        s.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+        if let Some(b) = noise.get(i) {
+            s.push((32 + (b % 95)) as char); // printable ASCII
+        }
+    }
+    s
+}
+
+proptest! {
+    /// Invariants 1 + 3: lexing arbitrary fragment soups never panics and
+    /// the token spans tile the input in order without overlap.
+    #[test]
+    fn lex_total_and_spans_ordered(
+        picks in prop::collection::vec(0usize..1000, 0..12),
+        noise in prop::collection::vec(0u8..255, 0..12),
+    ) {
+        let src = source_from(picks, noise);
+        let toks = lex(&src);
+        let n_chars = src.chars().count();
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start <= t.end, "span inverted");
+            prop_assert!(t.end <= n_chars, "span out of bounds");
+            prop_assert!(t.start >= prev_end, "overlapping tokens");
+            prev_end = t.end;
+        }
+    }
+
+    /// Invariant 2: masking is shape-preserving — identical char count and
+    /// identical newline positions, so (line, column) survives masking.
+    #[test]
+    fn mask_preserves_shape(
+        picks in prop::collection::vec(0usize..1000, 0..12),
+        noise in prop::collection::vec(0u8..255, 0..12),
+    ) {
+        let src = source_from(picks, noise);
+        let masked = mask(&src);
+        prop_assert_eq!(masked.chars().count(), src.chars().count());
+        let nl_src: Vec<usize> = src
+            .chars().enumerate().filter(|(_, c)| *c == '\n').map(|(i, _)| i).collect();
+        let nl_masked: Vec<usize> = masked
+            .chars().enumerate().filter(|(_, c)| *c == '\n').map(|(i, _)| i).collect();
+        prop_assert_eq!(nl_src, nl_masked);
+    }
+
+    /// Comment interiors never leak through the mask, wherever the comment
+    /// lands relative to surrounding code.
+    #[test]
+    fn comments_blanked(pre in 0usize..1000, post in 0usize..1000) {
+        let p = FRAGMENTS[pre % FRAGMENTS.len()];
+        let q = FRAGMENTS[post % FRAGMENTS.len()];
+        // A fragment ending inside an unterminated construct may swallow
+        // the comment opener legitimately; anchor on fragments that
+        // terminate cleanly.
+        if p.contains("unterminated") || p.ends_with('\'') {
+            return Ok(());
+        }
+        let src = format!("{p}\n/* SECRETWORD */ let x = 1; // SECRETWORD\n{q}");
+        let masked = mask(&src);
+        prop_assert!(!masked.contains("SECRETWORD"), "mask leaked: {masked:?}");
+        prop_assert!(masked.contains("let x = 1;"));
+    }
+}
+
+/// Deterministic spot-checks for the exact constructs the proptests only
+/// cover probabilistically.
+#[test]
+fn string_interiors_blanked_delimiters_kept() {
+    let masked = mask("let s = \"inner panic!\"; let c = 'q';");
+    assert!(!masked.contains("panic!"), "{masked:?}");
+    assert!(!masked.contains("inner"), "{masked:?}");
+    assert!(masked.contains('"'), "{masked:?}");
+    assert!(masked.contains("let s ="), "{masked:?}");
+}
+
+#[test]
+fn lifetime_vs_char_disambiguation() {
+    let toks = lex("fn f<'a>(x: &'a u8) { let c = 'a'; let d = '\\u{41}'; }");
+    let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+    let chars = toks.iter().filter(|t| t.kind == TokKind::CharLit).count();
+    assert_eq!(lifetimes, 2, "{toks:?}");
+    assert_eq!(chars, 2, "{toks:?}");
+}
+
+#[test]
+fn raw_string_hash_counting() {
+    // The `"#` inside must not close an `r##"` string.
+    let src = r####"let s = r##"contains "# inside"##; let after = 1;"####;
+    let toks = lex(src);
+    let raw: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::RawStr).collect();
+    assert_eq!(raw.len(), 1, "{toks:?}");
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn nested_block_comments_close_correctly() {
+    let toks = lex("/* a /* b */ c */ fn real() {}");
+    assert!(toks.iter().any(|t| t.is_ident("real")));
+    assert_eq!(
+        toks.iter()
+            .filter(|t| t.kind == TokKind::BlockComment)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn nested_cfg_test_modules_resolve_to_outermost_region() {
+    let src = "fn live() {}\n#[cfg(test)]\nmod outer {\n    fn a() {}\n    #[cfg(test)]\n    mod inner {\n        fn b() {}\n    }\n}\nfn also_live() {}\n";
+    let toks = lex(src);
+    let regions = cdcl_check::lexer::test_line_regions(&toks);
+    use cdcl_check::lexer::line_in_regions;
+    assert!(!line_in_regions(&regions, 1)); // fn live
+    assert!(line_in_regions(&regions, 4)); // fn a
+    assert!(line_in_regions(&regions, 7)); // fn b
+    assert!(!line_in_regions(&regions, 10)); // fn also_live
+}

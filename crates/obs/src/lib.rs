@@ -44,6 +44,7 @@
 //! stdin verb). See DESIGN.md §11 for the full grammar.
 
 pub mod hist;
+pub mod lockhook;
 
 use hist::BUCKET_COUNT;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -63,6 +64,9 @@ fn ensure_env_init() {
     ENV_INIT.call_once(|| {
         if let Ok(v) = std::env::var(METRICS_ENV) {
             if !v.is_empty() && v != "0" {
+                // ordering: flag — advisory enable bit; record sites only
+                // gate work on it, data consistency comes from the atomics
+                // themselves.
                 ENABLED.store(true, Ordering::Release);
             }
         }
@@ -74,10 +78,13 @@ fn ensure_env_init() {
 /// behind this, so a metrics-off run does no extra work at all.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: flag — a stale read merely delays the first recorded
+    // sample past an enable/disable flip; no data hangs off the bit.
     if ENABLED.load(Ordering::Relaxed) {
         return true;
     }
     ensure_env_init();
+    // ordering: flag — re-read after idempotent env resolution; same advisory bit.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -87,6 +94,7 @@ pub fn enabled() -> bool {
 /// per-process environment state out of the picture.
 pub fn set_enabled(on: bool) {
     ensure_env_init();
+    // ordering: flag — see `enabled`; Release is stronger than required.
     ENABLED.store(on, Ordering::Release);
 }
 
@@ -116,6 +124,8 @@ impl CounterCore {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: stat — monotone report-only counter; no memory is
+        // published through it.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -124,11 +134,14 @@ impl CounterCore {
     /// producers use [`CounterCore::add`].
     #[inline]
     pub fn store(&self, v: u64) {
+        // ordering: stat — collection-time mirror of an always-on counter.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Current count.
     pub fn get(&self) -> u64 {
+        // ordering: stat — exposition read; a torn-in-time snapshot only
+        // skews the report.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -143,11 +156,13 @@ impl GaugeCore {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: stat — last-write-wins gauge bits, report-only.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value (`0.0` before the first set).
     pub fn get(&self) -> f64 {
+        // ordering: stat — exposition read of the gauge bits.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -173,10 +188,13 @@ impl HistogramCore {
     /// Records one observation.
     #[inline]
     pub fn observe(&self, v: f64) {
+        // ordering: stat — bucket slots and the CAS'd sum are report-only
+        // aggregates; the loop retries on contention, it never publishes.
         self.buckets[hist::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
+            // ordering: stat — float-add retry loop on the same sum.
             match self.sum_bits.compare_exchange_weak(
                 cur,
                 next,
@@ -191,6 +209,7 @@ impl HistogramCore {
 
     /// Non-cumulative per-bucket counts.
     pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        // ordering: stat — exposition snapshot of the bucket slots.
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
@@ -201,6 +220,7 @@ impl HistogramCore {
 
     /// Sum of all observations.
     pub fn sum(&self) -> f64 {
+        // ordering: stat — exposition read of the accumulated sum.
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 

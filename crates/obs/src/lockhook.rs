@@ -1,0 +1,88 @@
+//! Lock-acquisition hook for the runtime lock-order witness
+//! (DESIGN.md §14).
+//!
+//! `cdcl-obs` is the workspace's leaf crate — everything above it (the
+//! tensor pool, the serve registry) can call in without a dependency
+//! cycle, so the *hook point* lives here while the recorder and the
+//! static-graph validation live in `cdcl-check::witness`.
+//!
+//! Cost when no hook is installed (every production run): one
+//! `OnceLock::get` — a single acquire load — per lock acquisition, and a
+//! boolean test per guard drop. Tests install a recorder with
+//! [`install`]; the hook is process-global and permanent once set, which
+//! is exactly what a test-run-wide witness wants.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+
+/// What happened to a witnessed lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockEvent {
+    Acquired,
+    Released,
+}
+
+/// The hook signature: event plus the lock's canonical label — the same
+/// `&'static str` the static lock-order pass reads from the call site.
+pub type LockHook = fn(LockEvent, &'static str);
+
+static HOOK: OnceLock<LockHook> = OnceLock::new();
+
+/// Installs the process-global hook. Returns `false` if one was already
+/// installed (the existing hook stays; installing the same recorder twice
+/// is the common, harmless case across tests in one binary).
+pub fn install(hook: LockHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+fn emit(ev: LockEvent, name: &'static str) {
+    if let Some(hook) = HOOK.get() {
+        hook(ev, name);
+    }
+}
+
+/// An RAII wrapper that reports `Acquired` when constructed through
+/// [`witness_acquired`] and `Released` when dropped, while deref-ing
+/// straight to the underlying guard's target so call sites read exactly
+/// like the bare guard (`*write_lock(&slot, "x") = next` still compiles).
+pub struct Witnessed<G> {
+    guard: G,
+    name: &'static str,
+    /// Snapshot of "was a hook installed at acquisition" so the release
+    /// event fires iff the acquire event did.
+    hooked: bool,
+}
+
+/// Wraps an already-acquired guard, emitting the `Acquired` event.
+pub fn witness_acquired<G>(guard: G, name: &'static str) -> Witnessed<G> {
+    let hooked = HOOK.get().is_some();
+    if hooked {
+        emit(LockEvent::Acquired, name);
+    }
+    Witnessed {
+        guard,
+        name,
+        hooked,
+    }
+}
+
+impl<G> Drop for Witnessed<G> {
+    fn drop(&mut self) {
+        if self.hooked {
+            emit(LockEvent::Released, self.name);
+        }
+    }
+}
+
+impl<G: Deref> Deref for Witnessed<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for Witnessed<G> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}

@@ -91,16 +91,21 @@ fn swap_sink(path: Option<&Path>) {
     if let Some(old) = sink.as_mut() {
         let _ = old.flush();
     }
+    // ordering: flag — generation bump; real synchronisation is the SINK
+    // mutex held around both the bump and every epoch re-check in `emit`.
     SINK_EPOCH.fetch_add(1, Ordering::Release);
     match path {
         Some(p) => {
             let file = File::create(p)
                 .unwrap_or_else(|e| panic!("cdcl-telemetry: cannot create trace file {p:?}: {e}"));
             *sink = Some(BufWriter::new(file));
+            // ordering: flag — advisory enable bit; the sink itself is
+            // only ever touched under the SINK mutex.
             ENABLED.store(true, Ordering::Release);
         }
         None => {
             *sink = None;
+            // ordering: flag — see above.
             ENABLED.store(false, Ordering::Release);
         }
     }
@@ -116,10 +121,13 @@ fn install_sink(path: &Path) {
 /// extra work at all.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: flag — a stale read can only skip or over-build one event;
+    // emission re-checks the sink under its mutex.
     if ENABLED.load(Ordering::Relaxed) {
         return true;
     }
     ensure_env_init();
+    // ordering: flag — re-read after idempotent env resolution; same advisory bit.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -187,6 +195,8 @@ impl Event {
         push_json_str(&mut buf, ev);
         Self {
             buf: Some(buf),
+            // ordering: flag — generation snapshot for the stale-event
+            // drop; `emit` re-reads it under the SINK mutex.
             sink_gen: SINK_EPOCH.load(Ordering::Acquire),
         }
     }
@@ -268,11 +278,15 @@ impl Event {
         let epoch = *EPOCH.get_or_init(Instant::now);
         let ms = epoch.elapsed().as_secs_f64() * 1e3;
         let mut sink = lock_sink();
+        // ordering: flag — read under the SINK mutex, which also ordered
+        // the writer's bump in `swap_sink`; Relaxed is sufficient here.
         if SINK_EPOCH.load(Ordering::Relaxed) != self.sink_gen {
             return;
         }
         let Some(out) = sink.as_mut() else { return };
         // seq is assigned under the lock so file order == seq order.
+        // ordering: stat — monotone sequence number; file order is fixed
+        // by the SINK mutex, not by this counter's ordering.
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
         let _ = writeln!(out, "{{\"seq\":{seq},\"ms\":{ms:.3}{body}}}");
         // One flush per event keeps the trace complete even when the

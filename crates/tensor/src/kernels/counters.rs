@@ -45,6 +45,7 @@ impl KernelCounters {
 /// may or may not be included, which is fine for telemetry).
 pub fn counter_snapshot() -> KernelCounters {
     KernelCounters {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
         gemm_fmas: GEMM_FMAS.load(Ordering::Relaxed),
         pool_spawns: POOL_SPAWNS.load(Ordering::Relaxed),
@@ -53,6 +54,7 @@ pub fn counter_snapshot() -> KernelCounters {
 
 /// Zeroes all counters (benchmark hygiene; telemetry uses deltas instead).
 pub fn reset_counters() {
+    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
     GEMM_CALLS.store(0, Ordering::Relaxed);
     GEMM_FMAS.store(0, Ordering::Relaxed);
     POOL_SPAWNS.store(0, Ordering::Relaxed);
@@ -61,6 +63,7 @@ pub fn reset_counters() {
 /// Records one GEMM invocation of `fmas` fused multiply-adds.
 #[inline]
 pub(crate) fn record_gemm(fmas: u64) {
+    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
     GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
     GEMM_FMAS.fetch_add(fmas, Ordering::Relaxed);
 }
@@ -68,6 +71,7 @@ pub(crate) fn record_gemm(fmas: u64) {
 /// Records `n` worker-thread spawns in a parallel region.
 #[inline]
 pub(crate) fn record_spawns(n: u64) {
+    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
     POOL_SPAWNS.fetch_add(n, Ordering::Relaxed);
 }
 

@@ -51,6 +51,7 @@ std::thread_local! {
 /// Resolution order: [`set_num_threads`] override → `CDCL_THREADS` → the
 /// machine's available parallelism. Always at least 1.
 pub fn num_threads() -> usize {
+    // ordering: flag — advisory control state; the protocol tolerates a stale read. (worker-count override; sized per call)
     let forced = OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
@@ -71,6 +72,7 @@ pub fn num_threads() -> usize {
 /// Overrides [`num_threads`] process-wide (tests and benchmarks compare
 /// thread counts within one process). Pass 0 to clear the override.
 pub fn set_num_threads(n: usize) {
+    // ordering: flag — advisory control state; the protocol tolerates a stale read. (worker-count override; sized per call)
     OVERRIDE.store(n, Ordering::Relaxed);
 }
 

@@ -143,11 +143,15 @@ impl PoolStats {
 
 /// Mutex poisoning cannot corrupt a free list (the guarded `Vec<Vec<f32>>`
 /// has no invariants a panic can break mid-way), so we always recover.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
+fn lock<'m, T>(
+    m: &'m Mutex<T>,
+    name: &'static str,
+) -> cdcl_obs::lockhook::Witnessed<std::sync::MutexGuard<'m, T>> {
+    let guard = match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
-    }
+    };
+    cdcl_obs::lockhook::witness_acquired(guard, name)
 }
 
 impl Default for BufferPool {
@@ -178,12 +182,14 @@ impl BufferPool {
     pub fn take_uninit(&self, n: usize) -> Vec<f32> {
         let Some(class) = class_for_request(n) else {
             // Over-MAX_CLASS bypass: plain allocation, counted but unpooled.
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.alloc_bytes
                 .fetch_add((n * 4) as u64, Ordering::Relaxed);
             return vec![0.0; n];
         };
-        if let Some(mut v) = lock(&self.classes[class]).pop() {
+        if let Some(mut v) = lock(&self.classes[class], "pool.classes").pop() {
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.resident_bytes
                 .fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
@@ -194,12 +200,14 @@ impl BufferPool {
             }
             return v;
         }
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.misses.fetch_add(1, Ordering::Relaxed);
         if std::env::var("CDCL_POOL_DEBUG").is_ok() {
             eprintln!("POOLMISS uninit n={n} class={class}");
         }
         let size = class_size(class);
         self.alloc_bytes
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             .fetch_add((size * 4) as u64, Ordering::Relaxed);
         let mut v = vec![0.0; size];
         v.truncate(n);
@@ -211,12 +219,14 @@ impl BufferPool {
     /// buffer is freshly allocated (already zero).
     pub fn take_zeroed(&self, n: usize) -> Vec<f32> {
         let Some(class) = class_for_request(n) else {
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.alloc_bytes
                 .fetch_add((n * 4) as u64, Ordering::Relaxed);
             return vec![0.0; n];
         };
-        if let Some(mut v) = lock(&self.classes[class]).pop() {
+        if let Some(mut v) = lock(&self.classes[class], "pool.classes").pop() {
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.resident_bytes
                 .fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
@@ -224,12 +234,14 @@ impl BufferPool {
             v.resize(n, 0.0);
             return v;
         }
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.misses.fetch_add(1, Ordering::Relaxed);
         if std::env::var("CDCL_POOL_DEBUG").is_ok() {
             eprintln!("POOLMISS zeroed n={n} class={class}");
         }
         let size = class_size(class);
         self.alloc_bytes
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             .fetch_add((size * 4) as u64, Ordering::Relaxed);
         let mut v = vec![0.0; size];
         v.truncate(n);
@@ -243,9 +255,10 @@ impl BufferPool {
             return;
         };
         let cap = class_cap(class);
-        let mut list = lock(&self.classes[class]);
+        let mut list = lock(&self.classes[class], "pool.classes");
         if list.len() < cap {
             self.resident_bytes
+                // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
                 .fetch_add((v.capacity() * 4) as u64, Ordering::Relaxed);
             list.push(v);
         }
@@ -255,6 +268,7 @@ impl BufferPool {
     /// included, which is fine for telemetry).
     pub fn stats(&self) -> PoolStats {
         PoolStats {
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
@@ -265,6 +279,7 @@ impl BufferPool {
     /// Zeroes the hit/miss/alloc counters (benchmark hygiene). Residency
     /// is a live gauge and is left untouched.
     pub fn reset_stats(&self) {
+        // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.alloc_bytes.store(0, Ordering::Relaxed);
@@ -273,9 +288,10 @@ impl BufferPool {
     /// Drops every parked buffer, returning residency to zero.
     pub fn clear(&self) {
         for class in &self.classes {
-            let mut list = lock(class);
+            let mut list = lock(class, "pool.classes");
             for v in list.drain(..) {
                 self.resident_bytes
+                    // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
                     .fetch_sub((v.capacity() * 4) as u64, Ordering::Relaxed);
             }
         }
@@ -308,12 +324,14 @@ fn enabled_from_env() -> u64 {
 /// Whether buffers are recycled through the global pool. Reads `CDCL_POOL`
 /// once on first use; [`set_enabled`] overrides at runtime.
 pub fn enabled() -> bool {
+    // ordering: lazy-init — idempotent env resolution; any racer stores the same value.
     let state = ENABLED_STATE.load(Ordering::Relaxed);
     if state != 0 {
         return state == 2;
     }
     let resolved = enabled_from_env();
     // A concurrent first call resolves to the same value, so a race is fine.
+    // ordering: lazy-init — idempotent env resolution; any racer stores the same value.
     ENABLED_STATE.store(resolved, Ordering::Relaxed);
     resolved == 2
 }
@@ -323,6 +341,7 @@ pub fn enabled() -> bool {
 /// recycle on drop after disabling (and vice versa never recycle), which
 /// affects only *where* memory lives — never tensor contents.
 pub fn set_enabled(on: bool) {
+    // ordering: flag — advisory on/off switch; no data is published through it.
     ENABLED_STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
@@ -350,6 +369,7 @@ impl PooledBuf {
             }
         } else {
             let pool = global();
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             pool.misses.fetch_add(1, Ordering::Relaxed);
             pool.alloc_bytes
                 .fetch_add((n * 4) as u64, Ordering::Relaxed);
@@ -369,6 +389,7 @@ impl PooledBuf {
             }
         } else {
             let pool = global();
+            // ordering: stat — monotonic telemetry counter; readers tolerate staleness.
             pool.misses.fetch_add(1, Ordering::Relaxed);
             pool.alloc_bytes
                 .fetch_add((n * 4) as u64, Ordering::Relaxed);
