@@ -16,6 +16,7 @@
 //! printed table.
 
 pub mod serve;
+pub mod traind;
 
 use cdcl_baselines::{
     run_static_uda, BaselineConfig, CdTransSize, CdTransTrainer, DerTrainer, DerVariant,

@@ -294,6 +294,9 @@ pub struct ServeArgs {
     pub max_inflight: usize,
     /// Per-connection pending-queue cap; beyond it requests are shed busy.
     pub max_queue: usize,
+    /// Allow starting with zero models: the registry is then populated
+    /// entirely through `RELOAD` (the `cdcl-traind` publish loop).
+    pub empty_ok: bool,
 }
 
 impl Default for ServeArgs {
@@ -308,13 +311,14 @@ impl Default for ServeArgs {
             threads: 4,
             max_inflight: 0,
             max_queue: 256,
+            empty_ok: false,
         }
     }
 }
 
 /// The `cdcl-serve` usage text printed on any CLI error.
 pub fn serve_usage() -> String {
-    "usage: cdcl-serve --snapshot <path.cdclsnap> | --model <id>=<path.cdclsnap> ...\n\
+    "usage: cdcl-serve --snapshot <path.cdclsnap> | --model <id>=<path.cdclsnap> ... | --empty-ok\n\
      \x20   [--tcp <addr>] [--threads <n>] [--conns <n>]\n\
      \x20   [--max-batch <n>] [--max-inflight <n>] [--max-queue <n>]\n\
      \x20   [--bench-out <path|none>] [--metrics-every <n>]"
@@ -391,6 +395,11 @@ pub fn parse_args_from(argv: &[String]) -> Result<ServeArgs, String> {
                     return Err(format!("--threads must be positive\n{}", serve_usage()));
                 }
             }
+            "--empty-ok" => {
+                args.empty_ok = true;
+                i += 1;
+                continue;
+            }
             "--max-inflight" => args.max_inflight = flag_usize(argv, i)?,
             "--max-queue" => {
                 args.max_queue = flag_usize(argv, i)?;
@@ -404,7 +413,7 @@ pub fn parse_args_from(argv: &[String]) -> Result<ServeArgs, String> {
         }
         i += 2;
     }
-    if args.models.is_empty() {
+    if args.models.is_empty() && !args.empty_ok {
         return Err(format!(
             "--snapshot <path.cdclsnap> (or --model <id>=<path>) is required\n{}",
             serve_usage()
@@ -806,10 +815,15 @@ fn serve_lines(
                     Ok((slot, version)) => {
                         let m = slot.current();
                         format!(
-                            "{{\"ok\":true,\"verb\":\"reload\",\"model\":\"{}\",\"version\":{},\"tasks\":{}}}",
+                            "{{\"ok\":true,\"verb\":\"reload\",\"model\":\"{}\",\"version\":{},\"tasks\":{},\"centroid_tasks\":{}}}",
                             slot.id(),
                             version,
-                            m.trainer.model().num_tasks()
+                            m.trainer.model().num_tasks(),
+                            m.trainer
+                                .task_centroids()
+                                .iter()
+                                .filter(|c| c.shape()[0] > 0)
+                                .count()
                         )
                     }
                     Err(e) => format!(
@@ -1073,7 +1087,16 @@ pub fn run(args: &ServeArgs) {
     }
     let wall_secs = serving.elapsed().as_secs_f64();
 
-    let primary = srv.primary().expect("registry has at least one model");
+    let Some(primary) = srv.primary() else {
+        // `--empty-ok` server that exited before any RELOAD populated it:
+        // there is no model to describe, so there is no report to write.
+        telemetry::flush();
+        eprintln!(
+            "cdcl-serve: exiting with no models loaded ({} requests seen)",
+            stats.requests()
+        );
+        return;
+    };
     let m = primary.current();
     let snapshot_label = m
         .path

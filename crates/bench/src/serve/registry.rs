@@ -258,7 +258,10 @@ impl SnapshotRegistry {
     }
 
     /// The `MODELS` verb payload: a JSON array of
-    /// `{"model","version","tasks","classes","path","inflight"}`.
+    /// `{"model","version","tasks","centroid_tasks","classes","path","inflight"}`.
+    /// `version` and `centroid_tasks` (tasks with a non-empty archived
+    /// Eq.-17 centroid set) together let the `cdcl-traind` publish loop —
+    /// and operators — verify a `RELOAD` actually advanced the model.
     pub fn models_json(&self) -> String {
         let slots = read_lock(&self.models, "registry.models");
         let rows: Vec<String> = slots
@@ -266,10 +269,15 @@ impl SnapshotRegistry {
             .map(|slot| {
                 let m = slot.current();
                 format!(
-                    "{{\"model\":\"{}\",\"version\":{},\"tasks\":{},\"classes\":{},\"path\":{},\"inflight\":{}}}",
+                    "{{\"model\":\"{}\",\"version\":{},\"tasks\":{},\"centroid_tasks\":{},\"classes\":{},\"path\":{},\"inflight\":{}}}",
                     slot.id,
                     m.version,
                     m.trainer.model().num_tasks(),
+                    m.trainer
+                        .task_centroids()
+                        .iter()
+                        .filter(|c| c.shape()[0] > 0)
+                        .count(),
                     m.trainer.model().total_classes(),
                     match &m.path {
                         Some(p) => format!("\"{}\"", p.display().to_string().replace('\\', "/")),

@@ -1,0 +1,196 @@
+//! The traind publish loop (DESIGN.md §15): after every finished online
+//! round the new learner state is atomically written to `--publish-dir`
+//! as `task{NNN}.cdclsnap` and every `--notify` address receives a
+//! `RELOAD <model> <path>` verb, followed by a `MODELS` read-back that
+//! verifies the registry really serves the new version with the expected
+//! task and centroid counts. All of this runs **outside** the daemon's
+//! state lock — a slow or dead serve instance can delay publication, never
+//! ingest.
+
+use super::metrics;
+use super::TraindArgs;
+use cdcl_telemetry as telemetry;
+use serde::Value;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Typed field lookups over the vendored [`serde::Value`] tree.
+fn field_bool(v: &Value, name: &str) -> Option<bool> {
+    match v.field(name) {
+        Some(Value::Bool(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+fn field_u64(v: &Value, name: &str) -> Option<u64> {
+    match v.field(name) {
+        Some(Value::Num(n)) => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn field_str<'v>(v: &'v Value, name: &str) -> Option<&'v str> {
+    match v.field(name) {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// What one finished online round hands to the publish loop.
+pub struct RoundArtifact {
+    /// Task id the round trained (names the published file).
+    pub task: usize,
+    /// Inferred stage-window boundary (`None` for the bootstrap round).
+    pub boundary: Option<usize>,
+    /// Full snapshot bytes of the post-round learner.
+    pub bytes: Vec<u8>,
+    /// Task count a verified reload must report.
+    pub expected_tasks: usize,
+    /// Non-empty centroid-set count a verified reload must report.
+    pub expected_centroid_tasks: usize,
+}
+
+/// A verified reload on one notify target.
+#[derive(Debug)]
+pub struct ReloadAck {
+    pub addr: String,
+    pub version: u64,
+    pub tasks: u64,
+    pub centroid_tasks: u64,
+}
+
+/// Result of one publish attempt: the snapshot path, the per-target reload
+/// verdicts, and the write→last-verified-ack latency.
+#[derive(Debug)]
+pub struct PublishOutcome {
+    pub path: PathBuf,
+    /// Write succeeded and every notify target verified the reload.
+    pub ok: bool,
+    pub publish_us: f64,
+    pub reloads: Vec<Result<ReloadAck, String>>,
+}
+
+/// Publishes one round: atomic snapshot write, then `RELOAD` + `MODELS`
+/// verification against every notify target.
+pub fn publish_round(args: &TraindArgs, round: &RoundArtifact) -> PublishOutcome {
+    let _s = telemetry::span("publish").task(round.task);
+    let started = Instant::now();
+    let path = args
+        .publish_dir
+        .join(format!("task{:03}.cdclsnap", round.task));
+    let mut ok = true;
+    let mut reloads = Vec::new();
+    match cdcl_snapshot::atomic_write(&path, &round.bytes) {
+        Ok(()) => {
+            // RELOAD carries an absolute path: the serve process resolves
+            // it from its own working directory.
+            let reload_path = std::fs::canonicalize(&path).unwrap_or_else(|_| path.clone());
+            for addr in &args.notify {
+                let result = notify_one(addr, &args.model, &reload_path, round);
+                ok &= result.is_ok();
+                reloads.push(result);
+            }
+        }
+        Err(e) => {
+            ok = false;
+            reloads.push(Err(format!("snapshot write {}: {e}", path.display())));
+        }
+    }
+    let publish_us = started.elapsed().as_secs_f64() * 1e6;
+    if ok {
+        metrics::PUBLISH_TOTAL.inc();
+    } else {
+        metrics::PUBLISH_FAILED_TOTAL.inc();
+    }
+    metrics::PUBLISH_LATENCY_US.observe(publish_us);
+    if telemetry::enabled() {
+        telemetry::Event::new("traind")
+            .name("published")
+            .task(round.task)
+            .str_field("path", &path.display().to_string())
+            .u64_field("ok", u64::from(ok))
+            .u64_field("targets", args.notify.len() as u64)
+            .f64_field("publish_us", publish_us)
+            .emit();
+    }
+    PublishOutcome {
+        path,
+        ok,
+        publish_us,
+        reloads,
+    }
+}
+
+/// Issues `RELOAD` to one serve instance and verifies through `MODELS`
+/// that the slot now serves the expected task/centroid counts.
+fn notify_one(
+    addr: &str,
+    model: &str,
+    path: &std::path::Path,
+    round: &RoundArtifact,
+) -> Result<ReloadAck, String> {
+    let conn = TcpStream::connect(addr).map_err(|e| format!("{addr}: connect: {e}"))?;
+    let cloned = conn
+        .try_clone()
+        .map_err(|e| format!("{addr}: clone: {e}"))?;
+    let mut reader = BufReader::new(cloned);
+    let mut writer = BufWriter::new(conn);
+
+    writeln!(writer, "RELOAD {model} {}", path.display())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("{addr}: send RELOAD: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("{addr}: read RELOAD reply: {e}"))?;
+    let reply: Value = serde_json::from_str(line.trim())
+        .map_err(|e| format!("{addr}: bad RELOAD reply {:?}: {e}", line.trim()))?;
+    if field_bool(&reply, "ok") != Some(true) {
+        return Err(format!("{addr}: RELOAD refused: {}", line.trim()));
+    }
+    let version = field_u64(&reply, "version")
+        .ok_or_else(|| format!("{addr}: RELOAD reply lacks version: {}", line.trim()))?;
+
+    writeln!(writer, "MODELS")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("{addr}: send MODELS: {e}"))?;
+    line.clear();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("{addr}: read MODELS reply: {e}"))?;
+    let models: Value = serde_json::from_str(line.trim())
+        .map_err(|e| format!("{addr}: bad MODELS reply {:?}: {e}", line.trim()))?;
+    let rows = match models.field("models") {
+        Some(Value::Arr(rows)) => rows.as_slice(),
+        _ => &[],
+    };
+    let row = rows
+        .iter()
+        .find(|r| field_str(r, "model") == Some(model))
+        .ok_or_else(|| format!("{addr}: MODELS does not list {model}: {}", line.trim()))?;
+    let served_version = field_u64(row, "version");
+    let tasks = field_u64(row, "tasks");
+    let centroid_tasks = field_u64(row, "centroid_tasks");
+    if served_version != Some(version) {
+        return Err(format!(
+            "{addr}: reload not visible: RELOAD said v{version}, MODELS serves {served_version:?}"
+        ));
+    }
+    if tasks != Some(round.expected_tasks as u64)
+        || centroid_tasks != Some(round.expected_centroid_tasks as u64)
+    {
+        return Err(format!(
+            "{addr}: reload did not advance the model: expected {} tasks / {} centroid tasks, \
+             MODELS reports {tasks:?} / {centroid_tasks:?}",
+            round.expected_tasks, round.expected_centroid_tasks
+        ));
+    }
+    Ok(ReloadAck {
+        addr: addr.to_string(),
+        version,
+        tasks: tasks.unwrap_or(0),
+        centroid_tasks: centroid_tasks.unwrap_or(0),
+    })
+}

@@ -60,8 +60,9 @@ pub mod witness;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The trainer phases DESIGN.md §8 requires a telemetry span for.
-pub const REQUIRED_SPANS: [&str; 12] = [
+/// The trainer phases DESIGN.md §8 requires a telemetry span for
+/// (`drift_detect` added by §15's task-free boundary inference).
+pub const REQUIRED_SPANS: [&str; 13] = [
     "warmup",
     "adaptation",
     "centroid_fit",
@@ -74,6 +75,7 @@ pub const REQUIRED_SPANS: [&str; 12] = [
     "eval_cil",
     "graph_check",
     "checkpoint",
+    "drift_detect",
 ];
 
 /// One rule violation at a specific line of a specific file.

@@ -47,7 +47,7 @@ const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
 /// Workspace wrapper fns that acquire and return a guard. Their bodies are
 /// skipped (the interior `m.lock()` would double-count) and their call
 /// sites are acquisitions, labeled by the first string-literal argument.
-pub const WRAPPER_FNS: [&str; 7] = [
+pub const WRAPPER_FNS: [&str; 8] = [
     "lock",
     "read_lock",
     "write_lock",
@@ -55,6 +55,7 @@ pub const WRAPPER_FNS: [&str; 7] = [
     "lock_entries",
     "lock_family",
     "lock_sink",
+    "lock_traind",
 ];
 
 /// Receivers whose `.lock()` is not a contended workspace lock: stdio
@@ -83,8 +84,13 @@ pub const BLOCKING_CALLS: [&str; 15] = [
 ];
 
 /// Path prefixes where a guard held across a blocking call is an error:
-/// the serve request plane and the buffer pool's free-list mutex.
-pub const BLOCKING_SCOPES: [&str; 2] = ["crates/bench/src/serve/", "crates/tensor/src/pool.rs"];
+/// the serve request plane, the traind ingest/publish plane, and the
+/// buffer pool's free-list mutex.
+pub const BLOCKING_SCOPES: [&str; 3] = [
+    "crates/bench/src/serve/",
+    "crates/bench/src/traind/",
+    "crates/tensor/src/pool.rs",
+];
 
 /// Callee names never resolved by bare name: trait methods and collection
 /// verbs so common that a single-definition match would still usually be

@@ -14,8 +14,12 @@
 //!   rehearsal losses (Eqs. 20–23).
 //! * [`protocol`] defines the [`ContinualLearner`] trait shared with every
 //!   baseline and the R-matrix evaluation loop of §V-C.
+//! * [`drift`] scores incoming unlabeled windows against the archived
+//!   Eq.-17 centroids and infers task boundaries when none are given — the
+//!   task-free control loop driven by the `cdcl-traind` daemon.
 
 mod config;
+pub mod drift;
 mod health;
 mod memory;
 mod model;
@@ -25,7 +29,8 @@ mod snapshot;
 mod trainer;
 
 pub use config::{CdclConfig, LossToggles};
+pub use drift::{DriftConfig, DriftDecision, DriftDetector};
 pub use memory::{MemoryRecord, RehearsalMemory};
 pub use model::CdclModel;
 pub use protocol::{run_stream, ContinualLearner, StreamResult};
-pub use trainer::CdclTrainer;
+pub use trainer::{CdclTrainer, DriftScore};

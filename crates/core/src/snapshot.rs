@@ -516,20 +516,60 @@ impl CdclTrainer {
         Self::from_snapshot_bytes(&bytes)
     }
 
-    /// Resumes from the newest `*.cdclsnap` checkpoint in `dir` (file names
-    /// sort by task id, so lexicographic max is the latest task boundary).
+    /// The task cursor (`META.task_classes.len()`) recorded in snapshot
+    /// bytes. Parsing validates every CRC, so a corrupt file in the
+    /// checkpoint directory surfaces as a typed error rather than silently
+    /// losing the resume race.
+    fn peek_task_cursor(bytes: &[u8]) -> Result<usize, SnapshotError> {
+        let snap = Snapshot::parse(bytes)?;
+        Ok(read_meta(snap.section(META)?)?.task_classes.len())
+    }
+
+    /// Resumes from the checkpoint in `dir` with the **largest recorded
+    /// task cursor** — read from each candidate's `META` section, not
+    /// inferred from file names or directory iteration order. If several
+    /// files tie on the newest cursor (e.g. two runs checkpointed into the
+    /// same directory), resuming any one of them would be an arbitrary
+    /// choice, so this returns [`SnapshotError::AmbiguousLatest`] listing
+    /// the tied paths in sorted order; pick one explicitly with
+    /// [`CdclTrainer::resume_from`].
     pub fn resume_latest(dir: &Path) -> Result<Self, SnapshotError> {
-        let mut newest: Option<std::path::PathBuf> = None;
+        let mut snaps: Vec<std::path::PathBuf> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
-            let is_snap = path.extension().is_some_and(|e| e == "cdclsnap");
-            if is_snap && newest.as_ref().is_none_or(|n| path > *n) {
-                newest = Some(path);
+            if path.extension().is_some_and(|e| e == "cdclsnap") {
+                snaps.push(path);
             }
         }
-        match newest {
-            Some(path) => Self::resume_from(&path),
+        snaps.sort();
+        let mut best: Option<(usize, std::path::PathBuf, Vec<u8>)> = None;
+        let mut tied: Vec<std::path::PathBuf> = Vec::new();
+        for path in snaps {
+            let bytes = std::fs::read(&path)?;
+            let cursor = Self::peek_task_cursor(&bytes)?;
+            match &best {
+                Some((newest, _, _)) if cursor < *newest => {}
+                Some((newest, _, _)) if cursor == *newest => tied.push(path),
+                _ => {
+                    tied.clear();
+                    best = Some((cursor, path, bytes));
+                }
+            }
+        }
+        match best {
             None => malformed(format!("no .cdclsnap files in {}", dir.display())),
+            Some((cursor, path, bytes)) => {
+                if tied.is_empty() {
+                    return Self::from_snapshot_bytes(&bytes);
+                }
+                let mut candidates: Vec<String> = tied
+                    .iter()
+                    .chain(std::iter::once(&path))
+                    .map(|p| p.display().to_string())
+                    .collect();
+                candidates.sort();
+                Err(SnapshotError::AmbiguousLatest { cursor, candidates })
+            }
         }
     }
 }

@@ -32,6 +32,20 @@ const EVAL_CHUNK: usize = 32;
 /// splitting threshold — so any multi-chunk evaluation parallelizes.
 const EVAL_CHUNK_WORK: usize = 1 << 20;
 
+/// One drift-scored window: the nearest archived task under the cosine
+/// centroid match of [`CdclTrainer::drift_score`], its distance
+/// (`1 − mean max-cosine`, the [`crate::DriftDetector`] input), and the
+/// margin to the runner-up task (0 when only one task has centroids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftScore {
+    /// Nearest archived task id.
+    pub task: usize,
+    /// Distance of the window to that task's centroid set.
+    pub distance: f64,
+    /// Runner-up distance minus best distance (task-ID confidence).
+    pub margin: f64,
+}
+
 /// The CDCL learner: model + memory + optimizer + Algorithm 1.
 ///
 /// Fields are `pub(crate)` so the snapshot module (`crate::snapshot`) can
@@ -222,6 +236,50 @@ impl CdclTrainer {
         });
         let refs: Vec<&Tensor> = parts.iter().collect();
         Tensor::concat0(&refs)
+    }
+
+    /// Scores one window of unlabeled samples against every completed
+    /// task's archived Eq.-17 centroids: for each task `t` with a non-empty
+    /// centroid set, the window's features (extracted through task `t`'s
+    /// frozen `K_t`/`b_t` path, as at pseudo-labeling time) are cosine-
+    /// matched to the centroids, and the task's distance is
+    /// `1 − mean_i max_u cos(z_i, c_u)` — small when the window looks like
+    /// task `t`, approaching 1 (or beyond, for anti-aligned features) when
+    /// it does not. Returns the best task, its distance (the
+    /// [`crate::DriftDetector`] input), and the runner-up margin, or `None`
+    /// when the window is empty or no task has centroids yet (all-warm-up
+    /// models cannot anchor drift scoring). Ties break toward the older
+    /// task id, keeping the score deterministic.
+    pub fn drift_score(&self, samples: &[Sample]) -> Option<DriftScore> {
+        if samples.is_empty() {
+            return None;
+        }
+        let _s = telemetry::span("drift_detect").task(self.model.num_tasks());
+        let mut ranked: Vec<(usize, f64)> = Vec::new();
+        for (t, cents) in self.centroids.iter().enumerate() {
+            if cents.shape()[0] == 0 {
+                continue;
+            }
+            let feats = self.extract_features(samples, t).l2_normalize_last();
+            let sims = feats.matmul(&cents.l2_normalize_last().transpose_last2());
+            let (n, u) = (sims.shape()[0], sims.shape()[1]);
+            let data = sims.data();
+            let mut total = 0.0f64;
+            for i in 0..n {
+                let row = &data[i * u..(i + 1) * u];
+                let best = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                total += f64::from(best);
+            }
+            ranked.push((t, 1.0 - total / n as f64));
+        }
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let &(task, distance) = ranked.first()?;
+        let margin = ranked.get(1).map_or(0.0, |&(_, d)| d - distance);
+        Some(DriftScore {
+            task,
+            distance,
+            margin,
+        })
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,188 @@
+//! Property tests for the task-free drift detector (DESIGN.md §15).
+//!
+//! Three guarantees back the `cdcl-traind` boundary inference:
+//!
+//! 1. **No false alarms under within-task noise.** Any score sequence whose
+//!    spread stays within the CUSUM slack `k` can never detect, at any
+//!    seed: the baseline is always a convex combination of observed scores
+//!    (calibration mean, then EWMA), so every deviation is bounded by the
+//!    spread and the statistic never leaves zero.
+//! 2. **Guaranteed detection under a forced shift.** After a clean phase,
+//!    any sustained shift whose per-window deviation exceeds `k + δ`
+//!    detects within `⌈h/δ⌉ + sustain − 1` windows, and the reported
+//!    boundary is exactly the first shifted window (the baseline freezes
+//!    the moment the statistic leaves zero, so the shift cannot drag it).
+//! 3. **Hysteresis cannot flap.** Against a shadow reimplementation of the
+//!    recurrence: the streak only re-arms when `S` falls below
+//!    `rearm_ratio · h` (in the dead band it holds), and a fired detection
+//!    latches — every later window repeats the same boundary no matter
+//!    what the scores do.
+
+use cdcl_core::{DriftConfig, DriftDecision, DriftDetector};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+fn any_config() -> impl Strategy<Value = DriftConfig> {
+    (
+        (1usize..5, 1usize..4, 0usize..2),
+        0.05f64..1.0,
+        0.01f64..0.5,
+        0.01f64..1.0,
+        0.0f64..0.95,
+    )
+        .prop_map(
+            |((calibration, sustain, two_sided), ewma_alpha, cusum_k, cusum_h, rearm_ratio)| {
+                DriftConfig {
+                    calibration,
+                    ewma_alpha,
+                    cusum_k,
+                    cusum_h,
+                    rearm_ratio,
+                    sustain,
+                    two_sided: two_sided == 1,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Property 1: scores confined to a band of width ≤ k never detect —
+    /// the within-task noise floor is below the slack by construction, so
+    /// no seed, length, or config can produce a false new-task declaration.
+    #[test]
+    fn within_task_noise_never_detects(
+        config in any_config(),
+        center in -5.0f64..5.0,
+        unit_noise in vec(0.0f64..1.0, 1..80),
+    ) {
+        let mut det = DriftDetector::new(config);
+        let spread = config.cusum_k; // band width exactly the slack
+        for &u in &unit_noise {
+            let decision = det.observe(center + u * spread);
+            prop_assert!(
+                !matches!(decision, DriftDecision::Detected { .. }),
+                "false detection ({decision:?}) with statistic {} on a band of width {spread}",
+                det.statistic()
+            );
+            prop_assert_eq!(det.statistic(), 0.0);
+        }
+        prop_assert_eq!(det.detected_boundary(), None);
+    }
+
+    /// Property 2: a sustained shift whose deviation beats the slack by δ
+    /// per window is always detected within `⌈h/δ⌉ + sustain − 1` shifted
+    /// windows, and the boundary is the first shifted window. `direction`
+    /// exercises both signs in two-sided mode (a collapse toward the
+    /// centroids is as detectable as an excursion away from them).
+    #[test]
+    fn forced_shift_always_detects_at_the_switch(
+        config in any_config(),
+        center in -5.0f64..5.0,
+        clean_extra in 0usize..6,
+        delta in 0.01f64..0.5,
+        direction in 0usize..2,
+    ) {
+        let mut det = DriftDetector::new(config);
+        // Clean phase: constant scores pin the baseline to `center`.
+        let clean = config.calibration + clean_extra;
+        for _ in 0..clean {
+            det.observe(center);
+        }
+        let baseline = det.baseline();
+        prop_assert!((baseline - center).abs() < 1e-9);
+        // Shift phase: every window deviates by k + δ from the (about to
+        // freeze) baseline. One-sided only sees upward shifts, so pin the
+        // direction there.
+        let signed = if direction == 1 && config.two_sided { -1.0 } else { 1.0 };
+        let shifted = baseline + signed * (config.cusum_k + delta);
+        let budget = (config.cusum_h / delta).ceil() as usize + config.sustain - 1;
+        let mut detected = None;
+        for w in 0..budget {
+            if let DriftDecision::Detected { boundary } = det.observe(shifted) {
+                detected = Some((w, boundary));
+                break;
+            }
+        }
+        let (lag, boundary) = detected.unwrap_or_else(|| {
+            panic!(
+                "no detection after {budget} shifted windows (S = {}, h = {})",
+                det.statistic(),
+                config.cusum_h
+            )
+        });
+        prop_assert!(
+            boundary == clean,
+            "boundary {boundary} should be the first shifted window {clean} (detected {lag} windows in)"
+        );
+    }
+
+    /// Property 3: the detector matches a shadow reimplementation of the
+    /// recurrence window for window — in particular the streak holds in the
+    /// dead band `[rearm·h, h)` and only re-arms below it — and once fired
+    /// it latches: every subsequent verdict repeats the same boundary.
+    #[test]
+    fn hysteresis_matches_shadow_and_never_flaps(
+        config in any_config(),
+        scores in vec(-3.0f64..3.0, 1..120),
+    ) {
+        let mut det = DriftDetector::new(config);
+        // Shadow state.
+        let (mut calibrated, mut calib_sum) = (0usize, 0.0f64);
+        let (mut baseline, mut statistic) = (0.0f64, 0.0f64);
+        let (mut streak, mut excursion) = (0usize, None::<usize>);
+        let mut fired = None::<usize>;
+        for (index, &score) in scores.iter().enumerate() {
+            let decision = det.observe(score);
+            if let Some(boundary) = fired {
+                // Latch: no score sequence may un-detect or move the boundary.
+                prop_assert_eq!(decision, DriftDecision::Detected { boundary });
+                continue;
+            }
+            if calibrated < config.calibration {
+                calibrated += 1;
+                calib_sum += score;
+                baseline = calib_sum / calibrated as f64;
+                prop_assert_eq!(decision, DriftDecision::Calibrating);
+                continue;
+            }
+            let was_zero = statistic == 0.0;
+            let deviation = if config.two_sided {
+                (score - baseline).abs()
+            } else {
+                score - baseline
+            };
+            statistic = (statistic + deviation - config.cusum_k).max(0.0);
+            if statistic == 0.0 {
+                excursion = None;
+                streak = 0;
+                baseline += config.ewma_alpha * (score - baseline);
+                prop_assert_eq!(decision, DriftDecision::Clean);
+            } else {
+                if was_zero {
+                    excursion = Some(index);
+                }
+                let streak_before = streak;
+                if statistic >= config.cusum_h {
+                    streak += 1;
+                } else if statistic < config.cusum_h * config.rearm_ratio {
+                    streak = 0;
+                } else {
+                    // Dead band: the streak must hold exactly.
+                    prop_assert_eq!(det.streak(), streak_before);
+                }
+                if streak >= config.sustain {
+                    let boundary = excursion.unwrap_or(index);
+                    fired = Some(boundary);
+                    prop_assert_eq!(decision, DriftDecision::Detected { boundary });
+                } else {
+                    prop_assert_eq!(decision, DriftDecision::Suspect { streak });
+                }
+            }
+            prop_assert_eq!(det.statistic(), statistic);
+            prop_assert_eq!(det.baseline(), baseline);
+            prop_assert_eq!(det.streak(), streak);
+        }
+        prop_assert_eq!(det.detected_boundary(), fired);
+    }
+}

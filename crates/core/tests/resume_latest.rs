@@ -1,0 +1,89 @@
+//! Tests for the deterministic `resume_latest` contract (DESIGN.md §10):
+//! the newest checkpoint is chosen by the **task cursor recorded in META**,
+//! not by file name or directory order, and a tie on the newest cursor is
+//! refused with a typed [`SnapshotError::AmbiguousLatest`] that lists every
+//! tied candidate in sorted order — resuming an arbitrary one would
+//! silently fork the run.
+
+use cdcl_core::{CdclConfig, CdclTrainer, ContinualLearner};
+use cdcl_data::{mnist_usps, MnistUspsDirection, Scale};
+use cdcl_snapshot::SnapshotError;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// Snapshot bytes at task cursors 1 and 2 from one smoke run. Built once;
+/// every test only needs the bytes.
+fn snapshots() -> &'static (Vec<u8>, Vec<u8>) {
+    static BYTES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let stream = mnist_usps(MnistUspsDirection::MnistToUsps, Scale::Smoke);
+        let mut config = CdclConfig::smoke();
+        config.epochs = 2;
+        config.warmup_epochs = 1;
+        let mut trainer = CdclTrainer::new(config);
+        trainer.learn_task(&stream.tasks[0]);
+        let cursor1 = trainer.snapshot_bytes();
+        trainer.learn_task(&stream.tasks[1]);
+        (cursor1, trainer.snapshot_bytes())
+    })
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cdcl-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+fn put(dir: &Path, name: &str, bytes: &[u8]) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).expect("write checkpoint");
+    path
+}
+
+#[test]
+fn picks_the_largest_cursor_regardless_of_file_names() {
+    let (cursor1, cursor2) = snapshots();
+    let dir = fresh_dir("pick");
+    // Lexicographically the cursor-2 file sorts FIRST: a name-ordered
+    // "latest" would wrongly resume the older checkpoint.
+    put(&dir, "a-newer.cdclsnap", cursor2);
+    put(&dir, "z-older.cdclsnap", cursor1);
+    put(&dir, "notes.txt", b"ignored: wrong extension");
+    let resumed = CdclTrainer::resume_latest(&dir).expect("unambiguous resume");
+    assert_eq!(resumed.model().num_tasks(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tie_on_newest_cursor_is_a_typed_error_listing_all_candidates() {
+    let (cursor1, cursor2) = snapshots();
+    let dir = fresh_dir("tie");
+    put(&dir, "older.cdclsnap", cursor1);
+    let tied_b = put(&dir, "run-b.cdclsnap", cursor2);
+    let tied_a = put(&dir, "run-a.cdclsnap", cursor2);
+    match CdclTrainer::resume_latest(&dir) {
+        Err(SnapshotError::AmbiguousLatest { cursor, candidates }) => {
+            assert_eq!(cursor, 2);
+            // Every tied path, sorted, and only the tied ones — the older
+            // checkpoint must not be offered.
+            assert_eq!(
+                candidates,
+                vec![tied_a.display().to_string(), tied_b.display().to_string()]
+            );
+            // The operator's documented way out works: pick one explicitly.
+            let picked = CdclTrainer::resume_from(&tied_a).expect("explicit resume");
+            assert_eq!(picked.model().num_tasks(), 2);
+        }
+        Err(other) => panic!("expected AmbiguousLatest, got {other:?}"),
+        Ok(_) => panic!("a tied directory must not resume"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_directory_is_a_typed_error() {
+    let dir = fresh_dir("empty");
+    assert!(CdclTrainer::resume_latest(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -63,6 +63,15 @@ pub enum SnapshotError {
     /// Structurally valid container, semantically invalid contents (bad
     /// lengths, out-of-range ids, shape mismatches, …).
     Malformed(String),
+    /// `resume_latest` found several checkpoints sharing the newest task
+    /// cursor. Resuming any of them would make the choice depend on file
+    /// naming (historically: directory iteration order), so the caller
+    /// must pick one explicitly with `resume_from`. `candidates` holds the
+    /// tied paths in sorted order.
+    AmbiguousLatest {
+        cursor: usize,
+        candidates: Vec<String>,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -89,6 +98,13 @@ impl fmt::Display for SnapshotError {
                 )
             }
             Self::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            Self::AmbiguousLatest { cursor, candidates } => write!(
+                f,
+                "ambiguous latest checkpoint: {} files share task cursor {cursor} ({}); \
+                 resume one explicitly with resume_from",
+                candidates.len(),
+                candidates.join(", ")
+            ),
         }
     }
 }
