@@ -74,7 +74,11 @@ fn direction_for(path: &str) -> Direction {
     {
         Direction::HigherBetter
     } else if path.contains("latency")
+        || path.contains("_stage_")
+        || path.contains("_to_visible")
+        || path.contains("e2e")
         || key.ends_with("per_step")
+        || key == "lag"
         || matches!(key, "p50" | "p90" | "p95" | "p99")
     {
         // Allocation-profile keys (`allocs_per_step`, `alloc_bytes_per_step`)
@@ -401,6 +405,22 @@ mod tests {
         let (deltas, _, _) = compare(&base, &cur);
         assert!(deltas.iter().all(|d| d.regressed(0.10)), "{deltas:?}");
         // ...while the reverse direction is an improvement, not a trip.
+        let (deltas, _, _) = compare(&cur, &base);
+        assert!(deltas.iter().all(|d| !d.regressed(0.10)), "{deltas:?}");
+    }
+
+    #[test]
+    fn trace_stage_keys_gate_downward() {
+        // BENCH_trace.json paths: end-to-end latency, publish lag, and the
+        // per-stage breakdown (`*_stage_ms.mean`) all gate lower-better.
+        let base = v(
+            r#"{"e2e_ms":{"mean":100.0},"reload_stage_ms":{"mean":5.0},"publish_to_visible_ms":{"mean":6.0},"lag":2.0,"e2e_windows":3.0}"#,
+        );
+        let cur = v(
+            r#"{"e2e_ms":{"mean":200.0},"reload_stage_ms":{"mean":50.0},"publish_to_visible_ms":{"mean":60.0},"lag":9.0,"e2e_windows":30.0}"#,
+        );
+        let (deltas, _, _) = compare(&base, &cur);
+        assert!(deltas.iter().all(|d| d.regressed(0.10)), "{deltas:?}");
         let (deltas, _, _) = compare(&cur, &base);
         assert!(deltas.iter().all(|d| !d.regressed(0.10)), "{deltas:?}");
     }

@@ -42,6 +42,7 @@ fn ingest_line(role: &str, label: Option<usize>, image: &[f32]) -> String {
 
 struct StreamArgs {
     traind: String,
+    serve: Option<String>,
     out: Option<String>,
     seed: u64,
     bootstrap_windows: usize,
@@ -50,8 +51,8 @@ struct StreamArgs {
 }
 
 fn usage() -> String {
-    "usage: traind-stream --traind <addr> [--out BENCH_traind.json] [--seed <n>]\n\
-     \x20   [--bootstrap <n>] [--clean <n>] [--max-shift <n>]"
+    "usage: traind-stream --traind <addr> [--serve <addr>] [--out BENCH_traind.json]\n\
+     \x20   [--seed <n>] [--bootstrap <n>] [--clean <n>] [--max-shift <n>]"
         .to_string()
 }
 
@@ -59,6 +60,7 @@ fn parse_args() -> StreamArgs {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut args = StreamArgs {
         traind: String::new(),
+        serve: None,
         out: None,
         seed: 11,
         bootstrap_windows: 2,
@@ -83,6 +85,7 @@ fn parse_args() -> StreamArgs {
         };
         match argv[i].as_str() {
             "--traind" => args.traind = value(i),
+            "--serve" => args.serve = Some(value(i)),
             "--out" => args.out = Some(value(i)),
             "--seed" => args.seed = number(i) as u64,
             "--bootstrap" => args.bootstrap_windows = number(i).max(1),
@@ -234,6 +237,46 @@ fn check_publish(ack: &Value, expect_version: u64, expect_tasks: u64) -> f64 {
         .unwrap_or_else(|| panic!("publish block lacks publish_us: {publish:?}"))
 }
 
+/// Sends one CIL predict request to a running `cdcl-serve` and asserts the
+/// freshly reloaded snapshot answers it. When tracing is on, this is the
+/// request that claims the `first_serve` span armed by the traced `RELOAD`
+/// (DESIGN.md §16), closing the window-commit → serve causal chain.
+fn probe_serve(addr: &str, image_len: usize, expect_version: u64) {
+    let conn = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect serve {addr}: {e}"));
+    let cloned = conn.try_clone().expect("clone serve connection");
+    let mut reader = BufReader::new(cloned);
+    let mut writer = BufWriter::new(conn);
+    let mut line = String::from("{\"id\":1,\"mode\":\"cil\",\"image\":[");
+    for i in 0..image_len {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('0');
+    }
+    line.push_str("]}");
+    writeln!(writer, "{line}").expect("send predict");
+    // A blank line flushes the admission batch immediately.
+    writeln!(writer).expect("send flush");
+    writer.flush().expect("flush predict");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read predict reply");
+    let resp: Value = serde_json::from_str(reply.trim())
+        .unwrap_or_else(|e| panic!("bad predict reply {:?}: {e}", reply.trim()));
+    assert_eq!(
+        field_bool(&resp, "ok"),
+        Some(true),
+        "predict failed: {}",
+        reply.trim()
+    );
+    assert_eq!(
+        field_u64(&resp, "version"),
+        Some(expect_version),
+        "stale snapshot answered the probe: {}",
+        reply.trim()
+    );
+    eprintln!("traind-stream: serve probe answered by version {expect_version}");
+}
+
 fn main() {
     let args = parse_args();
     let stream = scenario(args.seed);
@@ -317,6 +360,13 @@ fn main() {
          {detection_windows} windows after the switch); task-1 checkpoint published & \
          verified live in {publish_us:.0}us"
     );
+
+    // Optionally hit the serving plane once after the verified reload so
+    // the `first_serve` stage of the publish→reload trace is exercised.
+    if let Some(serve) = &args.serve {
+        let image_len = stream.tasks[0].source_train[0].image.data().len();
+        probe_serve(serve, image_len, 2);
+    }
 
     if let Some(out) = &args.out {
         let json = format!(

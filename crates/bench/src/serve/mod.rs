@@ -66,6 +66,10 @@ pub struct Request {
     pub task: Option<usize>,
     /// Flattened `c*h*w` image.
     pub image: Option<Vec<f32>>,
+    /// Optional traceparent (`00-<trace>-<span>-01`) of the caller's span:
+    /// echoed in the response and recorded as a fan-in link on the batch
+    /// span that absorbs this request (DESIGN.md §16).
+    pub trace: Option<String>,
 }
 
 /// One JSON-lines prediction response.
@@ -84,6 +88,9 @@ pub struct Response {
     /// Full probability row (softmax).
     pub probs: Option<Vec<f32>>,
     pub error: Option<String>,
+    /// The request's `trace` field, echoed verbatim (`null` when absent —
+    /// the vendored serde has no skip-if-none, see DESIGN.md §16).
+    pub trace: Option<String>,
 }
 
 impl Response {
@@ -98,6 +105,7 @@ impl Response {
             pred: None,
             probs: None,
             error: Some(error),
+            trace: None,
         }
     }
 }
@@ -503,6 +511,8 @@ enum Pending {
         busy: bool,
         /// The slot the request routed to, when it resolved that far.
         slot: Option<Arc<ModelSlot>>,
+        /// The request's traceparent, echoed on the rejection response.
+        trace: Option<String>,
     },
 }
 
@@ -546,6 +556,7 @@ fn flush_batch(
                 error,
                 busy,
                 slot,
+                trace,
             } => {
                 if *busy {
                     stats.inc_busy();
@@ -562,7 +573,9 @@ fn flush_batch(
                         slot.metrics.failed.add(1);
                     }
                 }
-                responses[i] = Some(Response::failure(*id, error.clone()));
+                let mut resp = Response::failure(*id, error.clone());
+                resp.trace = trace.clone();
+                responses[i] = Some(resp);
             }
             Pending::Admitted { id, req, slot, .. } => {
                 slot.metrics.requests.add(1);
@@ -597,6 +610,7 @@ fn flush_batch(
                         let mut resp = Response::failure(*id, e);
                         resp.model = Some(model.id.clone());
                         resp.version = Some(model.version);
+                        resp.trace = req.trace.clone();
                         responses[i] = Some(resp);
                     }
                 }
@@ -623,6 +637,35 @@ fn flush_batch(
             data[row * c * h * w..row * c * h * w + img.len()].copy_from_slice(img);
         }
         let images = Tensor::from_buf(data, &[n, c, h, w]);
+        // Requests that carried a traceparent become fan-in links on the
+        // batch event: a batch serves many traces, so they are links, not
+        // parents. If this version was armed by a traced RELOAD and this is
+        // its first batch, a `first_serve` marker span (child of the reload
+        // span) brackets the forward pass — the trace's terminal stage.
+        let mut links: Vec<telemetry::ctx::TraceContext> = Vec::new();
+        let first_serve = if telemetry::enabled() {
+            for &i in &g.members {
+                if let Pending::Admitted { req, .. } = &queue[i] {
+                    if let Some(c) = req
+                        .trace
+                        .as_deref()
+                        .and_then(|tp| telemetry::ctx::TraceContext::parse(tp).ok())
+                    {
+                        links.push(c);
+                    }
+                }
+            }
+            g.slot.take_pending_first_serve(g.model.version)
+        } else {
+            None
+        };
+        // Tuple fields drop in declaration order: the span pops before the
+        // remote-parent guard detaches, keeping the stack LIFO.
+        let _first_serve = first_serve.map(|c| {
+            let guard = telemetry::ctx::attach(c);
+            let span = telemetry::span("first_serve").task(g.task);
+            (span, guard)
+        });
         let started = Instant::now();
         let probs = if g.is_til {
             trainer.model().predict_til(&images, g.task)
@@ -636,19 +679,24 @@ fn flush_batch(
         BATCH_LATENCY_US.observe(latency_us);
         g.slot.metrics.latency_us.observe(latency_us);
         if telemetry::enabled() {
-            telemetry::Event::new("serve_batch")
+            let mut ev = telemetry::Event::new("serve_batch")
                 .name(if g.is_til { "til" } else { "cil" })
                 .task(g.task)
                 .str_field("model", &g.model.id)
                 .u64_field("version", g.model.version)
                 .u64_field("batch", n as u64)
                 .f64_field("latency_us", latency_us)
-                .emit();
+                .links("links", &links);
+            if let Some(c) = telemetry::ctx::active() {
+                ev = ev.trace_fields(c, None);
+            }
+            ev.emit();
         }
         let classes = probs.shape()[1];
         for (row, &i) in g.members.iter().enumerate() {
-            let id = match &queue[i] {
-                Pending::Admitted { id, .. } | Pending::Rejected { id, .. } => *id,
+            let (id, trace) = match &queue[i] {
+                Pending::Admitted { id, req, .. } => (*id, req.trace.clone()),
+                Pending::Rejected { id, trace, .. } => (*id, trace.clone()),
             };
             let p = &probs.data()[row * classes..(row + 1) * classes];
             let mut resp = row_response(id, g.is_til, g.task, p, stats);
@@ -657,6 +705,7 @@ fn flush_batch(
             }
             resp.model = Some(g.model.id.clone());
             resp.version = Some(g.model.version);
+            resp.trace = trace;
             responses[i] = Some(resp);
         }
     }
@@ -722,6 +771,7 @@ pub fn row_response(id: u64, is_til: bool, task: usize, p: &[f32], stats: &Serve
         pred: Some(argmax(p)),
         probs: Some(p.to_vec()),
         error: None,
+        trace: None,
     }
 }
 
@@ -796,7 +846,11 @@ fn serve_lines(
             flush_batch(&mut pending, writer, stats)?;
             writeln!(writer, "{{\"ok\":true,\"metrics\":{}}}", registry_json())?;
             writer.flush()?;
-        } else if trimmed == "MODELS" {
+        } else if trimmed == "MODELS" || trimmed.starts_with("MODELS ") {
+            // `MODELS trace=<traceparent>` is the publisher's traced
+            // read-back verification; the suffix (malformed or not) is
+            // accepted and otherwise ignored so pre-tracing peers and
+            // hand-typed verbs behave identically.
             flush_batch(&mut pending, writer, stats)?;
             writeln!(writer, "{{\"ok\":true,\"models\":{}}}", srv.models_json())?;
             writer.flush()?;
@@ -804,15 +858,34 @@ fn serve_lines(
             // In-flight requests must complete on the version they were
             // admitted against: flush before swapping.
             flush_batch(&mut pending, writer, stats)?;
-            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let mut parts: Vec<&str> = rest.split_whitespace().collect();
+            // An optional trailing `trace=<traceparent>` joins the
+            // publisher's trace; malformed values are dropped (never an
+            // error) so the verb grammar stays compatible both ways.
+            let remote = if parts.len() == 3 && parts[2].starts_with("trace=") {
+                let c = telemetry::ctx::TraceContext::parse(&parts[2]["trace=".len()..]).ok();
+                parts.pop();
+                c
+            } else {
+                None
+            };
             let reply = if parts.len() != 2 {
                 format!(
                     "{{\"ok\":false,\"verb\":\"reload\",\"error\":{}}}",
                     json_str("RELOAD expects: RELOAD <model> <path.cdclsnap>")
                 )
             } else {
+                // Locals drop in reverse order: the `reload` span pops
+                // before the remote-parent guard detaches.
+                let _remote_guard = remote.map(telemetry::ctx::attach);
+                let reload_span = telemetry::span("reload");
                 match srv.load(parts[0], Path::new(parts[1])) {
                     Ok((slot, version)) => {
+                        // Arm the first-serve marker: the next batch on this
+                        // version completes the publish→visible trace.
+                        if let Some(c) = reload_span.context() {
+                            slot.set_pending_first_serve(version, c);
+                        }
                         let m = slot.current();
                         format!(
                             "{{\"ok\":true,\"verb\":\"reload\",\"model\":\"{}\",\"version\":{},\"tasks\":{},\"centroid_tasks\":{}}}",
@@ -844,6 +917,7 @@ fn serve_lines(
                             error: format!("busy: queue full ({} pending)", args.max_queue),
                             busy: true,
                             slot: None,
+                            trace: req.trace.clone(),
                         });
                     } else {
                         match srv.get(req.model.as_deref()) {
@@ -868,6 +942,7 @@ fn serve_lines(
                                         error,
                                         busy: true,
                                         slot: Some(slot),
+                                        trace: req.trace.clone(),
                                     });
                                 }
                             },
@@ -876,6 +951,7 @@ fn serve_lines(
                                 error: e,
                                 busy: false,
                                 slot: None,
+                                trace: req.trace.clone(),
                             }),
                         }
                     }

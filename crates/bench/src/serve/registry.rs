@@ -16,7 +16,7 @@ use cdcl_core::CdclTrainer;
 use cdcl_obs::{CounterCore, GaugeCore, HistogramCore};
 use cdcl_telemetry as telemetry;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The model id unadorned requests route to when exactly one model is
 /// loaded, and the id `--snapshot` registers its model under.
@@ -102,6 +102,28 @@ pub struct ModelSlot {
     pub admission: Arc<Admission>,
     /// Pre-resolved per-model metric series.
     pub metrics: ModelMetrics,
+    /// Trace context of the most recent traced `RELOAD`, keyed by the
+    /// version it installed: the first batch served on that version emits
+    /// a `first_serve` span parented here, closing the distributed
+    /// publish→visible loop (DESIGN.md §16). Only touched on traced
+    /// reloads and on traced batches — untraced serving never locks it.
+    first_serve: Mutex<Option<(u64, telemetry::ctx::TraceContext)>>,
+}
+
+/// Poison-tolerant first-serve lock: the slot holds a single `Option`
+/// overwrite, so recovering from a poisoned mutex is sound. The call-site
+/// string is the canonical witness label, like the wrappers above.
+fn lock_first_serve<'m>(
+    m: &'m Mutex<Option<(u64, telemetry::ctx::TraceContext)>>,
+    name: &'static str,
+) -> cdcl_obs::lockhook::Witnessed<
+    std::sync::MutexGuard<'m, Option<(u64, telemetry::ctx::TraceContext)>>,
+> {
+    let guard = match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    cdcl_obs::lockhook::witness_acquired(guard, name)
 }
 
 impl ModelSlot {
@@ -120,6 +142,28 @@ impl ModelSlot {
     /// their `Arc` to the old version and complete on it.
     fn swap(&self, next: Arc<LoadedModel>) {
         *write_lock(&self.current, "registry.current") = next;
+    }
+
+    /// Arms the first-serve hook: the next batch executed against
+    /// `version` will emit a `first_serve` span parented to `ctx` (the
+    /// reload span of the traced `RELOAD` that installed the version). A
+    /// newer traced reload simply overwrites an unclaimed hook — the
+    /// superseded version will never serve its first batch.
+    pub fn set_pending_first_serve(&self, version: u64, ctx: telemetry::ctx::TraceContext) {
+        *lock_first_serve(&self.first_serve, "registry.first_serve") = Some((version, ctx));
+    }
+
+    /// Claims the first-serve hook for `version`, if armed. Returns the
+    /// reload trace context exactly once per traced reload.
+    pub fn take_pending_first_serve(&self, version: u64) -> Option<telemetry::ctx::TraceContext> {
+        let mut slot = lock_first_serve(&self.first_serve, "registry.first_serve");
+        match *slot {
+            Some((v, ctx)) if v == version => {
+                *slot = None;
+                Some(ctx)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -196,6 +240,7 @@ impl SnapshotRegistry {
                     })),
                     admission: Arc::new(Admission::new(self.max_inflight)),
                     metrics: ModelMetrics::for_model(id),
+                    first_serve: Mutex::new(None),
                 });
                 write_lock(&self.models, "registry.models").push(slot.clone());
                 Ok((slot, 1))

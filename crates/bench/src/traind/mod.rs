@@ -344,17 +344,21 @@ impl TraindState {
     /// sustained detection (or bootstrap readiness) — run the online round.
     /// Returns the ack fields and, when a round ran, the publish artifact.
     fn commit_window(&mut self, args: &TraindArgs) -> (WindowOutcome, Option<RoundArtifact>) {
-        let next = WindowStage::new(self.current.index + 1);
-        let stage = std::mem::replace(&mut self.current, next);
-        let index = stage.index;
-        let (sources, targets) = (stage.source.len(), stage.target.len());
-        metrics::WINDOWS_TOTAL.inc();
-        self.staged.push_back(stage);
-        while self.staged.len() > args.max_stage {
-            self.staged.pop_front();
-            self.dropped_windows += 1;
-            metrics::DROPPED_WINDOWS_TOTAL.inc();
-        }
+        let (index, sources, targets) = {
+            let _s = telemetry::span("ingest");
+            let next = WindowStage::new(self.current.index + 1);
+            let stage = std::mem::replace(&mut self.current, next);
+            let index = stage.index;
+            let (sources, targets) = (stage.source.len(), stage.target.len());
+            metrics::WINDOWS_TOTAL.inc();
+            self.staged.push_back(stage);
+            while self.staged.len() > args.max_stage {
+                self.staged.pop_front();
+                self.dropped_windows += 1;
+                metrics::DROPPED_WINDOWS_TOTAL.inc();
+            }
+            (index, sources, targets)
+        };
 
         let mut score = None;
         let mut artifact = None;
@@ -595,8 +599,15 @@ fn registry_prometheus() -> String {
 }
 
 /// Renders one window ack from the commit outcome and the (possibly
-/// absent) publish result.
-fn ack_json(outcome: &WindowOutcome, publish: Option<&PublishOutcome>) -> String {
+/// absent) publish result. When the commit ran under a sampled trace the
+/// ack carries its traceparent in a `trace` field, so stream clients can
+/// correlate acks with the cross-process trace; with tracing disabled the
+/// ack bytes are unchanged.
+fn ack_json(
+    outcome: &WindowOutcome,
+    publish: Option<&PublishOutcome>,
+    trace: Option<telemetry::ctx::TraceContext>,
+) -> String {
     let publish_json = match publish {
         None => "null".to_string(),
         Some(p) => {
@@ -623,10 +634,14 @@ fn ack_json(outcome: &WindowOutcome, publish: Option<&PublishOutcome>) -> String
             )
         }
     };
+    let trace_json = match trace {
+        Some(c) => format!(",\"trace\":{}", json_str(&c.encode())),
+        None => String::new(),
+    };
     format!(
         "{{\"ok\":true,\"window\":{},\"sources\":{},\"targets\":{},\"score\":{},\"margin\":{},\
          \"state\":{},\"statistic\":{},\"baseline\":{},\"streak\":{},\"boundary\":{},\
-         \"tasks\":{},\"detections\":{},\"rounds\":{},\"publish\":{}}}",
+         \"tasks\":{},\"detections\":{},\"rounds\":{},\"publish\":{}{}}}",
         outcome.window,
         outcome.sources,
         outcome.targets,
@@ -640,7 +655,8 @@ fn ack_json(outcome: &WindowOutcome, publish: Option<&PublishOutcome>) -> String
         outcome.tasks,
         outcome.detections,
         outcome.rounds,
-        publish_json
+        publish_json,
+        trace_json
     )
 }
 
@@ -648,6 +664,13 @@ fn ack_json(outcome: &WindowOutcome, publish: Option<&PublishOutcome>) -> String
 /// publish exchange strictly after it — a slow serve instance can stall
 /// this client's ack, never another connection's ingest.
 fn commit_window(d: &TraindDaemon) -> String {
+    // The distributed-trace root: one trace per committed window, covering
+    // the in-process ingest → drift_detect → online_round → publish stages
+    // (opened below on this thread, so they parent here automatically) and
+    // — across the RELOAD wire — the serve-side reload + first_serve
+    // stages (DESIGN.md §16).
+    let root = telemetry::span("window_commit");
+    let trace = root.context();
     let (outcome, artifact) = {
         let mut st = lock_traind(&d.state, "traind.state");
         st.commit_window(&d.args)
@@ -657,7 +680,7 @@ fn commit_window(d: &TraindDaemon) -> String {
         let mut st = lock_traind(&d.state, "traind.state");
         st.record_publish(p);
     }
-    ack_json(&outcome, publish.as_ref())
+    ack_json(&outcome, publish.as_ref(), trace)
 }
 
 /// Handles one protocol line; returns the reply to write, if any

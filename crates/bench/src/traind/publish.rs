@@ -138,7 +138,15 @@ fn notify_one(
     let mut reader = BufReader::new(cloned);
     let mut writer = BufWriter::new(conn);
 
-    writeln!(writer, "RELOAD {model} {}", path.display())
+    // The enclosing `publish` span's context rides the wire so the
+    // serve-side reload joins this window's trace. Absent entirely when
+    // tracing is off or the trace unsampled — the wire bytes then match
+    // pre-§16 peers, which also ignore the extra field when present.
+    let trace_suffix = match telemetry::ctx::active() {
+        Some(c) => format!(" trace={}", c.encode()),
+        None => String::new(),
+    };
+    writeln!(writer, "RELOAD {model} {}{trace_suffix}", path.display())
         .and_then(|()| writer.flush())
         .map_err(|e| format!("{addr}: send RELOAD: {e}"))?;
     let mut line = String::new();
@@ -153,7 +161,7 @@ fn notify_one(
     let version = field_u64(&reply, "version")
         .ok_or_else(|| format!("{addr}: RELOAD reply lacks version: {}", line.trim()))?;
 
-    writeln!(writer, "MODELS")
+    writeln!(writer, "MODELS{trace_suffix}")
         .and_then(|()| writer.flush())
         .map_err(|e| format!("{addr}: send MODELS: {e}"))?;
     line.clear();

@@ -310,3 +310,153 @@ fn closed_loop_detects_trains_and_publishes_live() {
     }
     let _ = std::fs::remove_dir_all(&publish_dir);
 }
+
+/// One phase span read back from the trace file.
+struct SpanLine {
+    name: String,
+    trace: String,
+    span: String,
+    parent: Option<String>,
+}
+
+fn phase_spans(trace_text: &str) -> Vec<SpanLine> {
+    let field_str = |v: &Value, name: &str| -> Option<String> {
+        match v.field(name) {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    trace_text
+        .lines()
+        .filter_map(|line| serde_json::from_str::<Value>(line.trim()).ok())
+        .filter(|v| field_str(v, "ev").as_deref() == Some("phase"))
+        .filter_map(|v| {
+            Some(SpanLine {
+                name: field_str(&v, "name")?,
+                trace: field_str(&v, "trace")?,
+                span: field_str(&v, "span")?,
+                parent: field_str(&v, "parent"),
+            })
+        })
+        .collect()
+}
+
+/// The DESIGN.md §16 distributed-trace contract over the bootstrap slice of
+/// the same closed loop: the trace id stamped on the committed window's ack
+/// must reappear — with an unbroken parent chain — on the `publish` span,
+/// the serve-side `reload` span (joined through the wire `trace=` field),
+/// and the `first_serve` span of the first batch on the new version.
+#[test]
+fn one_trace_id_survives_commit_publish_reload_and_first_serve() {
+    let _g = TRAIND_GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    let pid = std::process::id();
+    let trace_path = std::env::temp_dir().join(format!("traind-e2e-trace-{pid}.jsonl"));
+    cdcl_telemetry::set_trace_file(Some(&trace_path));
+
+    let stream = scenario(13);
+    let per_window = 6;
+    let bootstrap = 2usize;
+
+    let registry = SnapshotRegistry::new(0);
+    let serve_listener = TcpListener::bind("127.0.0.1:0").expect("bind serve");
+    let serve_addr = serve_listener.local_addr().expect("serve addr").to_string();
+    let serve_args = ServeArgs {
+        bench_out: None,
+        empty_ok: true,
+        // One publish connection from traind plus the predict client.
+        conns: 2,
+        threads: 1,
+        max_batch: 4,
+        ..ServeArgs::default()
+    };
+    let serve_stats = ServeStats::default();
+
+    let publish_dir = std::env::temp_dir().join(format!("traind-e2e-trace-pub-{pid}"));
+    let _ = std::fs::remove_dir_all(&publish_dir);
+    std::fs::create_dir_all(&publish_dir).expect("create publish dir");
+    let traind_args = TraindArgs {
+        notify: vec![serve_addr.clone()],
+        publish_dir: publish_dir.clone(),
+        threads: 1,
+        conns: 1,
+        bootstrap_windows: bootstrap,
+        ..TraindArgs::default()
+    };
+    let trainer = build_trainer(&traind_args).expect("fresh trainer");
+    let dims = trainer.input_dims();
+    let daemon = TraindDaemon::with_drift_config(traind_args, trainer, DriftConfig::default());
+    let traind_listener = TcpListener::bind("127.0.0.1:0").expect("bind traind");
+    let traind_addr = traind_listener.local_addr().expect("traind addr");
+
+    let ack_trace = std::thread::scope(|s| {
+        let (registry, serve_args, serve_stats) = (&registry, &serve_args, &serve_stats);
+        s.spawn(move || {
+            cdcl_bench::serve::run_tcp(registry, serve_listener, serve_args, serve_stats)
+        });
+        let daemon = &daemon;
+        s.spawn(move || run_tcp(daemon, traind_listener));
+
+        // Bootstrap windows only: one round, one publish, serve goes live
+        // at version 1.
+        let conn = TcpStream::connect(traind_addr).expect("connect traind");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone traind conn"));
+        let mut writer = BufWriter::new(conn);
+        let mut ack = Value::Null;
+        for w in 0..bootstrap {
+            ack = commit_window(&mut writer, &mut reader, &stream.tasks[0], w, per_window);
+        }
+        assert_publish(&ack, 1, 1);
+        let ack_trace = match field(&ack, "trace") {
+            Value::Str(s) => s.clone(),
+            other => panic!("traced commit ack has no trace field: {other:?}"),
+        };
+
+        // First request on the published version: completes the trace.
+        let conn = TcpStream::connect(&serve_addr).expect("connect predict client");
+        let mut sreader = BufReader::new(conn.try_clone().expect("clone predict client"));
+        let mut swriter = BufWriter::new(conn);
+        let zeros = vec!["0.0"; dims.0 * dims.1 * dims.2].join(",");
+        writeln!(swriter, "{{\"id\":1,\"mode\":\"cil\",\"image\":[{zeros}]}}")
+            .expect("send request");
+        writeln!(swriter).expect("send flush line");
+        swriter.flush().expect("flush request");
+        let mut line = String::new();
+        sreader.read_line(&mut line).expect("read response");
+        let resp: Value = serde_json::from_str(line.trim()).expect("response is JSON");
+        assert!(field_bool(&resp, "ok"), "request failed: {}", line.trim());
+        ack_trace
+    });
+
+    cdcl_telemetry::flush();
+    cdcl_telemetry::set_trace_file(None);
+
+    let ctx = cdcl_telemetry::ctx::TraceContext::parse(&ack_trace)
+        .unwrap_or_else(|e| panic!("ack trace {ack_trace:?} is not a traceparent: {e}"));
+    let trace_hex = format!("{:032x}", ctx.trace_id);
+    let root_span_hex = format!("{:016x}", ctx.span_id);
+
+    let text = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let spans = phase_spans(&text);
+    let in_trace = |name: &str| -> &SpanLine {
+        spans
+            .iter()
+            .find(|s| s.name == name && s.trace == trace_hex)
+            .unwrap_or_else(|| panic!("no `{name}` span in trace {trace_hex}"))
+    };
+    // The ack's traceparent IS the window_commit root span.
+    let root = in_trace("window_commit");
+    assert_eq!(root.span, root_span_hex);
+    assert_eq!(root.parent, None, "window_commit must be the root");
+    // traind side: publish under the root...
+    let publish = in_trace("publish");
+    assert_eq!(publish.parent.as_deref(), Some(root_span_hex.as_str()));
+    // ...serve side: reload under publish (joined via the wire `trace=`
+    // field), first_serve under reload. One id, four spans, two daemons.
+    let reload = in_trace("reload");
+    assert_eq!(reload.parent.as_deref(), Some(publish.span.as_str()));
+    let first = in_trace("first_serve");
+    assert_eq!(first.parent.as_deref(), Some(reload.span.as_str()));
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_dir_all(&publish_dir);
+}

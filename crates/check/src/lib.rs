@@ -16,7 +16,9 @@
 //!   order of the pool;
 //! * **phase-spans** — every trainer phase listed in DESIGN.md §8 must be
 //!   wrapped in a `telemetry::span("<name>")` somewhere in `crates/core/src`
-//!   so traced runs always observe the full Algorithm-1 breakdown;
+//!   so traced runs always observe the full Algorithm-1 breakdown; the
+//!   §16 traind pipeline stages are held to the same rule inside
+//!   `crates/bench/src/traind`;
 //! * **atomic-write** — inside `crates/snapshot`, every file write/rename
 //!   must go through the `atomic::atomic_write` helper (write temp, fsync,
 //!   then rename): a raw `File::create`/`fs::write`/`fs::rename` on a
@@ -77,6 +79,12 @@ pub const REQUIRED_SPANS: [&str; 13] = [
     "checkpoint",
     "drift_detect",
 ];
+
+/// The traind pipeline stages DESIGN.md §16's distributed trace observes
+/// inside `crates/bench/src/traind`: the per-window root plus the staging,
+/// training, and publication children (the serve-side `reload` /
+/// `first_serve` spans live in the serve plane, outside this scope).
+pub const TRAIND_REQUIRED_SPANS: [&str; 4] = ["window_commit", "ingest", "online_round", "publish"];
 
 /// One rule violation at a specific line of a specific file.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -410,18 +418,39 @@ pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
 /// the RAW text — span names live inside string literals, which masking
 /// would hide.
 pub fn check_phase_spans(core_sources: &[(String, String)]) -> Vec<Finding> {
-    REQUIRED_SPANS
+    check_spans_in(&REQUIRED_SPANS, "crates/core/src", "§8", core_sources)
+}
+
+/// Same rule scoped to the traind daemon: every [`TRAIND_REQUIRED_SPANS`]
+/// stage must appear in `crates/bench/src/traind`, or a distributed trace
+/// loses a stage of its critical path (DESIGN.md §16).
+pub fn check_traind_spans(traind_sources: &[(String, String)]) -> Vec<Finding> {
+    check_spans_in(
+        &TRAIND_REQUIRED_SPANS,
+        "crates/bench/src/traind",
+        "§16",
+        traind_sources,
+    )
+}
+
+fn check_spans_in(
+    required: &[&str],
+    scope: &str,
+    section: &str,
+    sources: &[(String, String)],
+) -> Vec<Finding> {
+    required
         .iter()
         .filter(|name| {
             let call = format!("span(\"{name}\")");
-            !core_sources.iter().any(|(_, text)| text.contains(&call))
+            !sources.iter().any(|(_, text)| text.contains(&call))
         })
         .map(|name| Finding {
-            file: "crates/core/src".to_string(),
+            file: scope.to_string(),
             line: 0,
             rule: "phase-spans",
             needle: format!("span(\"{name}\")"),
-            excerpt: format!("DESIGN.md §8 phase `{name}` has no telemetry span"),
+            excerpt: format!("DESIGN.md {section} phase `{name}` has no telemetry span"),
         })
         .collect()
 }
@@ -479,6 +508,7 @@ pub fn rel_path(workspace_root: &Path, p: &Path) -> String {
 pub fn lint_workspace(workspace_root: &Path, allow: &Allowlist) -> (Vec<Finding>, Vec<Finding>) {
     let mut all = Vec::new();
     let mut core_sources = Vec::new();
+    let mut traind_sources = Vec::new();
     for path in collect_rs_files(workspace_root) {
         let rel = rel_path(workspace_root, &path);
         let source = match std::fs::read_to_string(&path) {
@@ -497,9 +527,12 @@ pub fn lint_workspace(workspace_root: &Path, allow: &Allowlist) -> (Vec<Finding>
         all.extend(scan_file(&rel, &source));
         if rel.starts_with("crates/core/src") {
             core_sources.push((rel, source));
+        } else if rel.starts_with("crates/bench/src/traind") {
+            traind_sources.push((rel, source));
         }
     }
     all.extend(check_phase_spans(&core_sources));
+    all.extend(check_traind_spans(&traind_sources));
     all.into_iter().partition(|f| !allow.allows(f))
 }
 
@@ -706,6 +739,28 @@ mod tests {
         assert!(f[0]
             .needle
             .contains(REQUIRED_SPANS[REQUIRED_SPANS.len() - 1]));
+    }
+
+    #[test]
+    fn traind_span_rule_reports_missing_stages() {
+        let have = "let root = telemetry::span(\"window_commit\");\n\
+                    let _s = telemetry::span(\"ingest\");\n\
+                    let _s = telemetry::span(\"online_round\");\n"
+            .to_string();
+        let sources = vec![("crates/bench/src/traind/mod.rs".to_string(), have)];
+        let f = check_traind_spans(&sources);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].needle, "span(\"publish\")");
+        assert_eq!(f[0].file, "crates/bench/src/traind");
+        assert!(check_traind_spans(&[(
+            "crates/bench/src/traind/mod.rs".to_string(),
+            TRAIND_REQUIRED_SPANS
+                .iter()
+                .map(|n| format!("telemetry::span(\"{n}\")"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )])
+        .is_empty());
     }
 
     #[test]

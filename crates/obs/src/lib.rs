@@ -167,12 +167,30 @@ impl GaugeCore {
     }
 }
 
+/// A sampled trace exemplar attached to a histogram: the distributed-trace
+/// identity of the observation that landed in the highest bucket seen so
+/// far (ties keep the freshest), so a latency spike in the exposition
+/// links straight to the trace that caused it (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index the exemplar observation fell into.
+    pub bucket: usize,
+    /// 128-bit trace id of the observation's span.
+    pub trace_id: u128,
+    /// 64-bit span id of the observation's span.
+    pub span_id: u64,
+}
+
 /// Log-bucketed histogram state on the fixed [`hist`] grid: one atomic slot
-/// per bucket plus an atomic `f64` sum (CAS loop — still lock-free).
+/// per bucket plus an atomic `f64` sum (CAS loop — still lock-free). The
+/// optional trace exemplar sits behind a mutex, but that path is reached
+/// only when `cdcl-telemetry` tracing is enabled *and* a sampled span is
+/// open on the observing thread — untraced serving never touches it.
 #[derive(Debug)]
 pub struct HistogramCore {
     buckets: [AtomicU64; BUCKET_COUNT],
     sum_bits: AtomicU64,
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl Default for HistogramCore {
@@ -180,6 +198,7 @@ impl Default for HistogramCore {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            exemplar: Mutex::new(None),
         }
     }
 }
@@ -188,9 +207,10 @@ impl HistogramCore {
     /// Records one observation.
     #[inline]
     pub fn observe(&self, v: f64) {
+        let idx = hist::bucket_index(v);
         // ordering: stat — bucket slots and the CAS'd sum are report-only
         // aggregates; the loop retries on contention, it never publishes.
-        self.buckets[hist::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
@@ -204,6 +224,40 @@ impl HistogramCore {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
+        }
+        if cdcl_telemetry::enabled() {
+            if let Some(c) = cdcl_telemetry::ctx::active() {
+                self.record_exemplar(idx, c);
+            }
+        }
+    }
+
+    /// Keeps the exemplar of the worst (highest) bucket observed so far;
+    /// within the same bucket the freshest observation wins. Cold: only
+    /// reached from traced, sampled observations.
+    #[cold]
+    fn record_exemplar(&self, bucket: usize, c: cdcl_telemetry::ctx::TraceContext) {
+        // Poison-tolerant like the registry locks: the slot is a single
+        // `Option` overwrite, so taking over a poisoned mutex is sound.
+        let mut slot = match self.exemplar.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.as_ref().is_none_or(|e| bucket >= e.bucket) {
+            *slot = Some(Exemplar {
+                bucket,
+                trace_id: c.trace_id,
+                span_id: c.span_id,
+            });
+        }
+    }
+
+    /// The current max-bucket trace exemplar, if any traced observation
+    /// has been recorded.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        match self.exemplar.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
         }
     }
 
@@ -532,8 +586,25 @@ impl Registry {
                             format!("[{le},{c}]")
                         })
                         .collect();
+                    // The exemplar field appears only when a traced,
+                    // sampled observation recorded one — untraced runs
+                    // keep the exposition byte-identical to pre-tracing.
+                    let exemplar = match h.exemplar() {
+                        Some(e) => {
+                            let le = if e.bucket < hist::BUCKET_BOUNDS.len() {
+                                hist::format_bound(hist::BUCKET_BOUNDS[e.bucket])
+                            } else {
+                                "\"+Inf\"".to_string()
+                            };
+                            format!(
+                                ",\"exemplar\":{{\"trace\":\"{:032x}\",\"span\":\"{:016x}\",\"le\":{le}}}",
+                                e.trace_id, e.span_id
+                            )
+                        }
+                        None => String::new(),
+                    };
                     hists.push_str(&format!(
-                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
+                        "\"{name}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]{exemplar}}}",
                         h.count(),
                         fmt_f64_json(h.sum()),
                         fmt_f64_json(h.percentile(0.50)),
@@ -979,6 +1050,56 @@ cdcl_golden_latency_us_bucket{le=\"10\"} 3
              \"p99\":4.97,\"buckets\":[[5,2]]}}}"
                 .replace("             ", "")
         );
+    }
+
+    #[test]
+    fn histogram_exemplar_keeps_the_max_bucket_trace() {
+        let _g = guard();
+        let path =
+            std::env::temp_dir().join(format!("cdcl-obs-exemplar-{}.jsonl", std::process::id()));
+        cdcl_telemetry::set_trace_file(Some(&path));
+        let r = Registry::new();
+        let h = r.histogram("cdcl_x_us", "h");
+        // Untraced observation (no span open on this thread): no exemplar,
+        // even with the sink installed.
+        h.observe(1.0);
+        assert_eq!(h.exemplar(), None);
+        let attach = |trace_id: u128, span_id: u64| {
+            cdcl_telemetry::ctx::attach(cdcl_telemetry::ctx::TraceContext { trace_id, span_id })
+        };
+        {
+            let _a = attach(0xaaa, 1);
+            h.observe(2.0);
+        }
+        {
+            let _a = attach(0xbbb, 2);
+            h.observe(500.0);
+        }
+        {
+            // A later observation in a *lower* bucket must not displace
+            // the max-bucket exemplar.
+            let _a = attach(0xccc, 3);
+            h.observe(3.0);
+        }
+        cdcl_telemetry::set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+        let e = h
+            .exemplar()
+            .expect("traced observations record an exemplar");
+        assert_eq!(e.trace_id, 0xbbb);
+        assert_eq!(e.span_id, 2);
+        let json = r.render_json();
+        assert!(
+            json.contains(
+                "\"exemplar\":{\"trace\":\"00000000000000000000000000000bbb\",\
+                 \"span\":\"0000000000000002\",\"le\":500}"
+            ),
+            "json exposition lacks the exemplar: {json}"
+        );
+        // With tracing back off, fresh histograms render without the field
+        // (the golden expositions above depend on this).
+        h.observe(900.0);
+        assert_eq!(h.exemplar().expect("kept").trace_id, 0xbbb);
     }
 
     #[test]

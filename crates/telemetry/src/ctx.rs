@@ -1,0 +1,438 @@
+//! Distributed trace context (DESIGN.md §16): 128-bit trace ids, 64-bit
+//! span ids, a W3C-traceparent-style text encoding for crossing process
+//! boundaries, and a thread-local current-span stack so existing
+//! [`crate::span`] call sites pick up parentage without signature churn.
+//!
+//! The wire form is the W3C `traceparent` header value,
+//!
+//! ```text
+//! 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01
+//! ```
+//!
+//! version `00`, 32 lower-hex trace-id digits, 16 lower-hex span-id
+//! digits, and the sampled flag (always `01`: unsampled spans are never
+//! encoded — they stay process-local sentinels). [`TraceContext::parse`]
+//! rejects every malformed form with a typed [`ParseError`]; a daemon
+//! must never die because a peer sent a garbled `trace=` field.
+//!
+//! Everything here runs **only when tracing is enabled**: id generation
+//! and the sampling roll are reached solely from [`crate::span`] /
+//! [`attach`] behind [`crate::enabled`], so an untraced run performs no
+//! clock reads, no RNG draws, and stays bitwise identical to a build
+//! without this module.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable holding the head sampling rate in `[0.0, 1.0]`.
+/// Applied once per trace at root-span creation; descendants (local and
+/// remote) inherit the root's verdict. Defaults to `1.0` (keep all).
+pub const SAMPLE_ENV: &str = "CDCL_TRACE_SAMPLE";
+
+/// The identity of one span within one trace.
+///
+/// `trace_id == 0` never appears on the wire: it is the process-local
+/// "this trace was not sampled" sentinel kept on the context stack so an
+/// unsampled root's descendants do not re-roll the sampling decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit id shared by every span of one distributed trace.
+    pub trace_id: u128,
+    /// 64-bit id of this particular span.
+    pub span_id: u64,
+}
+
+/// Why a traceparent string failed to parse. Every variant carries enough
+/// to log the rejection without echoing attacker-controlled bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not the fixed 55-byte `00-<32 hex>-<16 hex>-01` shape.
+    Length { got: usize },
+    /// Separators are not at positions 2, 35 and 52.
+    Separator,
+    /// Leading version field is not `00`.
+    Version,
+    /// The 32-digit trace-id field holds a non-(lower-)hex byte.
+    TraceIdHex,
+    /// The 16-digit span-id field holds a non-(lower-)hex byte.
+    SpanIdHex,
+    /// Trailing flags field is not `01` (we only emit sampled spans).
+    Flags,
+    /// All-zero trace or span id (forbidden by W3C; zero is our sentinel).
+    ZeroId,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Length { got } => {
+                write!(f, "traceparent must be 55 bytes, got {got}")
+            }
+            ParseError::Separator => write!(f, "traceparent separators misplaced"),
+            ParseError::Version => write!(f, "unsupported traceparent version"),
+            ParseError::TraceIdHex => write!(f, "trace id is not 32 lower-hex digits"),
+            ParseError::SpanIdHex => write!(f, "span id is not 16 lower-hex digits"),
+            ParseError::Flags => write!(f, "unsupported traceparent flags"),
+            ParseError::ZeroId => write!(f, "all-zero trace or span id"),
+        }
+    }
+}
+
+/// Lower-hex decode of exactly `s.len()` digits into a u128. Returns
+/// `None` on any byte outside `[0-9a-f]` — uppercase is rejected, the
+/// W3C grammar is lowercase-only and we never emit anything else.
+fn hex_decode(s: &str) -> Option<u128> {
+    let mut acc: u128 = 0;
+    for b in s.bytes() {
+        let digit = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            _ => return None,
+        };
+        acc = (acc << 4) | u128::from(digit);
+    }
+    Some(acc)
+}
+
+impl TraceContext {
+    /// True for the process-local "unsampled" sentinel.
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// Renders the wire form: `00-<trace_id:032x>-<span_id:016x>-01`.
+    /// Callers must not encode the unsampled sentinel (checked by the
+    /// producers, which only propagate sampled contexts).
+    pub fn encode(&self) -> String {
+        format!("00-{:032x}-{:016x}-01", self.trace_id, self.span_id)
+    }
+
+    /// Parses the wire form, rejecting every malformed variant with a
+    /// typed error. Accepts exactly what [`TraceContext::encode`] emits.
+    pub fn parse(s: &str) -> Result<Self, ParseError> {
+        if s.len() != 55 {
+            return Err(ParseError::Length { got: s.len() });
+        }
+        let bytes = s.as_bytes();
+        if bytes[2] != b'-' || bytes[35] != b'-' || bytes[52] != b'-' {
+            return Err(ParseError::Separator);
+        }
+        if &s[0..2] != "00" {
+            return Err(ParseError::Version);
+        }
+        if &s[53..55] != "01" {
+            return Err(ParseError::Flags);
+        }
+        let trace_id = hex_decode(&s[3..35]).ok_or(ParseError::TraceIdHex)?;
+        let span_id = hex_decode(&s[36..52]).ok_or(ParseError::SpanIdHex)? as u64;
+        if trace_id == 0 || span_id == 0 {
+            return Err(ParseError::ZeroId);
+        }
+        Ok(TraceContext { trace_id, span_id })
+    }
+}
+
+/// Global splitmix64 state for id generation. Seeded lazily from the wall
+/// clock and the pid on first use — which only ever happens with tracing
+/// enabled, so untraced runs never read the clock here.
+static ID_STATE: AtomicU64 = AtomicU64::new(0);
+
+/// One splitmix64 step over the shared state. Statistically unique ids
+/// are all we need; this is not a security boundary.
+fn next_id() -> u64 {
+    // ordering: lazy-init — zero means "not yet seeded"; the CAS below
+    // publishes nothing but the seed value itself.
+    let seeded = ID_STATE.load(Ordering::Relaxed);
+    if seeded == 0 {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let seed = (nanos ^ (u64::from(std::process::id()) << 32)) | 1;
+        // ordering: stat — racing first-seeders may both store; either
+        // seed is fine, uniqueness comes from the mixing below.
+        let _ = ID_STATE.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    loop {
+        // ordering: stat — id draws need uniqueness, not ordering; CAS
+        // keeps concurrent draws from returning the same stream position.
+        let cur = ID_STATE.load(Ordering::Relaxed);
+        let next = cur.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        // ordering: stat — claims one stream position; no memory is
+        // published through the generator state.
+        if ID_STATE
+            .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            let mut z = next;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            return z ^ (z >> 31);
+        }
+    }
+}
+
+/// Never-zero span id (zero is reserved/forbidden on the wire).
+fn fresh_span_id() -> u64 {
+    loop {
+        let id = next_id();
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Never-zero 128-bit trace id from two generator draws.
+fn fresh_trace_id() -> u128 {
+    loop {
+        let id = (u128::from(next_id()) << 64) | u128::from(next_id());
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// One-shot resolution of [`SAMPLE_ENV`], clamped to `[0.0, 1.0]`.
+fn sample_rate() -> f64 {
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        std::env::var(SAMPLE_ENV)
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|r| r.is_finite())
+            .map(|r| r.clamp(0.0, 1.0))
+            .unwrap_or(1.0)
+    })
+}
+
+/// Rolls the head-sampling decision for a new root span.
+fn roll_sampled() -> bool {
+    let rate = sample_rate();
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 {
+        return false;
+    }
+    // 53 uniform bits → [0,1): plenty of resolution for a sampling rate.
+    let u = (next_id() >> 11) as f64 / (1u64 << 53) as f64;
+    u < rate
+}
+
+thread_local! {
+    /// The current-span stack: top is the context new spans inherit.
+    /// Unsampled roots push the zero sentinel so their whole subtree
+    /// consistently skips id generation.
+    static STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost *sampled* context on this thread, if any. `None` both
+/// when no span is open and when the open trace was not sampled.
+///
+/// Named `active` (not `current`) so the bare-name call graph in the
+/// workspace lock-order analyzer keeps `ModelSlot::current` unique.
+pub fn active() -> Option<TraceContext> {
+    STACK.with(|s| s.borrow().last().copied().filter(TraceContext::is_sampled))
+}
+
+/// Derives the context for a span opening on this thread and pushes it:
+/// child of the stack top when one is open (inheriting an unsampled
+/// verdict as-is), otherwise a fresh root that rolls [`SAMPLE_ENV`].
+/// Returns `(ctx, parent_span_id)`. Callers must pair with [`pop`].
+pub(crate) fn push_child() -> (TraceContext, Option<u64>) {
+    let (ctx, parent) = match STACK.with(|s| s.borrow().last().copied()) {
+        Some(parent) if parent.is_sampled() => (
+            TraceContext {
+                trace_id: parent.trace_id,
+                span_id: fresh_span_id(),
+            },
+            Some(parent.span_id),
+        ),
+        Some(_unsampled) => (
+            TraceContext {
+                trace_id: 0,
+                span_id: 0,
+            },
+            None,
+        ),
+        None => {
+            if roll_sampled() {
+                (
+                    TraceContext {
+                        trace_id: fresh_trace_id(),
+                        span_id: fresh_span_id(),
+                    },
+                    None,
+                )
+            } else {
+                (
+                    TraceContext {
+                        trace_id: 0,
+                        span_id: 0,
+                    },
+                    None,
+                )
+            }
+        }
+    };
+    STACK.with(|s| s.borrow_mut().push(ctx));
+    (ctx, parent)
+}
+
+/// Pops the context pushed by [`push_child`] / [`attach`].
+pub(crate) fn pop() {
+    STACK.with(|s| {
+        s.borrow_mut().pop();
+    });
+}
+
+/// Adopts a remote parent: spans opened on this thread while the guard
+/// lives become children of `ctx` (the context decoded from a wire
+/// `trace=` field). Drop restores the previous stack top.
+#[must_use = "the remote parent detaches when the guard drops"]
+pub fn attach(ctx: TraceContext) -> RemoteGuard {
+    STACK.with(|s| s.borrow_mut().push(ctx));
+    RemoteGuard { _priv: () }
+}
+
+/// Scope guard returned by [`attach`].
+pub struct RemoteGuard {
+    _priv: (),
+}
+
+impl Drop for RemoteGuard {
+    fn drop(&mut self) {
+        pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let ctx = TraceContext {
+            trace_id: 0x0af7_6519_16cd_43dd_8448_eb21_1c80_319c,
+            span_id: 0xb7ad_6b71_6920_3331,
+        };
+        let wire = ctx.encode();
+        assert_eq!(
+            wire,
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+        );
+        assert_eq!(TraceContext::parse(&wire), Ok(ctx));
+    }
+
+    #[test]
+    fn malformed_traceparents_are_rejected_with_typed_errors() {
+        let ok = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+        assert!(TraceContext::parse(ok).is_ok());
+        let cases: &[(&str, ParseError)] = &[
+            ("", ParseError::Length { got: 0 }),
+            ("00-abc-def-01", ParseError::Length { got: 13 }),
+            (
+                "00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+                ParseError::Separator,
+            ),
+            (
+                "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+                ParseError::Version,
+            ),
+            (
+                "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+                ParseError::TraceIdHex,
+            ),
+            (
+                "00-0af7651916cd43dd8448eb211c80319c-B7AD6B7169203331-01",
+                ParseError::SpanIdHex,
+            ),
+            (
+                "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",
+                ParseError::Flags,
+            ),
+            (
+                "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+                ParseError::ZeroId,
+            ),
+            (
+                "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+                ParseError::ZeroId,
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(TraceContext::parse(input), Err(*want), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn attach_scopes_the_remote_parent() {
+        let remote = TraceContext {
+            trace_id: 42,
+            span_id: 7,
+        };
+        assert_eq!(active(), None);
+        {
+            let _g = attach(remote);
+            assert_eq!(active(), Some(remote));
+            {
+                let _inner = attach(TraceContext {
+                    trace_id: 42,
+                    span_id: 9,
+                });
+                assert_eq!(active().map(|c| c.span_id), Some(9));
+            }
+            assert_eq!(active(), Some(remote));
+        }
+        assert_eq!(active(), None);
+    }
+
+    #[test]
+    fn unsampled_sentinel_is_invisible_to_current() {
+        let _g = attach(TraceContext {
+            trace_id: 0,
+            span_id: 0,
+        });
+        assert_eq!(active(), None);
+        // A child derived under the sentinel inherits "unsampled" and
+        // never generates ids.
+        let (child, parent) = push_child();
+        assert!(!child.is_sampled());
+        assert_eq!(parent, None);
+        pop();
+    }
+
+    #[test]
+    fn children_inherit_the_trace_and_link_to_the_parent_span() {
+        let root = TraceContext {
+            trace_id: 0xdead_beef,
+            span_id: 0x1234,
+        };
+        let _g = attach(root);
+        let (child, parent) = push_child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, 0);
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(parent, Some(root.span_id));
+        let (grandchild, gparent) = push_child();
+        assert_eq!(grandchild.trace_id, root.trace_id);
+        assert_eq!(gparent, Some(child.span_id));
+        pop();
+        pop();
+    }
+
+    #[test]
+    fn generated_ids_are_nonzero_and_distinct() {
+        let a = fresh_trace_id();
+        let b = fresh_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        let s1 = fresh_span_id();
+        let s2 = fresh_span_id();
+        assert_ne!(s1, 0);
+        assert_ne!(s1, s2);
+    }
+}

@@ -6,16 +6,19 @@
 //! every event becomes one JSON object per line:
 //!
 //! ```text
-//! {"seq":0,"ms":0.01,"ev":"phase","name":"warmup","task":0,"epoch":0,"dur_ms":12.4}
-//! {"seq":1,"ms":12.5,"ev":"scalar","name":"loss_total","task":0,"epoch":1,"step":3,"value":1.25}
-//! {"seq":2,"ms":30.1,"ev":"counters","task":0,"gemm_calls":812,"gemm_fmas":91234567,"pool_spawns":14}
-//! {"seq":3,"ms":30.2,"ev":"watchdog","name":"loss_total","phase":"adaptation","task":0,"epoch":2,"step":0,"value":"NaN"}
+//! {"seq":0,"ms":0.01,"wall_ms":1754700000123.456,"ev":"phase","name":"warmup","task":0,"epoch":0,"start_ms":0.0,"dur_ms":12.4}
+//! {"seq":1,"ms":12.5,"wall_ms":1754700000135.956,"ev":"scalar","name":"loss_total","task":0,"epoch":1,"step":3,"value":1.25}
+//! {"seq":2,"ms":30.1,"wall_ms":1754700000153.556,"ev":"counters","task":0,"gemm_calls":812,"gemm_fmas":91234567,"pool_spawns":14}
+//! {"seq":3,"ms":30.2,"wall_ms":1754700000153.656,"ev":"watchdog","name":"loss_total","phase":"adaptation","task":0,"epoch":2,"step":0,"value":"NaN"}
 //! ```
 //!
 //! Common fields: `seq` (monotone per process), `ms` (milliseconds since the
-//! first event), `ev` (event kind), `name`. Context fields (`task`, `epoch`,
-//! `step`) and payload fields (`value`, `dur_ms`, counter names) appear when
-//! the producer supplies them.
+//! first event), `wall_ms` (UNIX-epoch milliseconds, the cross-process
+//! alignment axis for [`ctx`] traces), `ev` (event kind), `name`. Context
+//! fields (`task`, `epoch`, `step`), distributed-trace identity (`trace`,
+//! `span`, `parent`, `links` — see [`ctx`]) and payload fields (`value`,
+//! `start_ms`, `dur_ms`, counter names) appear when the producer supplies
+//! them.
 //!
 //! The crate is deliberately dependency-free (not even the vendored `serde`):
 //! it writes its own JSON, so it can sit below every other crate in the
@@ -31,8 +34,11 @@
 //! the check entirely (gate on [`enabled`]), keeping untraced runs bitwise
 //! identical to builds without this crate.
 
+pub mod ctx;
+
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::marker::PhantomData;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
@@ -57,7 +63,8 @@ static SINK_EPOCH: AtomicU64 = AtomicU64::new(0);
 /// Monotone event sequence number (process-wide).
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Timestamp origin: the moment the first event was emitted.
+/// Timestamp origin: the first event emitted or span opened, whichever
+/// comes first (spans need it at creation to stamp `start_ms`).
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 /// The environment variable that activates tracing.
@@ -269,6 +276,46 @@ impl Event {
         self
     }
 
+    /// Distributed-trace identity fields: `trace` (32 hex digits), `span`
+    /// (16 hex digits) and — when the parent is local — `parent`. No-op
+    /// for the unsampled sentinel.
+    pub fn trace_fields(mut self, c: ctx::TraceContext, parent: Option<u64>) -> Self {
+        if !c.is_sampled() {
+            return self;
+        }
+        self = self
+            .str_field("trace", &format!("{:032x}", c.trace_id))
+            .str_field("span", &format!("{:016x}", c.span_id));
+        if let Some(p) = parent {
+            self = self.str_field("parent", &format!("{p:016x}"));
+        }
+        self
+    }
+
+    /// Fan-in links: a `key` array of traceparent strings pointing at the
+    /// (foreign-trace) spans this event absorbs — e.g. a serve batch span
+    /// linking the request contexts it coalesced. Unsampled entries are
+    /// skipped; an empty link set emits nothing.
+    pub fn links(mut self, key: &str, links: &[ctx::TraceContext]) -> Self {
+        let sampled: Vec<&ctx::TraceContext> = links.iter().filter(|c| c.is_sampled()).collect();
+        if sampled.is_empty() {
+            return self;
+        }
+        if let Some(buf) = self.buf.as_mut() {
+            buf.push(',');
+            push_json_str(buf, key);
+            buf.push_str(":[");
+            for (i, c) in sampled.iter().enumerate() {
+                if i > 0 {
+                    buf.push(',');
+                }
+                push_json_str(buf, &c.encode());
+            }
+            buf.push(']');
+        }
+        self
+    }
+
     /// Writes the event as one line to the sink. No-op when disabled, and
     /// a deliberate drop when the sink was retargeted since [`Event::new`]
     /// — the event belongs to the old trace file, and writing it into the
@@ -277,6 +324,13 @@ impl Event {
         let Some(body) = self.buf else { return };
         let epoch = *EPOCH.get_or_init(Instant::now);
         let ms = epoch.elapsed().as_secs_f64() * 1e3;
+        // The cross-process alignment axis: traces from different daemons
+        // are merged on wall_ms (`ms` origins differ per process). Only
+        // ever read with tracing enabled, so untraced runs stay clock-free.
+        let wall_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
         let mut sink = lock_sink();
         // ordering: flag — read under the SINK mutex, which also ordered
         // the writer's bump in `swap_sink`; Relaxed is sufficient here.
@@ -288,7 +342,10 @@ impl Event {
         // ordering: stat — monotone sequence number; file order is fixed
         // by the SINK mutex, not by this counter's ordering.
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let _ = writeln!(out, "{{\"seq\":{seq},\"ms\":{ms:.3}{body}}}");
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{seq},\"ms\":{ms:.3},\"wall_ms\":{wall_ms:.3}{body}}}"
+        );
         // One flush per event keeps the trace complete even when the
         // process dies mid-run (the watchdog's whole point). Event volume
         // is a handful per epoch, so this is not a hot path.
@@ -296,23 +353,54 @@ impl Event {
     }
 }
 
-/// A scoped phase timer: emits a `phase` event with `dur_ms` when dropped.
-/// Create via [`span`]; context attaches with [`Span::task`]/[`Span::epoch`].
+/// A scoped phase timer: emits a `phase` event with `start_ms` + `dur_ms`
+/// (both relative to the process trace origin) when dropped. Create via
+/// [`span`]; context attaches with [`Span::task`]/[`Span::epoch`].
+///
+/// When tracing is enabled the span also joins the distributed trace: it
+/// derives a [`ctx::TraceContext`] from the thread-local current-span
+/// stack (child of the innermost open span or remote parent, fresh
+/// sampled-or-not root otherwise) and sits on that stack until dropped,
+/// so nested spans and [`Event::trace_fields`] pick up parentage without
+/// any signature churn. The stack is thread-local, hence `Span` is
+/// deliberately `!Send`: it must drop on the thread that created it.
 pub struct Span {
     /// `None` when tracing is disabled — drop does nothing.
     start: Option<Instant>,
+    /// Milliseconds since the process trace origin at creation.
+    start_ms: f64,
+    /// Trace identity and local parent span id; `None` when disabled.
+    trace: Option<(ctx::TraceContext, Option<u64>)>,
     name: &'static str,
     task: Option<usize>,
     epoch: Option<usize>,
+    /// Pins the span to its creating thread (thread-local ctx stack).
+    _not_send: PhantomData<*const ()>,
 }
 
 /// Starts a phase timer named `name`.
 pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            start: None,
+            start_ms: 0.0,
+            trace: None,
+            name,
+            task: None,
+            epoch: None,
+            _not_send: PhantomData,
+        };
+    }
+    let start = Instant::now();
+    let epoch = *EPOCH.get_or_init(|| start);
     Span {
-        start: enabled().then(Instant::now),
+        start: Some(start),
+        start_ms: start.saturating_duration_since(epoch).as_secs_f64() * 1e3,
+        trace: Some(ctx::push_child()),
         name,
         task: None,
         epoch: None,
+        _not_send: PhantomData,
     }
 }
 
@@ -328,10 +416,22 @@ impl Span {
         self.epoch = Some(epoch);
         self
     }
+
+    /// The span's distributed-trace identity, for propagating across a
+    /// process boundary (`trace=` wire fields). `None` when tracing is
+    /// disabled or the trace was not sampled.
+    pub fn context(&self) -> Option<ctx::TraceContext> {
+        self.trace
+            .map(|(c, _)| c)
+            .filter(ctx::TraceContext::is_sampled)
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.trace.is_some() {
+            ctx::pop();
+        }
         let Some(start) = self.start else { return };
         let mut ev = Event::new("phase").name(self.name);
         if let Some(t) = self.task {
@@ -340,7 +440,11 @@ impl Drop for Span {
         if let Some(e) = self.epoch {
             ev = ev.epoch(e);
         }
-        ev.f64_field("dur_ms", start.elapsed().as_secs_f64() * 1e3)
+        if let Some((c, parent)) = self.trace {
+            ev = ev.trace_fields(c, parent);
+        }
+        ev.f64_field("start_ms", self.start_ms)
+            .f64_field("dur_ms", start.elapsed().as_secs_f64() * 1e3)
             .emit();
     }
 }
@@ -585,6 +689,100 @@ mod tests {
         set_trace_file(None);
         std::fs::remove_file(&path_a).ok();
         std::fs::remove_file(&path_b).ok();
+    }
+
+    #[test]
+    fn nested_spans_share_a_trace_and_record_parentage() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("trace-nesting");
+        set_trace_file(Some(&path));
+        let outer_ctx;
+        {
+            let outer = span("online_round").task(1);
+            outer_ctx = outer.context().expect("sampled root span has a context");
+            assert_eq!(ctx::active(), Some(outer_ctx));
+            {
+                let _inner = span("publish");
+            }
+        }
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(lines.len(), 2, "two phase events: {lines:?}");
+        let trace_hex = format!("\"trace\":\"{:032x}\"", outer_ctx.trace_id);
+        let span_hex = format!("{:016x}", outer_ctx.span_id);
+        // Inner span drops (and is written) first; it carries the outer
+        // span as parent and the same trace id.
+        assert!(lines[0].contains("\"name\":\"publish\""), "{}", lines[0]);
+        assert!(lines[0].contains(&trace_hex), "{}", lines[0]);
+        assert!(
+            lines[0].contains(&format!("\"parent\":\"{span_hex}\"")),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("\"start_ms\":"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"name\":\"online_round\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains(&trace_hex), "{}", lines[1]);
+        assert!(
+            lines[1].contains(&format!("\"span\":\"{span_hex}\"")),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            !lines[1].contains("\"parent\":"),
+            "root has no parent: {}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"wall_ms\":"), "{}", lines[1]);
+        // The stack is clean again.
+        assert_eq!(ctx::active(), None);
+    }
+
+    #[test]
+    fn remote_parent_adoption_links_spans_across_the_wire() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let path = tmp_path("trace-remote");
+        set_trace_file(Some(&path));
+        let remote = ctx::TraceContext {
+            trace_id: 0xabc,
+            span_id: 0xdef,
+        };
+        let wire = remote.encode();
+        {
+            let decoded = ctx::TraceContext::parse(&wire).expect("round-trip");
+            let _g2 = ctx::attach(decoded);
+            let _s = span("reload");
+        }
+        let lines = read_lines(&path);
+        set_trace_file(None);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains(&format!("\"trace\":\"{:032x}\"", remote.trace_id)),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains(&format!("\"parent\":\"{:016x}\"", remote.span_id)),
+            "{}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn disabled_spans_have_no_context_and_touch_no_stack() {
+        let _g = TEST_GUARD.lock().unwrap();
+        set_trace_file(None);
+        let s = span("online_round");
+        assert!(s.context().is_none());
+        assert_eq!(ctx::active(), None);
+        drop(s);
+        assert_eq!(ctx::active(), None);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Property tests for the traceparent wire encoding (DESIGN.md §16).
+//!
+//! Two guarantees back cross-process propagation:
+//!
+//! 1. **Round trip.** Every valid (non-zero) id pair encodes to a string
+//!    that parses back to exactly the same context, and the encoding is
+//!    the fixed 55-byte lowercase W3C shape.
+//! 2. **Total rejection.** Arbitrary byte salads, single-character
+//!    corruptions of a valid encoding, and truncations never crash the
+//!    parser — they either fail with a *typed* [`ParseError`] or happen to
+//!    form another valid encoding (which must then re-encode to itself).
+//!    The daemons feed attacker-reachable wire bytes straight into this
+//!    parser, so "reject, never panic" is load-bearing.
+
+use cdcl_telemetry::ctx::{ParseError, TraceContext};
+use proptest::prelude::*;
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+/// Non-zero 128-bit trace ids from two 64-bit draws (the vendored
+/// proptest has no native u128 strategy).
+fn trace_id() -> impl Strategy<Value = u128> {
+    (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|(hi, lo)| (((hi as u128) << 64) | lo as u128).max(1))
+}
+
+/// Unicode scalar values (surrogate range excluded by construction).
+fn any_char() -> impl Strategy<Value = char> {
+    (0u32..0xD800).prop_map(|c| char::from_u32(c).unwrap_or('?'))
+}
+
+proptest! {
+    #[test]
+    fn encode_parse_round_trips(trace in trace_id(), span in 1u64..u64::MAX) {
+        let ctx = TraceContext { trace_id: trace, span_id: span };
+        let wire = ctx.encode();
+        prop_assert_eq!(wire.len(), 55);
+        prop_assert!(
+            wire.bytes()
+                .all(|b| b == b'-' || b.is_ascii_digit() || (b'a'..=b'f').contains(&b)),
+            "non-lower-hex byte in {wire:?}"
+        );
+        prop_assert_eq!(TraceContext::parse(&wire), Ok(ctx));
+    }
+
+    #[test]
+    fn arbitrary_strings_never_panic_the_parser(
+        chars in proptest::collection::vec(any_char(), 0..80),
+    ) {
+        let s: String = chars.into_iter().collect();
+        // The only strings that parse are exact encodings; anything that
+        // does parse must re-encode to itself (so it really was a valid
+        // encoding, not a parser hole). Everything else is a typed error.
+        match TraceContext::parse(&s) {
+            Ok(ctx) => prop_assert_eq!(ctx.encode(), s),
+            Err(_typed) => {}
+        }
+    }
+
+    #[test]
+    fn single_char_corruption_is_rejected_or_reencodes(
+        trace in trace_id(),
+        span in 1u64..u64::MAX,
+        pos in 0usize..55,
+        replacement in any_char(),
+    ) {
+        let wire = TraceContext { trace_id: trace, span_id: span }.encode();
+        let mut corrupted: Vec<char> = wire.chars().collect();
+        corrupted[pos] = replacement;
+        let corrupted: String = corrupted.into_iter().collect();
+        match TraceContext::parse(&corrupted) {
+            // A hex digit swapped for another hex digit is still a valid
+            // (possibly identical) encoding — then it must round-trip.
+            Ok(ctx) => prop_assert_eq!(ctx.encode(), corrupted),
+            Err(e) => prop_assert!(
+                matches!(
+                    e,
+                    ParseError::Length { .. }
+                        | ParseError::Separator
+                        | ParseError::Version
+                        | ParseError::TraceIdHex
+                        | ParseError::SpanIdHex
+                        | ParseError::Flags
+                        | ParseError::ZeroId
+                ),
+                "unexpected error {e:?} for {corrupted:?}"
+            ),
+        }
+    }
+
+    #[test]
+    fn truncations_are_length_errors(
+        trace in trace_id(),
+        span in 1u64..u64::MAX,
+        cut in 0usize..55,
+    ) {
+        let wire = TraceContext { trace_id: trace, span_id: span }.encode();
+        prop_assert_eq!(
+            TraceContext::parse(&wire[..cut]),
+            Err(ParseError::Length { got: cut })
+        );
+    }
+}
